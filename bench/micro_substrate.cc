@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: Morton
+// encoding, zone-map pruning, column codecs, Qd-tree row routing, block
+// serialization, and the D-UMTS decision step. These are the operations the
+// simulator and physical engine execute millions of times.
+#include <benchmark/benchmark.h>
+
+#include "common/bit_util.h"
+#include "common/rng.h"
+#include "layout/qdtree_layout.h"
+#include "layout/zorder_layout.h"
+#include "mts/dumts.h"
+#include "query/query.h"
+#include "storage/block.h"
+#include "storage/codec.h"
+#include "workloads/dataset.h"
+
+namespace oreo {
+namespace {
+
+void BM_MortonEncode3D(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint32_t> ranks = {static_cast<uint32_t>(rng.Uniform(1 << 16)),
+                                 static_cast<uint32_t>(rng.Uniform(1 << 16)),
+                                 static_cast<uint32_t>(rng.Uniform(1 << 16))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bit_util::MortonEncode(ranks, 16));
+    ranks[0] = (ranks[0] + 1) & 0xffff;
+  }
+}
+BENCHMARK(BM_MortonEncode3D);
+
+void BM_ZoneMapPruning(benchmark::State& state) {
+  workloads::WorkloadDataset ds = workloads::MakeTpchLike(20000, 2);
+  Rng rng(3);
+  Table sample = ds.table.SampleRows(1000, &rng);
+  QdTreeGenerator gen;
+  std::vector<Query> wl;
+  Rng qrng(4);
+  for (int i = 0; i < 100; ++i) {
+    wl.push_back(ds.templates[static_cast<size_t>(qrng.Uniform(
+        ds.templates.size()))].instantiate(&qrng));
+  }
+  LayoutInstance inst = Materialize(
+      "qdtree", std::shared_ptr<const Layout>(gen.Generate(sample, wl, 32)),
+      ds.table);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.QueryCost(wl[qi]));
+    qi = (qi + 1) % wl.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(inst.partitioning().num_partitions()));
+}
+BENCHMARK(BM_ZoneMapPruning);
+
+void BM_Int64EncodeDelta(benchmark::State& state) {
+  std::vector<int64_t> data;
+  data.reserve(65536);
+  for (int64_t i = 0; i < 65536; ++i) data.push_back(i * 3);
+  for (auto _ : state) {
+    std::string out;
+    EncodeInt64(data, Encoding::kDeltaVarint, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 65536 * 8);
+}
+BENCHMARK(BM_Int64EncodeDelta);
+
+void BM_Int64DecodeDelta(benchmark::State& state) {
+  std::vector<int64_t> data;
+  for (int64_t i = 0; i < 65536; ++i) data.push_back(i * 3);
+  std::string encoded;
+  EncodeInt64(data, Encoding::kDeltaVarint, &encoded);
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeInt64(encoded, Encoding::kDeltaVarint,
+                                         data.size(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * 65536 * 8);
+}
+BENCHMARK(BM_Int64DecodeDelta);
+
+void BM_QdTreeRouting(benchmark::State& state) {
+  workloads::WorkloadDataset ds = workloads::MakeTpchLike(20000, 5);
+  Rng rng(6);
+  Table sample = ds.table.SampleRows(1000, &rng);
+  QdTreeGenerator gen;
+  std::vector<Query> wl;
+  Rng qrng(7);
+  for (int i = 0; i < 100; ++i) {
+    wl.push_back(ds.templates[static_cast<size_t>(qrng.Uniform(
+        ds.templates.size()))].instantiate(&qrng));
+  }
+  auto layout = gen.Generate(sample, wl, 32);
+  auto* qd = dynamic_cast<QdTreeLayout*>(layout.get());
+  uint32_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qd->RouteRow(ds.table, row));
+    row = (row + 1) % ds.table.num_rows();
+  }
+}
+BENCHMARK(BM_QdTreeRouting);
+
+void BM_BlockSerialize(benchmark::State& state) {
+  workloads::WorkloadDataset ds = workloads::MakeTpchLike(
+      static_cast<size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeBlock(ds.table));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(SerializedBlockSize(ds.table)));
+}
+BENCHMARK(BM_BlockSerialize)->Arg(4096)->Arg(32768);
+
+void BM_BlockDeserialize(benchmark::State& state) {
+  workloads::WorkloadDataset ds = workloads::MakeTpcdsLike(16384, 9);
+  std::string data = SerializeBlock(ds.table);
+  for (auto _ : state) {
+    auto t = DeserializeBlock(data);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_BlockDeserialize);
+
+void BM_DumtsDecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<mts::StateId> states(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) states[static_cast<size_t>(i)] = i;
+  mts::DumtsOptions opts;
+  opts.alpha = 80.0;
+  opts.gamma = 1.0;
+  mts::DynamicUmts alg(opts, states, 0);
+  Rng rng(10);
+  std::vector<double> costs(static_cast<size_t>(n));
+  for (auto _ : state) {
+    for (auto& c : costs) c = rng.UniformDouble();
+    benchmark::DoNotOptimize(alg.OnQuery(
+        [&costs](mts::StateId s) { return costs[static_cast<size_t>(s)]; }));
+  }
+}
+BENCHMARK(BM_DumtsDecision)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RowPredicateEval(benchmark::State& state) {
+  workloads::WorkloadDataset ds = workloads::MakeTelemetry(50000, 11);
+  Rng qrng(12);
+  Query q = ds.templates[1].instantiate(&qrng);
+  uint32_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Matches(ds.table, row));
+    row = (row + 1) % ds.table.num_rows();
+  }
+}
+BENCHMARK(BM_RowPredicateEval);
+
+}  // namespace
+}  // namespace oreo
+
+BENCHMARK_MAIN();

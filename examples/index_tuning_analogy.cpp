@@ -1,0 +1,66 @@
+// Two-state asymmetric MTS: the adaptive index-tuning analogy from the
+// paper's related work (SVII-3, Appendix C). State 0 = "no index" (each
+// query pays a scan), state 1 = "index built" (queries are cheap, but
+// building cost >> dropping cost). The work-function algorithm decides when
+// to build and when to drop as the workload oscillates, and we compare its
+// cost with the exact offline optimum.
+//
+// Run: ./build/examples/index_tuning_analogy
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "mts/offline.h"
+#include "mts/work_function.h"
+
+using namespace oreo;
+
+int main() {
+  const double kBuildCost = 25.0;  // moving 0 -> 1
+  const double kDropCost = 1.0;    // moving 1 -> 0
+  mts::TwoStateAsymmetric tuner(kBuildCost, kDropCost, /*initial_state=*/0);
+
+  // Workload: alternating bursts of point lookups (index helps a lot) and
+  // bulk inserts (index maintenance makes it a liability).
+  Rng rng(7);
+  std::vector<std::vector<double>> costs;
+  const char* phase_names[] = {"point-lookups", "bulk-inserts"};
+  std::printf("%-8s %-14s %-10s %s\n", "query#", "workload", "state", "event");
+  int prev_state = 0;
+  double alg_cost = 0.0;
+  for (int burst = 0; burst < 8; ++burst) {
+    int kind = burst % 2;
+    size_t len = 40 + rng.Uniform(80);
+    for (size_t i = 0; i < len; ++i) {
+      double c_noindex, c_index;
+      if (kind == 0) {  // lookups: scans are expensive, index is ~free
+        c_noindex = rng.UniformDouble(0.6, 1.0);
+        c_index = rng.UniformDouble(0.0, 0.05);
+      } else {  // inserts: index maintenance dominates
+        c_noindex = rng.UniformDouble(0.0, 0.1);
+        c_index = rng.UniformDouble(0.4, 0.8);
+      }
+      costs.push_back({c_noindex, c_index});
+      int s = tuner.OnQuery(c_noindex, c_index);
+      if (s != prev_state) {
+        alg_cost += (s == 1) ? kBuildCost : kDropCost;
+        std::printf("%-8zu %-14s %-10s %s\n", costs.size(),
+                    phase_names[kind], s == 1 ? "indexed" : "no-index",
+                    s == 1 ? "BUILD index" : "DROP index");
+        prev_state = s;
+      }
+      alg_cost += costs.back()[static_cast<size_t>(s)];
+    }
+  }
+
+  mts::OfflineResult opt = mts::SolveOfflineMetric(
+      costs, {{0.0, kBuildCost}, {kDropCost, 0.0}});
+  std::printf("\nwork-function algorithm: cost = %.1f (%d state changes)\n",
+              alg_cost, tuner.num_switches());
+  std::printf("offline optimum:         cost = %.1f (%d state changes)\n",
+              opt.total_cost, opt.num_switches);
+  std::printf("empirical competitive ratio = %.2f (guarantee for two states: "
+              "2n-1 = 3)\n",
+              alg_cost / opt.total_cost);
+  return 0;
+}

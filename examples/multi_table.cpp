@@ -1,0 +1,104 @@
+// Multi-table operation (paper SVIII / Appendix B flavor): each table runs
+// its own OREO instance and reacts to the subset of predicates that apply to
+// it. Join queries induce predicates on both tables (after Kandula et al.'s
+// data-induced predicates, cited by the paper): a filter on the fact table's
+// join key range propagates to the dimension table.
+//
+// Run: ./build/examples/multi_table
+#include <cstdio>
+
+#include "core/oreo.h"
+#include "layout/qdtree_layout.h"
+#include "workloads/dataset.h"
+
+using namespace oreo;
+
+namespace {
+
+// A small dimension table: collector metadata keyed by collector name.
+Table MakeCollectorDim(int collectors, uint64_t seed) {
+  Table t(Schema({{"collector", DataType::kString},
+                  {"owner_team", DataType::kString},
+                  {"retention_days", DataType::kInt64},
+                  {"priority", DataType::kInt64}}));
+  Rng rng(seed);
+  for (int c = 0; c < collectors; ++c) {
+    std::string num = std::to_string(c);
+    if (num.size() < 2) num = "0" + num;
+    // Several rows per collector: config history versions.
+    for (int v = 0; v < 40; ++v) {
+      t.AppendRow({Value("collector_" + num),
+                   Value("team_" + std::to_string(rng.Uniform(25))),
+                   Value(rng.UniformInt(7, 365)), Value(rng.UniformInt(0, 4))});
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // Fact table: telemetry log. Dimension table: collector metadata.
+  workloads::WorkloadDataset fact = workloads::MakeTelemetry(60000, 51);
+  Table dim = MakeCollectorDim(50, 52);
+
+  QdTreeGenerator gen_fact, gen_dim;
+  core::OreoOptions opts;
+  opts.target_partitions = 20;
+  core::Oreo oreo_fact(&fact.table, &gen_fact, fact.time_column, opts);
+  core::OreoOptions dim_opts = opts;
+  dim_opts.target_partitions = 8;
+  dim_opts.alpha = 20.0;  // the dimension table is cheaper to rewrite
+  // Default layout for the dimension table: sort by retention_days (col 2).
+  core::Oreo oreo_dim(&dim, &gen_dim, 2, dim_opts);
+
+  // Workload: joins "fact JOIN dim ON collector" filtered by time + team.
+  // The team filter applies to dim; the collector filter it induces applies
+  // to both sides.
+  Rng rng(53);
+  const int64_t span = 180LL * 24 * 3600;
+  int fact_reorgs = 0, dim_reorgs = 0;
+  const int kQueries = 6000;
+  for (int i = 0; i < kQueries; ++i) {
+    // Drift: every ~1500 queries the hot teams change.
+    int team_base = (i / 1500) * 7;
+    std::string team = "team_" + std::to_string((team_base + static_cast<int>(rng.Uniform(3))) % 25);
+    int64_t t0 = rng.UniformInt(0, span - 24 * 3600);
+
+    // Dimension-side query: team filter.
+    Query dim_q;
+    dim_q.id = i;
+    dim_q.conjuncts = {Predicate::Eq(1, Value(team))};
+    if (oreo_dim.Step(dim_q).reorganized) ++dim_reorgs;
+
+    // Join-induced predicate: the collectors owned by the team — modeled as
+    // an IN-list over a few collector names (what a data-induced predicate
+    // push-down would produce).
+    std::vector<Value> collectors;
+    for (int c = 0; c < 3; ++c) {
+      std::string num = std::to_string(rng.Uniform(50));
+      if (num.size() < 2) num = "0" + num;
+      collectors.push_back(Value("collector_" + num));
+    }
+    Query fact_q;
+    fact_q.id = i;
+    fact_q.conjuncts = {
+        Predicate::In(1, collectors),
+        Predicate::Between(0, Value(t0), Value(t0 + 24 * 3600))};
+    if (oreo_fact.Step(fact_q).reorganized) ++fact_reorgs;
+  }
+
+  std::printf("Fact table:      query cost=%8.1f reorg cost=%7.1f (%d reorgs, "
+              "%zu live layouts)\n",
+              oreo_fact.total_query_cost(), oreo_fact.total_reorg_cost(),
+              fact_reorgs, oreo_fact.registry().num_live());
+  std::printf("Dimension table: query cost=%8.1f reorg cost=%7.1f (%d reorgs, "
+              "%zu live layouts)\n",
+              oreo_dim.total_query_cost(), oreo_dim.total_reorg_cost(),
+              dim_reorgs, oreo_dim.registry().num_live());
+  std::printf("\nEach table adapts independently; the join-induced collector "
+              "predicates let the\nfact table cluster by collector while the "
+              "dimension table clusters by team\n(paper SVIII: multi-table "
+              "layouts benefit more from dynamic reorganization).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table schema: an ordered list of named, typed fields.
+#ifndef OREO_CATALOG_SCHEMA_H_
+#define OREO_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace oreo {
+
+/// One column definition.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// An immutable ordered field list with O(1) name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, or -1 if absent.
+  int FieldIndex(const std::string& name) const;
+
+  /// True if both schemas have identical field names and types in order.
+  bool Equals(const Schema& other) const;
+
+  /// e.g. "{quantity:int64, price:double, region:string}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_CATALOG_SCHEMA_H_

@@ -1,0 +1,29 @@
+#include "catalog/types.h"
+
+namespace oreo {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+size_t DataTypeWidth(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 4;  // dictionary code
+  }
+  return 0;
+}
+
+}  // namespace oreo

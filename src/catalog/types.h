@@ -1,0 +1,32 @@
+// Core type system: the column types OREO's tables support.
+//
+// The paper's tables (TPC-H/TPC-DS denormalized fact tables, telemetry logs)
+// need numeric columns (quantities, prices), date/time columns (shipdate,
+// arrival time) and low-cardinality categorical columns (region, collector).
+// We model dates/timestamps as int64 (days or seconds since epoch) and
+// categoricals as dictionary-encoded strings.
+#ifndef OREO_CATALOG_TYPES_H_
+#define OREO_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oreo {
+
+/// Physical column type.
+enum class DataType : uint8_t {
+  kInt64 = 0,   ///< 64-bit signed integer (also used for dates/timestamps).
+  kDouble = 1,  ///< IEEE-754 double.
+  kString = 2,  ///< Dictionary-encoded string (categorical).
+};
+
+/// Human-readable type name ("int64", "double", "string").
+const char* DataTypeName(DataType type);
+
+/// Width in bytes of the in-memory representation of one value
+/// (strings count their dictionary code width).
+size_t DataTypeWidth(DataType type);
+
+}  // namespace oreo
+
+#endif  // OREO_CATALOG_TYPES_H_

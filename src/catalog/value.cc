@@ -1,0 +1,68 @@
+#include "catalog/value.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+
+DataType Value::type() const {
+  if (std::holds_alternative<int64_t>(v_)) return DataType::kInt64;
+  if (std::holds_alternative<double>(v_)) return DataType::kDouble;
+  return DataType::kString;
+}
+
+int64_t Value::AsInt64() const {
+  OREO_CHECK(std::holds_alternative<int64_t>(v_)) << "Value is not int64";
+  return std::get<int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  OREO_CHECK(std::holds_alternative<double>(v_)) << "Value is not double";
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  OREO_CHECK(std::holds_alternative<std::string>(v_)) << "Value is not string";
+  return std::get<std::string>(v_);
+}
+
+double Value::AsNumeric() const {
+  if (std::holds_alternative<int64_t>(v_)) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  OREO_CHECK(std::holds_alternative<double>(v_))
+      << "Value is not numeric: " << ToString();
+  return std::get<double>(v_);
+}
+
+bool Value::operator==(const Value& other) const {
+  OREO_CHECK(type() == other.type())
+      << "type mismatch in Value comparison: " << DataTypeName(type())
+      << " vs " << DataTypeName(other.type());
+  return v_ == other.v_;
+}
+
+bool Value::operator<(const Value& other) const {
+  OREO_CHECK(type() == other.type())
+      << "type mismatch in Value comparison: " << DataTypeName(type())
+      << " vs " << DataTypeName(other.type());
+  return v_ < other.v_;
+}
+
+bool Value::operator<=(const Value& other) const {
+  OREO_CHECK(type() == other.type());
+  return v_ <= other.v_;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case DataType::kDouble:
+      return std::to_string(std::get<double>(v_));
+    case DataType::kString:
+      return "'" + std::get<std::string>(v_) + "'";
+  }
+  return "?";
+}
+
+}  // namespace oreo

@@ -1,0 +1,48 @@
+// A single typed scalar value (predicate literal / row cell).
+#ifndef OREO_CATALOG_VALUE_H_
+#define OREO_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "catalog/types.h"
+
+namespace oreo {
+
+/// Tagged scalar. Comparison operators require matching types (comparing an
+/// int64 Value to a string Value is a programmer error and CHECK-fails).
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  DataType type() const;
+
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric view: int64 widened to double. CHECK-fails for strings.
+  double AsNumeric() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const;
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return other <= *this; }
+
+  /// Display form for logs and debug output.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_CATALOG_VALUE_H_

@@ -1,0 +1,70 @@
+#include "common/bit_util.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace bit_util {
+
+uint64_t SpreadBits3(uint64_t x) {
+  x &= 0x1fffffULL;  // 21 bits
+  x = (x | (x << 32)) & 0x1f00000000ffffULL;
+  x = (x | (x << 16)) & 0x1f0000ff0000ffULL;
+  x = (x | (x << 8)) & 0x100f00f00f00f00fULL;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+uint64_t SpreadBits2(uint64_t x) {
+  x &= 0xffffffffULL;  // 32 bits
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint64_t MortonEncode(const std::vector<uint32_t>& ranks, int bits_per_dim) {
+  const int dims = static_cast<int>(ranks.size());
+  OREO_CHECK(dims >= 1 && dims <= 8);
+  int usable = 64 / dims;
+  if (bits_per_dim > usable) bits_per_dim = usable;
+  if (dims == 2) {
+    uint64_t a = ranks[0] & ((bits_per_dim >= 32) ? 0xffffffffULL
+                                                  : ((1ULL << bits_per_dim) - 1));
+    uint64_t b = ranks[1] & ((bits_per_dim >= 32) ? 0xffffffffULL
+                                                  : ((1ULL << bits_per_dim) - 1));
+    return (SpreadBits2(a) << 1) | SpreadBits2(b);
+  }
+  if (dims == 3) {
+    uint64_t mask = (bits_per_dim >= 21) ? 0x1fffffULL
+                                         : ((1ULL << bits_per_dim) - 1);
+    return (SpreadBits3(ranks[0] & mask) << 2) |
+           (SpreadBits3(ranks[1] & mask) << 1) | SpreadBits3(ranks[2] & mask);
+  }
+  // Generic path: bit-by-bit interleave, MSB first.
+  uint64_t code = 0;
+  for (int bit = bits_per_dim - 1; bit >= 0; --bit) {
+    for (int d = 0; d < dims; ++d) {
+      code = (code << 1) | ((ranks[d] >> bit) & 1ULL);
+    }
+  }
+  return code;
+}
+
+int PopCount(uint64_t x) { return __builtin_popcountll(x); }
+
+int CeilLog2(uint64_t x) {
+  OREO_DCHECK(x >= 1);
+  if (x <= 1) return 0;
+  return 64 - __builtin_clzll(x - 1);
+}
+
+uint64_t NextPow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return 1ULL << CeilLog2(x);
+}
+
+}  // namespace bit_util
+}  // namespace oreo

@@ -1,0 +1,37 @@
+// Bit manipulation helpers, including Morton (Z-order) encoding used by the
+// Z-order layout generator.
+#ifndef OREO_COMMON_BIT_UTIL_H_
+#define OREO_COMMON_BIT_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oreo {
+namespace bit_util {
+
+/// Spreads the low 21 bits of x so that bit i lands at position 3*i
+/// (helper for 3-column Morton interleave).
+uint64_t SpreadBits3(uint64_t x);
+
+/// Spreads the low 32 bits of x so that bit i lands at position 2*i.
+uint64_t SpreadBits2(uint64_t x);
+
+/// Interleaves the low bits of the given per-dimension ranks into a single
+/// Morton code. Supports 1..8 dimensions; `bits_per_dim` values above the
+/// representable budget (64 / dims) are truncated from the high end.
+/// Dimension 0 contributes the most significant interleaved bits.
+uint64_t MortonEncode(const std::vector<uint32_t>& ranks, int bits_per_dim);
+
+/// Number of set bits.
+int PopCount(uint64_t x);
+
+/// Ceil(log2(x)) for x >= 1; returns 0 for x == 1.
+int CeilLog2(uint64_t x);
+
+/// Rounds up to the next power of two (returns 1 for 0).
+uint64_t NextPow2(uint64_t x);
+
+}  // namespace bit_util
+}  // namespace oreo
+
+#endif  // OREO_COMMON_BIT_UTIL_H_

@@ -1,0 +1,89 @@
+// Dense fixed-size bit vector with fast intersection primitives. Used by the
+// greedy Qd-tree builder to evaluate split gains over sample-row sets.
+#ifndef OREO_COMMON_BITVECTOR_H_
+#define OREO_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+/// Fixed-length bit vector (length set at construction).
+class BitVector {
+ public:
+  explicit BitVector(size_t n)
+      : n_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return n_; }
+
+  void Set(size_t i) {
+    OREO_DCHECK(i < n_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Reset(size_t i) {
+    OREO_DCHECK(i < n_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool Get(size_t i) const {
+    OREO_DCHECK(i < n_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// True if (*this & other) has any set bit. Early-exits.
+  bool Intersects(const BitVector& other) const {
+    OREO_DCHECK(n_ == other.n_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// out = *this & other. `out` must have the same length.
+  void AndInto(const BitVector& other, BitVector* out) const {
+    OREO_DCHECK(n_ == other.n_ && n_ == out->n_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out->words_[i] = words_[i] & other.words_[i];
+    }
+  }
+
+  /// out = *this & ~other.
+  void AndNotInto(const BitVector& other, BitVector* out) const {
+    OREO_DCHECK(n_ == other.n_ && n_ == out->n_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out->words_[i] = words_[i] & ~other.words_[i];
+    }
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<uint32_t> ToIndices() const {
+    std::vector<uint32_t> out;
+    out.reserve(Count());
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int b = __builtin_ctzll(bits);
+        out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  size_t n_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_BITVECTOR_H_

@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli) used to checksum on-disk partition blocks, so the
+// block reader can detect corruption (bit flips, truncation) as RocksDB and
+// Parquet readers do.
+#ifndef OREO_COMMON_CRC32_H_
+#define OREO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oreo {
+
+/// Computes CRC-32C over `data[0, n)` starting from `init` (pass 0 for a
+/// fresh checksum; pass a previous return value to extend it).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_CRC32_H_

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace oreo {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  (void)level_;
+  std::cerr << stream_.str() << std::endl;
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << condition
+          << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::cerr << stream_.str() << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace oreo

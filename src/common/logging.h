@@ -1,0 +1,81 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+// CHECK failures abort: they indicate programmer errors, not runtime errors
+// (runtime errors flow through Status).
+#ifndef OREO_COMMON_LOGGING_H_
+#define OREO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace oreo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level for emitted log lines (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Accumulates a message and aborts the process in the destructor.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace oreo
+
+#define OREO_LOG(level)                                                \
+  if (::oreo::LogLevel::k##level < ::oreo::GetLogLevel()) {            \
+  } else                                                               \
+    ::oreo::internal::LogMessage(::oreo::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                             \
+        .stream()
+
+#define OREO_CHECK(cond)                                              \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::oreo::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define OREO_CHECK_OK(expr)                                              \
+  do {                                                                   \
+    ::oreo::Status _st = (expr);                                         \
+    OREO_CHECK(_st.ok()) << _st.ToString();                              \
+  } while (0)
+
+#define OREO_CHECK_EQ(a, b) OREO_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OREO_CHECK_NE(a, b) OREO_CHECK((a) != (b))
+#define OREO_CHECK_LT(a, b) OREO_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OREO_CHECK_LE(a, b) OREO_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OREO_CHECK_GT(a, b) OREO_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OREO_CHECK_GE(a, b) OREO_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define OREO_DCHECK(cond) OREO_CHECK(cond)
+#else
+#define OREO_DCHECK(cond) \
+  if (true) {             \
+  } else                  \
+    ::oreo::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+#endif
+
+#endif  // OREO_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+// Seeded pseudo-random number generation used throughout the library.
+// All randomized components (the D-UMTS reorganizer, workload generators,
+// samplers) take an explicit Rng so that every experiment is reproducible.
+#ifndef OREO_COMMON_RNG_H_
+#define OREO_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace oreo {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+/// Deterministic given the seed; suitable for simulation, not cryptography.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Geometric number of trials until first success, >= 1, success prob p.
+  int64_t Geometric(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Zipf-distributed integer in [0, n) with exponent theta >= 0
+  /// (theta = 0 is uniform). Uses inverse-CDF over precomputable weights;
+  /// O(n) per call without state, so intended for small n (e.g. picking
+  /// templates or categories).
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Samples an index from non-negative weights (sum > 0).
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel components that must
+  /// not share a stream).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double NormalizedL1(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  OREO_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::abs(a[i] - b[i]);
+  return total / static_cast<double>(a.size());
+}
+
+double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }
+
+}  // namespace oreo

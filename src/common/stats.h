@@ -1,0 +1,47 @@
+// Small streaming statistics helpers used by benchmark reporting
+// (mean/stddev for Table I rows, cumulative cost traces for Figure 4).
+#ifndef OREO_COMMON_STATS_H_
+#define OREO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace oreo {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by sorting a copy.
+/// Linear interpolation between order statistics; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Normalized L1 distance between two equal-length vectors:
+///   sum_i |a_i - b_i| / n.
+/// This is the data-layout distance used by Algorithm 5 (ADMIT STATE).
+double NormalizedL1(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Median of a vector (by copy); 0 for empty input.
+double Median(std::vector<double> values);
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_STATS_H_

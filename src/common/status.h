@@ -1,0 +1,122 @@
+// Status / Result: lightweight error propagation without exceptions, in the
+// style of Arrow/RocksDB. Fallible APIs return Status (or Result<T>); internal
+// invariant violations use the CHECK macros from logging.h.
+#ifndef OREO_COMMON_STATUS_H_
+#define OREO_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace oreo {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "Corruption").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error: holds T on success, a non-OK Status on failure.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace oreo
+
+/// Propagates a non-OK Status to the caller.
+#define OREO_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::oreo::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define OREO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define OREO_ASSIGN_OR_RETURN(lhs, expr) \
+  OREO_ASSIGN_OR_RETURN_IMPL(OREO_CONCAT_(_res_, __LINE__), lhs, expr)
+#define OREO_CONCAT_(a, b) OREO_CONCAT2_(a, b)
+#define OREO_CONCAT2_(a, b) a##b
+
+#endif  // OREO_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the physical benchmarks (Figure 3, Table I).
+#ifndef OREO_COMMON_STOPWATCH_H_
+#define OREO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace oreo {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_STOPWATCH_H_

@@ -1,0 +1,83 @@
+#include "core/background.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+BackgroundReorganizer::BackgroundReorganizer(PhysicalStore* store,
+                                             const Table* table)
+    : store_(store), table_(table) {
+  OREO_CHECK(store_ != nullptr && table_ != nullptr);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+BackgroundReorganizer::~BackgroundReorganizer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+bool BackgroundReorganizer::Submit(const LayoutInstance* target) {
+  OREO_CHECK(target != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ != nullptr || running_) return false;
+    pending_ = target;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+bool BackgroundReorganizer::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ != nullptr || running_;
+}
+
+void BackgroundReorganizer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == nullptr && !running_; });
+}
+
+BackgroundReorganizer::Stats BackgroundReorganizer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status BackgroundReorganizer::last_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_status_;
+}
+
+void BackgroundReorganizer::WorkerLoop() {
+  for (;;) {
+    const LayoutInstance* target = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || pending_ != nullptr; });
+      if (shutdown_ && pending_ == nullptr) return;
+      target = pending_;
+      pending_ = nullptr;
+      running_ = true;
+    }
+    Result<PhysicalStore::Timing> timing = store_->Reorganize(*table_, *target);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ = false;
+      if (timing.ok()) {
+        ++stats_.completed;
+        stats_.total_seconds += timing->seconds;
+        last_status_ = Status::OK();
+      } else {
+        last_status_ = timing.status();
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace core
+}  // namespace oreo

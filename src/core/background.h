@@ -1,0 +1,73 @@
+// Background reorganization (paper SIII-B): "reorganization happens via a
+// separate process in the background using a (partial) copy of the data and
+// queries are still serviced on the existing data layout while
+// reorganization is in progress. After reorganization is completed, the new
+// layout is swapped with the existing layout."
+//
+// BackgroundReorganizer owns a worker thread that runs PhysicalStore
+// reorganizations; the foreground keeps executing queries against a snapshot
+// of the outgoing layout (PhysicalStore::GetSnapshot /
+// ExecuteQueryOnSnapshot). One reorganization may be in flight at a time.
+#ifndef OREO_CORE_BACKGROUND_H_
+#define OREO_CORE_BACKGROUND_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/physical.h"
+
+namespace oreo {
+namespace core {
+
+/// Asynchronous executor for layout rewrites.
+class BackgroundReorganizer {
+ public:
+  /// `store` and `table` must outlive this object.
+  BackgroundReorganizer(PhysicalStore* store, const Table* table);
+  /// Joins the worker (waits for any in-flight reorganization).
+  ~BackgroundReorganizer();
+
+  BackgroundReorganizer(const BackgroundReorganizer&) = delete;
+  BackgroundReorganizer& operator=(const BackgroundReorganizer&) = delete;
+
+  /// Requests a reorganization into `target` (which must outlive the run).
+  /// Returns false if one is already in flight — mirroring the single
+  /// background process of the paper's setup.
+  bool Submit(const LayoutInstance* target);
+
+  /// True while a reorganization is running or queued.
+  bool busy() const;
+
+  /// Blocks until the in-flight reorganization (if any) has completed.
+  void Wait();
+
+  struct Stats {
+    int64_t completed = 0;
+    double total_seconds = 0.0;
+  };
+  Stats stats() const;
+
+  /// Status of the most recently completed reorganization.
+  Status last_status() const;
+
+ private:
+  void WorkerLoop();
+
+  PhysicalStore* store_;
+  const Table* table_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const LayoutInstance* pending_ = nullptr;  // queued target
+  bool running_ = false;                     // a reorg is executing
+  bool shutdown_ = false;
+  Stats stats_;
+  Status last_status_;
+  std::thread worker_;
+};
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_BACKGROUND_H_

@@ -1,0 +1,164 @@
+#include "core/layout_manager.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "layout/sorted_layout.h"
+
+namespace oreo {
+namespace core {
+
+LayoutManager::LayoutManager(const Table* table,
+                             const LayoutGenerator* generator,
+                             StateRegistry* registry,
+                             LayoutManagerOptions options)
+    : table_(table),
+      generator_(generator),
+      registry_(registry),
+      options_(options),
+      rng_(options.seed),
+      window_(options.window_size),
+      reservoir_(options.window_size, Rng(options.seed ^ 0x5bd1e995)),
+      tbs_sample_(options.admission_sample_size, options.tbs_lambda,
+                  Rng(options.seed ^ 0x2545f491)) {
+  OREO_CHECK(table_ != nullptr && generator_ != nullptr &&
+             registry_ != nullptr);
+  OREO_CHECK_GT(options_.generate_every, 0u);
+  Rng sample_rng = rng_.Fork();
+  dataset_sample_ =
+      table_->SampleRows(options_.dataset_sample_rows, &sample_rng);
+}
+
+int LayoutManager::InitDefaultState(int time_column) {
+  OREO_CHECK(!initialized_) << "default state already initialized";
+  initialized_ = true;
+  SortLayoutGenerator default_gen(time_column);
+  std::unique_ptr<Layout> layout =
+      default_gen.Generate(dataset_sample_, {}, options_.target_partitions);
+  std::shared_ptr<const Layout> shared(std::move(layout));
+  LayoutInstance instance =
+      Materialize("default:" + shared->Describe(), shared, *table_);
+  return registry_->Add(std::move(instance));
+}
+
+bool LayoutManager::AdmitState(const LayoutInstance& candidate,
+                               const std::vector<Query>& sample) const {
+  if (sample.empty()) return false;
+  std::vector<double> cand_costs = candidate.CostVector(sample);
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (int id : registry_->live()) {
+    std::vector<double> costs = registry_->Get(id).CostVector(sample);
+    min_dist = std::min(min_dist, NormalizedL1(cand_costs, costs));
+  }
+  return min_dist > options_.epsilon;
+}
+
+void LayoutManager::Generate(const std::vector<Query>& workload,
+                             int current_state,
+                             std::vector<ManagerEvent>* events) {
+  if (workload.empty()) return;
+  ++generations_;
+  std::unique_ptr<Layout> layout = generator_->Generate(
+      dataset_sample_, workload, options_.target_partitions);
+  std::shared_ptr<const Layout> shared(std::move(layout));
+  LayoutInstance candidate = Materialize(
+      generator_->name() + "@q" + std::to_string(queries_seen_), shared,
+      *table_);
+
+  std::vector<Query> sample = tbs_sample_.Items();
+  if (!AdmitState(candidate, sample)) {
+    ++rejected_;
+    return;
+  }
+  ++admitted_;
+  int id = registry_->Add(std::move(candidate));
+  events->push_back(ManagerEvent{ManagerEvent::Kind::kAdded, id});
+
+  // Keep the state space compact: evict the worst-performing live state on
+  // the admission sample (never the current or the newcomer).
+  if (options_.max_states > 0 && registry_->num_live() > options_.max_states) {
+    int victim = -1;
+    double worst = -1.0;
+    for (int live_id : registry_->live()) {
+      if (live_id == current_state || live_id == id) continue;
+      double mean = registry_->MeanCost(live_id, sample);
+      if (mean > worst) {
+        worst = mean;
+        victim = live_id;
+      }
+    }
+    if (victim >= 0) {
+      registry_->Remove(victim);
+      events->push_back(ManagerEvent{ManagerEvent::Kind::kRemoved, victim});
+    }
+  }
+}
+
+void LayoutManager::PruneSimilarStates(int current_state,
+                                       std::vector<ManagerEvent>* events) {
+  std::vector<Query> sample = tbs_sample_.Items();
+  if (sample.empty()) return;
+  std::vector<int> live = registry_->live();
+  std::vector<std::vector<double>> vectors;
+  std::vector<double> means;
+  vectors.reserve(live.size());
+  for (int id : live) {
+    vectors.push_back(registry_->Get(id).CostVector(sample));
+    double mean = 0.0;
+    for (double c : vectors.back()) mean += c;
+    means.push_back(mean / static_cast<double>(sample.size()));
+  }
+  std::vector<bool> removed(live.size(), false);
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (removed[i]) continue;
+    for (size_t j = i + 1; j < live.size(); ++j) {
+      if (removed[j]) continue;
+      if (NormalizedL1(vectors[i], vectors[j]) > options_.epsilon) continue;
+      // Redundant pair: drop the one with the worse mean cost, unless it is
+      // the state the system currently occupies.
+      size_t victim = (means[i] > means[j]) ? i : j;
+      if (live[victim] == current_state) victim = (victim == i) ? j : i;
+      if (live[victim] == current_state) continue;
+      removed[victim] = true;
+      if (victim == i) break;  // i is gone; stop comparing against it
+    }
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (removed[i]) {
+      registry_->Remove(live[i]);
+      events->push_back(ManagerEvent{ManagerEvent::Kind::kRemoved, live[i]});
+    }
+  }
+}
+
+std::vector<ManagerEvent> LayoutManager::Observe(const Query& query,
+                                                 int current_state) {
+  OREO_CHECK(initialized_) << "call InitDefaultState first";
+  std::vector<ManagerEvent> events;
+  // Generate from the window *before* folding in the current query, so the
+  // candidate reflects the stream up to (not including) this arrival.
+  if (queries_seen_ > 0 && queries_seen_ % options_.generate_every == 0) {
+    if (options_.prune_similar) PruneSimilarStates(current_state, &events);
+    switch (options_.source) {
+      case CandidateSource::kSlidingWindow:
+        Generate(window_.Items(), current_state, &events);
+        break;
+      case CandidateSource::kReservoir:
+        Generate(reservoir_.Items(), current_state, &events);
+        break;
+      case CandidateSource::kBoth:
+        Generate(window_.Items(), current_state, &events);
+        Generate(reservoir_.Items(), current_state, &events);
+        break;
+    }
+  }
+  window_.Add(query);
+  reservoir_.Add(query);
+  tbs_sample_.Add(query, static_cast<double>(queries_seen_));
+  ++queries_seen_;
+  return events;
+}
+
+}  // namespace core
+}  // namespace oreo

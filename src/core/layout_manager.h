@@ -1,0 +1,116 @@
+// The LAYOUT MANAGER (paper SV): produces the dynamic state space.
+//
+// It watches the query stream through a sliding window (and, for the SVI-D4
+// ablation, a uniform reservoir), periodically asks a layout-generation
+// mechanism for a candidate layout fitted to the recent workload, and admits
+// the candidate into the state space only if its query-cost vector over a
+// time-biased query sample is at least epsilon away (normalized L1) from
+// every incumbent (Algorithm 5, ADMIT STATE). It can also evict states to
+// keep the space compact, since the D-UMTS competitive ratio grows with
+// log |S_max|.
+#ifndef OREO_CORE_LAYOUT_MANAGER_H_
+#define OREO_CORE_LAYOUT_MANAGER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/state_registry.h"
+#include "layout/layout.h"
+#include "sampling/reservoir.h"
+#include "sampling/sliding_window.h"
+#include "sampling/time_biased.h"
+
+namespace oreo {
+namespace core {
+
+/// Which query sample feeds candidate generation (SVI-D4 ablation).
+enum class CandidateSource {
+  kSlidingWindow,  ///< paper default (best overall)
+  kReservoir,      ///< uniform reservoir over all history
+  kBoth,           ///< one candidate from each
+};
+
+struct LayoutManagerOptions {
+  size_t window_size = 200;      ///< sliding window W
+  size_t generate_every = 200;   ///< queries between generation attempts
+  double epsilon = 0.08;         ///< admission distance threshold
+  size_t admission_sample_size = 50;  ///< time-biased query sample size
+  double tbs_lambda = 0.02;      ///< decay rate of the time-biased sample
+  size_t max_states = 16;        ///< state-space cap (0 = unbounded)
+  /// SV-B periodic pruning of states whose cost vectors have converged to
+  /// within epsilon of another live state (off for ablation studies).
+  bool prune_similar = true;
+  CandidateSource source = CandidateSource::kSlidingWindow;
+  uint32_t target_partitions = 32;  ///< partitions per layout (k)
+  size_t dataset_sample_rows = 2000;  ///< rows sampled for generate_layout
+  uint64_t seed = 11;
+};
+
+/// State-space change emitted to the strategies.
+struct ManagerEvent {
+  enum class Kind { kAdded, kRemoved };
+  Kind kind;
+  int state;
+};
+
+/// Produces and curates the dynamic state space.
+class LayoutManager {
+ public:
+  /// `table` must outlive the manager; `generator` builds candidates.
+  LayoutManager(const Table* table, const LayoutGenerator* generator,
+                StateRegistry* registry, LayoutManagerOptions options);
+
+  /// Registers the initial default state (sort by `time_column`); returns its
+  /// id. Must be called exactly once before Observe.
+  int InitDefaultState(int time_column);
+
+  /// Feeds one query; at generation boundaries this may add/remove states.
+  /// `current_state` is protected from eviction. Returns the changes.
+  std::vector<ManagerEvent> Observe(const Query& query, int current_state);
+
+  /// Recent queries (oldest to newest) — Greedy evaluates candidates here.
+  std::vector<Query> WindowQueries() const { return window_.Items(); }
+
+  /// The time-biased admission sample (unordered).
+  std::vector<Query> AdmissionSample() const { return tbs_sample_.Items(); }
+
+  size_t generations_attempted() const { return generations_; }
+  size_t candidates_admitted() const { return admitted_; }
+  size_t candidates_rejected() const { return rejected_; }
+
+  /// Runs Algorithm 5 for a candidate instance against the live states;
+  /// returns true if min normalized-L1 distance > epsilon. Exposed for tests.
+  bool AdmitState(const LayoutInstance& candidate,
+                  const std::vector<Query>& sample) const;
+
+ private:
+  void Generate(const std::vector<Query>& workload, int current_state,
+                std::vector<ManagerEvent>* events);
+
+  /// SV-B periodic pruning: states whose cost vectors have drifted within
+  /// epsilon of another live state under the *current* query sample are
+  /// redundant — reorganizing between them burns alpha for no gain. Removes
+  /// the worse of each such pair (never `current_state`).
+  void PruneSimilarStates(int current_state,
+                          std::vector<ManagerEvent>* events);
+
+  const Table* table_;
+  const LayoutGenerator* generator_;
+  StateRegistry* registry_;
+  LayoutManagerOptions options_;
+  Rng rng_;
+  Table dataset_sample_;
+  SlidingWindow<Query> window_;
+  ReservoirSampler<Query> reservoir_;
+  TimeBiasedReservoir<Query> tbs_sample_;
+  size_t queries_seen_ = 0;
+  size_t generations_ = 0;
+  size_t admitted_ = 0;
+  size_t rejected_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_LAYOUT_MANAGER_H_

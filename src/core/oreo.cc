@@ -1,0 +1,86 @@
+#include "core/oreo.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+namespace {
+
+LayoutManagerOptions ToManagerOptions(const OreoOptions& o) {
+  LayoutManagerOptions m;
+  m.window_size = o.window_size;
+  m.generate_every = o.generate_every;
+  m.epsilon = o.epsilon;
+  m.admission_sample_size = o.admission_sample_size;
+  m.max_states = o.max_states;
+  m.source = o.source;
+  m.target_partitions = o.target_partitions;
+  m.dataset_sample_rows = o.dataset_sample_rows;
+  m.prune_similar = o.prune_similar_states;
+  m.seed = o.seed ^ 0x9e3779b9;
+  return m;
+}
+
+mts::DumtsOptions ToDumtsOptions(const OreoOptions& o) {
+  mts::DumtsOptions d;
+  d.alpha = o.alpha;
+  d.gamma = o.gamma;
+  d.stay_at_phase_start = o.stay_at_phase_start;
+  d.seed = o.seed;
+  return d;
+}
+
+}  // namespace
+
+Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
+           int time_column, const OreoOptions& options)
+    : options_(options) {
+  manager_ = std::make_unique<LayoutManager>(table, generator, &registry_,
+                                             ToManagerOptions(options));
+  default_state_ = manager_->InitDefaultState(time_column);
+  strategy_ = std::make_unique<OreoStrategy>(&registry_, default_state_,
+                                             ToDumtsOptions(options),
+                                             options.mid_phase_policy);
+  physical_state_ = default_state_;
+}
+
+Oreo::StepResult Oreo::Step(const Query& query) {
+  std::vector<ManagerEvent> events =
+      manager_->Observe(query, strategy_->current_state());
+  int forced = strategy_->ApplyEvents(events);
+
+  bool switched = false;
+  int logical = strategy_->OnQuery(query, &switched);
+
+  int switches_now = forced + (switched ? 1 : 0);
+  if (switches_now > 0) {
+    reorg_cost_ += options_.alpha * switches_now;
+    num_switches_ += switches_now;
+    pending_.emplace_back(queries_seen_ + options_.reorg_delay, logical);
+  }
+  while (!pending_.empty() && pending_.front().first <= queries_seen_) {
+    physical_state_ = pending_.front().second;
+    pending_.pop_front();
+  }
+  double cost = registry_.Cost(physical_state_, query);
+  query_cost_ += cost;
+  ++queries_seen_;
+  return StepResult{physical_state_, switches_now > 0, cost};
+}
+
+SimResult Oreo::Run(const std::vector<Query>& queries, bool record_trace) {
+  SimOptions sim;
+  sim.alpha = options_.alpha;
+  sim.reorg_delay = options_.reorg_delay;
+  sim.record_trace = record_trace;
+  SimResult result = RunSimulation(strategy_.get(), manager_.get(),
+                                   &registry_, queries, sim);
+  query_cost_ += result.query_cost;
+  reorg_cost_ += result.reorg_cost;
+  num_switches_ += result.num_switches;
+  return result;
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,98 @@
+// The public OREO facade: wires together the LAYOUT MANAGER and the
+// REORGANIZER (paper Figure 1) behind one object. Downstream users interact
+// with this class; the lower-level pieces (LayoutManager, DynamicUmts,
+// strategies, simulator) remain available for composition.
+//
+// Typical use:
+//   QdTreeGenerator gen;
+//   Oreo oreo(&table, &gen, /*time_column=*/5, OreoOptions{});
+//   for (const Query& q : stream) {
+//     auto step = oreo.Step(q);
+//     // serve q on layout `step.state`; if step.reorganized, kick off a
+//     // background rewrite into oreo.registry().Get(step.state)
+//   }
+#ifndef OREO_CORE_OREO_H_
+#define OREO_CORE_OREO_H_
+
+#include <memory>
+
+#include "core/layout_manager.h"
+#include "core/simulator.h"
+#include "core/state_registry.h"
+#include "core/strategy.h"
+
+namespace oreo {
+namespace core {
+
+/// All tuning knobs of the framework, with the paper's defaults.
+struct OreoOptions {
+  double alpha = 80.0;        ///< relative reorganization cost
+  double epsilon = 0.08;      ///< layout admission distance threshold
+  double gamma = 1.0;         ///< predictor transition-bias exponent
+  size_t window_size = 200;   ///< sliding window of recent queries
+  size_t generate_every = 200;  ///< generation cadence (queries)
+  uint32_t target_partitions = 32;  ///< partitions per layout (k)
+  size_t max_states = 16;     ///< dynamic state-space cap (0 = unbounded)
+  size_t reorg_delay = 0;     ///< Delta: queries served on the old layout
+  size_t dataset_sample_rows = 2000;  ///< sample for generate_layout
+  size_t admission_sample_size = 50;  ///< time-biased query sample size
+  CandidateSource source = CandidateSource::kSlidingWindow;
+  MidPhasePolicy mid_phase_policy = MidPhasePolicy::kDefer;
+  /// SV-B periodic pruning of redundant (epsilon-similar) states.
+  bool prune_similar_states = true;
+  /// SIV-A stay-in-place optimization at phase resets.
+  bool stay_at_phase_start = true;
+  uint64_t seed = 42;
+};
+
+/// Online data-layout reorganization with worst-case guarantees.
+class Oreo {
+ public:
+  /// `table` and `generator` must outlive this object. `time_column` defines
+  /// the initial default layout (sort by arrival time).
+  Oreo(const Table* table, const LayoutGenerator* generator, int time_column,
+       const OreoOptions& options);
+
+  /// Outcome of one streamed query.
+  struct StepResult {
+    int state;              ///< layout that (physically) serves this query
+    bool reorganized;       ///< a reorganization was initiated on this query
+    double query_cost;      ///< c(state, q)
+  };
+
+  /// Streaming API: observe one query, get the serving layout and any
+  /// reorganization decision.
+  StepResult Step(const Query& query);
+
+  /// Batch API: run a whole stream through the framework and return the
+  /// cost accounting. Resets nothing; intended for a fresh instance.
+  SimResult Run(const std::vector<Query>& queries, bool record_trace = false);
+
+  const StateRegistry& registry() const { return registry_; }
+  const LayoutManager& manager() const { return *manager_; }
+  const OreoStrategy& strategy() const { return *strategy_; }
+  int current_state() const { return strategy_->current_state(); }
+  int default_state() const { return default_state_; }
+
+  double total_query_cost() const { return query_cost_; }
+  double total_reorg_cost() const { return reorg_cost_; }
+  int64_t num_switches() const { return num_switches_; }
+
+ private:
+  OreoOptions options_;
+  StateRegistry registry_;
+  std::unique_ptr<LayoutManager> manager_;
+  std::unique_ptr<OreoStrategy> strategy_;
+  int default_state_;
+  int physical_state_;
+  std::deque<std::pair<size_t, int>> pending_;
+  size_t queries_seen_ = 0;
+  double query_cost_ = 0.0;
+  double reorg_cost_ = 0.0;
+  int64_t num_switches_ = 0;
+};
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_OREO_H_

@@ -1,0 +1,283 @@
+#include "core/physical.h"
+
+#include <filesystem>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "storage/block.h"
+
+namespace oreo {
+namespace core {
+
+namespace fs = std::filesystem;
+
+PhysicalStore::PhysicalStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  OREO_CHECK(!ec) << "cannot create " << dir_ << ": " << ec.message();
+}
+
+std::string PhysicalStore::PartitionPath(size_t epoch, size_t pid) const {
+  return dir_ + "/part_e" + std::to_string(epoch) + "_p" +
+         std::to_string(pid) + ".blk";
+}
+
+void PhysicalStore::DeleteCurrentFiles() {
+  for (const std::string& f : files_) {
+    std::error_code ec;
+    fs::remove(f, ec);
+  }
+  files_.clear();
+  file_bytes_.clear();
+}
+
+Result<PhysicalStore::Timing> PhysicalStore::MaterializeLayout(
+    const Table& table, const LayoutInstance& instance) {
+  // Full (re)initialization: not safe against concurrent snapshot readers;
+  // use Reorganize for live layout changes.
+  DeleteCurrentFiles();
+  Vacuum();
+  ++epoch_;
+  Timing timing;
+  Stopwatch sw;
+  const Partitioning& parts = instance.partitioning();
+  std::vector<std::string> new_files(parts.num_partitions());
+  std::vector<uint64_t> new_bytes(parts.num_partitions());
+  for (size_t pid = 0; pid < parts.num_partitions(); ++pid) {
+    Table part = table.Take(parts.partitions[pid]);
+    std::string path = PartitionPath(epoch_, pid);
+    OREO_RETURN_NOT_OK(WriteBlockFile(path, part, /*sync=*/true));
+    uint64_t size = fs::file_size(path);
+    new_files[pid] = path;
+    new_bytes[pid] = size;
+    timing.bytes += size;
+    ++timing.partitions;
+  }
+  timing.seconds = sw.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_ = std::move(new_files);
+    file_bytes_ = std::move(new_bytes);
+    instance_ = &instance;
+    schema_ = table.schema();
+  }
+  return timing;
+}
+
+PhysicalStore::Snapshot PhysicalStore::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.instance = instance_;
+  snap.schema = schema_;
+  snap.files = files_;
+  snap.file_bytes = file_bytes_;
+  return snap;
+}
+
+Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQuery(
+    const Query& query) {
+  return ExecuteQueryOnSnapshot(GetSnapshot(), query);
+}
+
+Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQueryOnSnapshot(
+    const Snapshot& snapshot, const Query& query) const {
+  OREO_CHECK(snapshot.instance != nullptr) << "no layout materialized";
+  QueryExec exec;
+  Stopwatch sw;
+  const Partitioning& parts = snapshot.instance->partitioning();
+
+  // Column projection: decode only the columns the query references, then
+  // evaluate a remapped copy of the query against the projected table.
+  // A conjunct-free full scan decodes every column (it represents e.g. the
+  // paper's full-table-scan measurement in Table I).
+  std::vector<std::string> needed;
+  Query projected = query;
+  {
+    // The block reader returns projected columns in block (schema) order, so
+    // predicates must be remapped to each column's rank among the referenced
+    // columns, sorted ascending.
+    std::set<int> referenced;
+    for (const Predicate& p : projected.conjuncts) {
+      OREO_CHECK(p.column >= 0 &&
+                 static_cast<size_t>(p.column) < snapshot.schema.num_fields());
+      referenced.insert(p.column);
+    }
+    std::vector<int> position(snapshot.schema.num_fields(), -1);
+    for (int col : referenced) {  // std::set iterates ascending
+      position[static_cast<size_t>(col)] = static_cast<int>(needed.size());
+      needed.push_back(snapshot.schema.field(static_cast<size_t>(col)).name);
+    }
+    for (Predicate& p : projected.conjuncts) {
+      p.column = position[static_cast<size_t>(p.column)];
+    }
+  }
+  BlockReadOptions read_opts;
+  if (!projected.conjuncts.empty()) read_opts.columns = &needed;
+
+  for (size_t pid = 0; pid < parts.num_partitions(); ++pid) {
+    if (query.CanSkipPartition(parts.zones[pid])) continue;
+    OREO_ASSIGN_OR_RETURN(Table part,
+                          ReadBlockFile(snapshot.files[pid], read_opts));
+    ++exec.partitions_read;
+    exec.bytes_read += snapshot.file_bytes[pid];
+    exec.rows_scanned += parts.zones[pid].num_rows;
+    if (projected.conjuncts.empty()) {
+      exec.matches += part.num_rows();
+    } else {
+      for (uint32_t r = 0; r < part.num_rows(); ++r) {
+        if (projected.Matches(part, r)) ++exec.matches;
+      }
+    }
+  }
+  exec.seconds = sw.ElapsedSeconds();
+  return exec;
+}
+
+void PhysicalStore::Vacuum() {
+  std::vector<std::string> victims;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    victims = std::move(garbage_);
+    garbage_.clear();
+  }
+  for (const std::string& f : victims) {
+    std::error_code ec;
+    fs::remove(f, ec);
+  }
+}
+
+Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
+    const Table& table, const LayoutInstance& to) {
+  // Runs against a snapshot of the current files; concurrent snapshot
+  // readers are unaffected. Only the final swap takes the lock.
+  Snapshot source = GetSnapshot();
+  OREO_CHECK(source.instance != nullptr) << "no layout materialized";
+  Timing timing;
+  Stopwatch sw;
+
+  const uint32_t raw_partitions = to.layout().NumPartitionsUpperBound();
+
+  // Pass 1 — shuffle: read and decompress every current partition, route its
+  // rows through the new layout (the "update the BID column" step), and
+  // spill one run file per (source, target) pair. Real systems repartition
+  // out-of-core exactly like this; the table cannot be assumed to fit in
+  // memory.
+  uint64_t rows_read = 0;
+  std::vector<std::vector<std::string>> spills(raw_partitions);
+  for (size_t src = 0; src < source.files.size(); ++src) {
+    OREO_ASSIGN_OR_RETURN(Table part, ReadBlockFile(source.files[src]));
+    rows_read += part.num_rows();
+    std::vector<uint32_t> assignment = to.layout().Assign(part);
+    std::vector<std::vector<uint32_t>> rows_per_target(raw_partitions);
+    for (uint32_t r = 0; r < assignment.size(); ++r) {
+      rows_per_target[assignment[r]].push_back(r);
+    }
+    for (uint32_t tgt = 0; tgt < raw_partitions; ++tgt) {
+      if (rows_per_target[tgt].empty()) continue;
+      Table run = part.Take(rows_per_target[tgt]);
+      std::string path = dir_ + "/spill_e" + std::to_string(epoch_) + "_s" +
+                         std::to_string(src) + "_t" + std::to_string(tgt) +
+                         ".blk";
+      OREO_RETURN_NOT_OK(WriteBlockFile(path, run, /*sync=*/false));
+      spills[tgt].push_back(std::move(path));
+    }
+  }
+  OREO_CHECK_EQ(rows_read, table.num_rows());
+
+  // Pass 2 — merge: per target partition, read its runs back, concatenate,
+  // compress and durably write the final partition file. Raw target ids with
+  // no rows are dropped, mirroring BuildPartitioning's compaction, so file
+  // order lines up with `to.partitioning()`'s zone maps.
+  size_t next_epoch = epoch_ + 1;
+  std::vector<std::string> new_files;
+  std::vector<uint64_t> new_bytes;
+  const Partitioning& parts = to.partitioning();
+  for (uint32_t tgt = 0; tgt < raw_partitions; ++tgt) {
+    if (spills[tgt].empty()) continue;
+    Table merged(table.schema());
+    for (const std::string& path : spills[tgt]) {
+      OREO_ASSIGN_OR_RETURN(Table run, ReadBlockFile(path));
+      merged.Append(run);
+    }
+    size_t pid = new_files.size();
+    OREO_CHECK_LT(pid, parts.num_partitions())
+        << "shuffle produced more partitions than the canonical partitioning";
+    OREO_CHECK_EQ(merged.num_rows(), parts.zones[pid].num_rows)
+        << "shuffle row count diverged from the canonical partitioning";
+    std::string path = PartitionPath(next_epoch, pid);
+    // Durable write: the swap must not expose a layout that could vanish.
+    OREO_RETURN_NOT_OK(WriteBlockFile(path, merged, /*sync=*/true));
+    uint64_t size = fs::file_size(path);
+    new_files.push_back(path);
+    new_bytes.push_back(size);
+    timing.bytes += size;
+    ++timing.partitions;
+    for (const std::string& spill : spills[tgt]) {
+      std::error_code ec;
+      fs::remove(spill, ec);
+    }
+  }
+  OREO_CHECK_EQ(new_files.size(), parts.num_partitions());
+  timing.seconds = sw.ElapsedSeconds();
+
+  // Swap (brief, under the lock): outgoing files become garbage so snapshot
+  // readers opened before the swap keep working; Vacuum() reclaims them.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = next_epoch;
+    for (std::string& f : files_) garbage_.push_back(std::move(f));
+    files_ = std::move(new_files);
+    file_bytes_ = std::move(new_bytes);
+    instance_ = &to;
+  }
+  return timing;
+}
+
+uint64_t PhysicalStore::MaterializedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (uint64_t b : file_bytes_) total += b;
+  return total;
+}
+
+Result<PhysicalReplayResult> ReplayPhysical(
+    const Table& table, const StateRegistry& registry, const SimResult& sim,
+    const std::vector<Query>& queries, size_t stride, const std::string& dir) {
+  OREO_CHECK_EQ(sim.serving_state.size(), queries.size())
+      << "simulation must be run with record_trace=true";
+  OREO_CHECK_GT(stride, 0u);
+  PhysicalReplayResult result;
+  PhysicalStore store(dir);
+
+  int current = sim.serving_state.empty() ? 0 : sim.serving_state.front();
+  {
+    // Initial materialization is not part of the measured costs (the system
+    // starts with the default layout already on disk).
+    auto st = store.MaterializeLayout(table, registry.Get(current));
+    if (!st.ok()) return st.status();
+  }
+  for (size_t t = 0; t < queries.size(); ++t) {
+    int state = sim.serving_state[t];
+    if (state != current) {
+      OREO_ASSIGN_OR_RETURN(PhysicalStore::Timing timing,
+                            store.Reorganize(table, registry.Get(state)));
+      store.Vacuum();  // replay is single-threaded: no snapshot readers
+      result.reorg_seconds += timing.seconds;
+      ++result.num_switches;
+      current = state;
+    }
+    if (t % stride == 0) {
+      OREO_ASSIGN_OR_RETURN(PhysicalStore::QueryExec exec,
+                            store.ExecuteQuery(queries[t]));
+      result.query_seconds += exec.seconds * static_cast<double>(stride);
+      ++result.queries_executed;
+      result.partitions_read += exec.partitions_read;
+      result.matches += exec.matches;
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,123 @@
+// Physical execution substrate for the end-to-end experiments (Figure 3,
+// Table I). This replaces the paper's shallow Spark integration (DESIGN.md,
+// substitutions): partitions live as compressed block files on local disk;
+// a query prunes partitions via zone maps and scans the survivors; a
+// reorganization reads every partition, re-assigns rows under the new layout,
+// and compresses + writes the new partition files.
+#ifndef OREO_CORE_PHYSICAL_H_
+#define OREO_CORE_PHYSICAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/simulator.h"
+#include "core/state_registry.h"
+#include "layout/layout.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace oreo {
+namespace core {
+
+/// On-disk partition store for one table under one layout at a time.
+class PhysicalStore {
+ public:
+  /// Files are created under `dir` (created if missing).
+  explicit PhysicalStore(std::string dir);
+
+  /// Wall-clock result of a physical operation.
+  struct Timing {
+    double seconds = 0.0;
+    uint64_t bytes = 0;
+    uint64_t partitions = 0;
+  };
+
+  /// Writes all partitions of `instance` (rows taken from `table`).
+  /// Replaces any previously materialized layout (old files deleted,
+  /// untimed). Returns write timing.
+  Result<Timing> MaterializeLayout(const Table& table,
+                                   const LayoutInstance& instance);
+
+  /// Result of one physical query execution.
+  struct QueryExec {
+    double seconds = 0.0;
+    uint64_t partitions_read = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t matches = 0;
+    uint64_t bytes_read = 0;
+  };
+
+  /// Executes `query` against the materialized layout: zone-map pruning,
+  /// then scan of the surviving partition files.
+  Result<QueryExec> ExecuteQuery(const Query& query);
+
+  /// Full reorganization into `to`: reads every current partition file
+  /// (decompression included), re-partitions `table` rows, writes the new
+  /// files. The returned timing covers read + assign + compress + write.
+  Result<Timing> Reorganize(const Table& table, const LayoutInstance& to);
+
+  /// Total bytes of the currently materialized files.
+  uint64_t MaterializedBytes() const;
+
+  const LayoutInstance* current_instance() const { return instance_; }
+
+  /// An immutable view of one materialized layout: queries executed against
+  /// a snapshot keep working while a background reorganization swaps the
+  /// store to a new layout (paper SIII-B). Outgoing files are kept as
+  /// garbage until Vacuum(), so snapshot readers never lose their files.
+  struct Snapshot {
+    const LayoutInstance* instance = nullptr;
+    Schema schema;
+    std::vector<std::string> files;
+    std::vector<uint64_t> file_bytes;
+  };
+
+  /// Current layout as a snapshot (thread-safe).
+  Snapshot GetSnapshot() const;
+
+  /// Executes `query` against a snapshot (thread-safe, read-only).
+  Result<QueryExec> ExecuteQueryOnSnapshot(const Snapshot& snapshot,
+                                           const Query& query) const;
+
+  /// Deletes files superseded by completed reorganizations. Call when no
+  /// snapshot readers can still reference them.
+  void Vacuum();
+
+ private:
+  std::string PartitionPath(size_t epoch, size_t pid) const;
+  void DeleteCurrentFiles();
+
+  std::string dir_;
+  mutable std::mutex mu_;  // guards the members below
+  const LayoutInstance* instance_ = nullptr;  // not owned
+  Schema schema_;                             // of the materialized table
+  std::vector<std::string> files_;            // per partition id
+  std::vector<uint64_t> file_bytes_;
+  std::vector<std::string> garbage_;          // outgoing files awaiting Vacuum
+  size_t epoch_ = 0;
+};
+
+/// Replays a simulated decision trace physically: materializes the initial
+/// layout, reorganizes whenever the trace switches layouts, and executes
+/// every `stride`-th query for real (the paper estimates total query time
+/// from a ~10% sample, SVI-A1). Query seconds are scaled by `stride`.
+struct PhysicalReplayResult {
+  double query_seconds = 0.0;       ///< scaled estimate over the full stream
+  double reorg_seconds = 0.0;
+  int64_t num_switches = 0;
+  uint64_t queries_executed = 0;
+  uint64_t partitions_read = 0;
+  uint64_t matches = 0;
+};
+
+Result<PhysicalReplayResult> ReplayPhysical(
+    const Table& table, const StateRegistry& registry, const SimResult& sim,
+    const std::vector<Query>& queries, size_t stride, const std::string& dir);
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_PHYSICAL_H_

@@ -1,0 +1,67 @@
+#include "core/simulator.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+SimResult RunSimulation(Strategy* strategy, LayoutManager* manager,
+                        const StateRegistry* registry,
+                        const std::vector<Query>& queries,
+                        const SimOptions& options) {
+  OREO_CHECK(strategy != nullptr && registry != nullptr);
+  SimResult result;
+  result.method = strategy->name();
+  if (options.record_trace) {
+    result.cumulative.reserve(queries.size());
+    result.serving_state.reserve(queries.size());
+  }
+
+  int physical_state = strategy->current_state();
+  // Pending layout swaps: (effective query index, target state).
+  std::deque<std::pair<size_t, int>> pending;
+
+  for (size_t t = 0; t < queries.size(); ++t) {
+    const Query& q = queries[t];
+
+    // 1. Let the Layout Manager evolve the state space.
+    int forced_switches = 0;
+    if (manager != nullptr) {
+      std::vector<ManagerEvent> events =
+          manager->Observe(q, strategy->current_state());
+      forced_switches = strategy->ApplyEvents(events);
+    }
+
+    // 2. Strategy decision for this query.
+    bool switched = false;
+    int logical_state = strategy->OnQuery(q, &switched);
+
+    int switches_now = forced_switches + (switched ? 1 : 0);
+    if (switches_now > 0) {
+      result.reorg_cost += options.alpha * switches_now;
+      result.num_switches += switches_now;
+      result.switch_events.emplace_back(static_cast<int64_t>(t),
+                                        physical_state, logical_state);
+      pending.emplace_back(t + options.reorg_delay, logical_state);
+    }
+
+    // 3. Background reorganizations that have completed take effect.
+    while (!pending.empty() && pending.front().first <= t) {
+      physical_state = pending.front().second;
+      pending.pop_front();
+    }
+
+    // 4. Serve the query on the physically current layout.
+    result.query_cost += registry->Cost(physical_state, q);
+
+    if (options.record_trace) {
+      result.cumulative.push_back(result.total_cost());
+      result.serving_state.push_back(physical_state);
+    }
+  }
+  result.final_live_states = registry->num_live();
+  return result;
+}
+
+}  // namespace core
+}  // namespace oreo

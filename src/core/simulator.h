@@ -1,0 +1,56 @@
+// Logical-cost simulator (the paper's "Simulation" methodology, SVI-A1):
+// query cost = fraction of rows accessed per partition metadata; every
+// reorganization costs alpha. Supports the background-reorganization delay
+// Delta of SVI-D5: the switch is charged when decided, but queries keep being
+// served on the outgoing layout for the next Delta queries.
+#ifndef OREO_CORE_SIMULATOR_H_
+#define OREO_CORE_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/layout_manager.h"
+#include "core/state_registry.h"
+#include "core/strategy.h"
+#include "query/query.h"
+
+namespace oreo {
+namespace core {
+
+struct SimOptions {
+  double alpha = 80.0;
+  /// Queries served on the outgoing layout after a switch decision (Delta).
+  size_t reorg_delay = 0;
+  /// Record per-query cumulative totals (Figure 4 traces).
+  bool record_trace = false;
+};
+
+struct SimResult {
+  std::string method;
+  double query_cost = 0.0;
+  double reorg_cost = 0.0;
+  int64_t num_switches = 0;
+  double total_cost() const { return query_cost + reorg_cost; }
+  /// Cumulative total cost after each query (only if record_trace).
+  std::vector<double> cumulative;
+  /// State that physically served each query (only if record_trace).
+  std::vector<int> serving_state;
+  /// (query index, from, to) per switch decision.
+  std::vector<std::tuple<int64_t, int, int>> switch_events;
+  size_t final_live_states = 0;
+};
+
+/// Drives `strategy` over `queries`. `manager` may be null for strategies
+/// with a fixed precomputed state space (Static / MTS-Optimal / Offline).
+SimResult RunSimulation(Strategy* strategy, LayoutManager* manager,
+                        const StateRegistry* registry,
+                        const std::vector<Query>& queries,
+                        const SimOptions& options);
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_SIMULATOR_H_

@@ -1,0 +1,34 @@
+#include "core/state_registry.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+int StateRegistry::Add(LayoutInstance instance) {
+  int id = static_cast<int>(instances_.size());
+  instances_.push_back(std::make_shared<LayoutInstance>(std::move(instance)));
+  live_.insert(id);
+  return id;
+}
+
+void StateRegistry::Remove(int id) {
+  OREO_CHECK(IsLive(id)) << "removing non-live state " << id;
+  live_.erase(id);
+}
+
+const LayoutInstance& StateRegistry::Get(int id) const {
+  OREO_CHECK(id >= 0 && static_cast<size_t>(id) < instances_.size())
+      << "unknown state id " << id;
+  return *instances_[static_cast<size_t>(id)];
+}
+
+double StateRegistry::MeanCost(int id, const std::vector<Query>& queries) const {
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const Query& q : queries) total += Cost(id, q);
+  return total / static_cast<double>(queries.size());
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,227 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+// ---------------------------------------------------------------- OREO ----
+
+namespace {
+
+mts::DumtsOptions WithMidPhase(mts::DumtsOptions options,
+                               MidPhasePolicy policy) {
+  // kReplay is realized in the strategy (it owns the query history); the
+  // underlying algorithm only distinguishes defer vs immediate-with-counter.
+  options.mid_phase_admission = (policy == MidPhasePolicy::kMedianCounter)
+                                    ? mts::MidPhaseAdmission::kMedianCounter
+                                    : mts::MidPhaseAdmission::kDefer;
+  return options;
+}
+
+}  // namespace
+
+OreoStrategy::OreoStrategy(const StateRegistry* registry, int initial_state,
+                           const mts::DumtsOptions& options,
+                           MidPhasePolicy mid_phase)
+    : registry_(registry),
+      mid_phase_(mid_phase),
+      dumts_(WithMidPhase(options, mid_phase), registry->live(),
+             initial_state) {}
+
+int OreoStrategy::ApplyEvents(const std::vector<ManagerEvent>& events) {
+  int forced = 0;
+  for (const ManagerEvent& e : events) {
+    if (e.kind == ManagerEvent::Kind::kAdded) {
+      if (mid_phase_ == MidPhasePolicy::kReplay) {
+        // SIV-C: fill in the counter as if the state had served every query
+        // of the current phase so far.
+        double counter = 0.0;
+        for (const Query& q : phase_queries_) {
+          counter += registry_->Cost(e.state, q);
+        }
+        dumts_.AddStateWithCounter(e.state, counter);
+      } else {
+        dumts_.AddState(e.state);
+      }
+    } else {
+      auto decision = dumts_.RemoveState(e.state);
+      if (decision.has_value() && decision->switched) ++forced;
+    }
+  }
+  return forced;
+}
+
+int OreoStrategy::OnQuery(const Query& query, bool* switched) {
+  mts::DumtsDecision d = dumts_.OnQuery(
+      [this, &query](mts::StateId s) { return registry_->Cost(s, query); });
+  *switched = d.switched;
+  if (mid_phase_ == MidPhasePolicy::kReplay) {
+    if (d.phase_reset) {
+      // The deciding query's costs were absorbed by the *old* phase; the new
+      // phase starts with empty counters, so the history restarts empty.
+      phase_queries_.clear();
+    } else {
+      phase_queries_.push_back(query);
+    }
+  }
+  return d.serve_state;
+}
+
+// -------------------------------------------------------------- Greedy ----
+
+GreedyStrategy::GreedyStrategy(const StateRegistry* registry,
+                               const LayoutManager* manager, int initial_state)
+    : registry_(registry), manager_(manager), current_(initial_state) {}
+
+int GreedyStrategy::ApplyEvents(const std::vector<ManagerEvent>& events) {
+  for (const ManagerEvent& e : events) {
+    if (e.kind == ManagerEvent::Kind::kRemoved && e.state == current_) {
+      // Our layout was evicted (should not happen: the manager protects the
+      // current state) — fall back to the best live state.
+      OREO_CHECK(false) << "current state evicted from under Greedy";
+    }
+    if (e.kind != ManagerEvent::Kind::kAdded) continue;
+    // Compare the newcomer with the current layout on the recent window and
+    // switch whenever it is better, regardless of reorganization cost.
+    std::vector<Query> window = manager_->WindowQueries();
+    if (window.empty()) continue;
+    double cand = registry_->MeanCost(e.state, window);
+    double cur = registry_->MeanCost(current_, window);
+    if (cand < cur) {
+      current_ = e.state;
+      pending_switch_ = true;
+    }
+  }
+  return 0;  // charged via *switched on the next OnQuery
+}
+
+int GreedyStrategy::OnQuery(const Query& query, bool* switched) {
+  (void)query;
+  *switched = pending_switch_;
+  pending_switch_ = false;
+  return current_;
+}
+
+// -------------------------------------------------------------- Regret ----
+
+RegretStrategy::RegretStrategy(const StateRegistry* registry, double alpha,
+                               int initial_state)
+    : registry_(registry), alpha_(alpha), current_(initial_state) {}
+
+void RegretStrategy::ResetHistory() {
+  history_.clear();
+  savings_.clear();
+  for (int id : registry_->live()) {
+    if (id != current_) savings_[id] = 0.0;
+  }
+}
+
+int RegretStrategy::ApplyEvents(const std::vector<ManagerEvent>& events) {
+  for (const ManagerEvent& e : events) {
+    if (e.kind == ManagerEvent::Kind::kAdded) {
+      // Retroactively score the newcomer against all queries serviced on the
+      // current layout (paper SVI-A3).
+      double saving = 0.0;
+      for (const Query& q : history_) {
+        saving += registry_->Cost(current_, q) - registry_->Cost(e.state, q);
+      }
+      savings_[e.state] = saving;
+    } else {
+      savings_.erase(e.state);
+      OREO_CHECK(e.state != current_) << "current state evicted under Regret";
+    }
+  }
+  return 0;
+}
+
+int RegretStrategy::OnQuery(const Query& query, bool* switched) {
+  *switched = false;
+  // Accumulate this query into every alternative's cumulative saving.
+  double cur_cost = registry_->Cost(current_, query);
+  int best = -1;
+  double best_saving = 0.0;
+  for (auto& [id, saving] : savings_) {
+    saving += cur_cost - registry_->Cost(id, query);
+    if (saving > best_saving) {
+      best_saving = saving;
+      best = id;
+    }
+  }
+  history_.push_back(query);
+  if (best >= 0 && best_saving > alpha_) {
+    current_ = best;
+    *switched = true;
+    ResetHistory();
+  }
+  return current_;
+}
+
+// --------------------------------------------------------- MTS-Optimal ----
+
+MtsOptimalStrategy::MtsOptimalStrategy(const StateRegistry* registry,
+                                       std::vector<int> states,
+                                       int initial_state,
+                                       const mts::DumtsOptions& options)
+    : registry_(registry),
+      states_(std::move(states)),
+      dumts_(options, states_, initial_state) {}
+
+int MtsOptimalStrategy::OnQuery(const Query& query, bool* switched) {
+  mts::DumtsDecision d = dumts_.OnQuery(
+      [this, &query](mts::StateId s) { return registry_->Cost(s, query); });
+  *switched = d.switched;
+  return d.serve_state;
+}
+
+// ----------------------------------------------------- Offline-Optimal ----
+
+OfflineOptimalStrategy::OfflineOptimalStrategy(
+    std::vector<int> template_state, const workloads::Workload* workload)
+    : template_state_(std::move(template_state)), workload_(workload) {
+  OREO_CHECK(workload_ != nullptr);
+  OREO_CHECK(!workload_->queries.empty());
+  current_ = template_state_[static_cast<size_t>(
+      workload_->queries.front().template_id)];
+}
+
+int OfflineOptimalStrategy::OnQuery(const Query& query, bool* switched) {
+  int want = template_state_[static_cast<size_t>(query.template_id)];
+  *switched = (want != current_);
+  current_ = want;
+  return current_;
+}
+
+// ------------------------------------------------------------- helpers ----
+
+std::vector<int> BuildPerTemplateStates(
+    const Table& table, const Table& dataset_sample,
+    const std::vector<workloads::QueryTemplate>& templates,
+    const LayoutGenerator& generator, uint32_t target_partitions,
+    size_t queries_per_template, uint64_t seed, StateRegistry* registry) {
+  std::vector<int> state_ids;
+  state_ids.reserve(templates.size());
+  Rng rng(seed);
+  for (size_t t = 0; t < templates.size(); ++t) {
+    std::vector<Query> sample;
+    sample.reserve(queries_per_template);
+    for (size_t i = 0; i < queries_per_template; ++i) {
+      Query q = templates[t].instantiate(&rng);
+      q.template_id = static_cast<int>(t);
+      sample.push_back(std::move(q));
+    }
+    std::unique_ptr<Layout> layout =
+        generator.Generate(dataset_sample, sample, target_partitions);
+    std::shared_ptr<const Layout> shared(std::move(layout));
+    LayoutInstance instance = Materialize(
+        "template:" + templates[t].name + ":" + generator.name(), shared,
+        table);
+    state_ids.push_back(registry->Add(std::move(instance)));
+  }
+  return state_ids;
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,32 @@
+#include "layout/layout.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+
+std::vector<double> LayoutInstance::CostVector(
+    const std::vector<Query>& queries) const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) out.push_back(QueryCost(q));
+  return out;
+}
+
+double LayoutInstance::AvgSkipped(const std::vector<Query>& queries) const {
+  if (queries.empty()) return 0.0;
+  double total = 0.0;
+  for (const Query& q : queries) total += QueryCost(q);
+  return 1.0 - total / static_cast<double>(queries.size());
+}
+
+LayoutInstance Materialize(std::string name,
+                           std::shared_ptr<const Layout> layout,
+                           const Table& table) {
+  std::vector<uint32_t> assignment = layout->Assign(table);
+  Partitioning partitioning =
+      BuildPartitioning(table, assignment, layout->NumPartitionsUpperBound());
+  return LayoutInstance(std::move(name), std::move(layout),
+                        std::move(partitioning));
+}
+
+}  // namespace oreo

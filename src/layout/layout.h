@@ -1,0 +1,95 @@
+// The data-layout abstraction (paper §III-B).
+//
+// A Layout is a pure mapping function from rows to partition ids; it is built
+// once (typically from a small dataset sample plus a recent query workload)
+// and can then be applied to any table with the same schema. A LayoutInstance
+// is a layout materialized against a concrete table: it carries the resulting
+// Partitioning (row lists + zone maps), which is exactly the partition-level
+// metadata the framework uses to estimate query costs without touching data
+// (the paper's eval_skipped).
+#ifndef OREO_LAYOUT_LAYOUT_H_
+#define OREO_LAYOUT_LAYOUT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/partitioning.h"
+#include "storage/table.h"
+
+namespace oreo {
+
+/// Abstract row->partition mapping.
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  /// Short human-readable description, e.g. "zorder(shipdate,quantity)".
+  virtual std::string Describe() const = 0;
+
+  /// Upper bound on partition ids this layout assigns (ids are contiguous in
+  /// [0, NumPartitionsUpperBound())).
+  virtual uint32_t NumPartitionsUpperBound() const = 0;
+
+  /// Assigns each row of `table` to a partition id.
+  virtual std::vector<uint32_t> Assign(const Table& table) const = 0;
+};
+
+/// A layout applied to a concrete table: the system "state" of D-UMTS.
+class LayoutInstance {
+ public:
+  LayoutInstance(std::string name, std::shared_ptr<const Layout> layout,
+                 Partitioning partitioning)
+      : name_(std::move(name)),
+        layout_(std::move(layout)),
+        partitioning_(std::move(partitioning)) {}
+
+  const std::string& name() const { return name_; }
+  const Layout& layout() const { return *layout_; }
+  std::shared_ptr<const Layout> shared_layout() const { return layout_; }
+  const Partitioning& partitioning() const { return partitioning_; }
+
+  /// c(s, q): fraction of rows in partitions that cannot be skipped ([0,1]).
+  double QueryCost(const Query& query) const {
+    return FractionAccessed(partitioning_, query);
+  }
+
+  /// eval_skipped over a workload: per-query cost vector (paper Algorithm 5).
+  std::vector<double> CostVector(const std::vector<Query>& queries) const;
+
+  /// Average fraction of data skipped over a workload = 1 - mean cost.
+  /// This is the predictor weight w_s of §IV-C.
+  double AvgSkipped(const std::vector<Query>& queries) const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<const Layout> layout_;
+  Partitioning partitioning_;
+};
+
+/// Materializes `layout` against `table`: runs the assignment and builds
+/// per-partition zone maps.
+LayoutInstance Materialize(std::string name,
+                           std::shared_ptr<const Layout> layout,
+                           const Table& table);
+
+/// A layout-generation mechanism (Qd-tree, Z-order, sort, ...). The Layout
+/// Manager is agnostic to the mechanism as long as it provides this interface
+/// (paper §III-B: generate_layout).
+class LayoutGenerator {
+ public:
+  virtual ~LayoutGenerator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Builds a layout from a dataset sample and a target workload.
+  /// `target_partitions` is the desired partition count (k).
+  virtual std::unique_ptr<Layout> Generate(
+      const Table& sample, const std::vector<Query>& workload,
+      uint32_t target_partitions) const = 0;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_LAYOUT_LAYOUT_H_

@@ -1,0 +1,80 @@
+#include "layout/sorted_layout.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+SortedLayout::SortedLayout(int column, std::string column_name,
+                           std::vector<double> boundaries)
+    : column_(column),
+      column_name_(std::move(column_name)),
+      boundaries_(std::move(boundaries)) {
+  OREO_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+std::string SortedLayout::Describe() const {
+  return "sort(" + column_name_ + ", k=" +
+         std::to_string(boundaries_.size() + 1) + ")";
+}
+
+uint32_t SortedLayout::NumPartitionsUpperBound() const {
+  return static_cast<uint32_t>(boundaries_.size()) + 1;
+}
+
+std::vector<uint32_t> SortedLayout::Assign(const Table& table) const {
+  OREO_CHECK(column_ >= 0 &&
+             static_cast<size_t>(column_) < table.num_columns());
+  const Column& col = table.column(static_cast<size_t>(column_));
+  std::vector<uint32_t> out(table.num_rows());
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    double v = col.GetNumeric(r);
+    auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+    out[r] = static_cast<uint32_t>(it - boundaries_.begin());
+  }
+  return out;
+}
+
+std::vector<double> QuantileBoundaries(const Table& sample, int column,
+                                       uint32_t k) {
+  OREO_CHECK_GE(k, 1u);
+  const Column& col = sample.column(static_cast<size_t>(column));
+  std::vector<double> values;
+  values.reserve(sample.num_rows());
+  for (uint32_t r = 0; r < sample.num_rows(); ++r) {
+    values.push_back(col.GetNumeric(r));
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> boundaries;
+  if (values.empty()) return boundaries;
+  boundaries.reserve(k - 1);
+  for (uint32_t i = 1; i < k; ++i) {
+    size_t idx = static_cast<size_t>(
+        static_cast<uint64_t>(i) * values.size() / k);
+    idx = std::min(idx, values.size() - 1);
+    double b = values[idx];
+    if (boundaries.empty() || b > boundaries.back()) boundaries.push_back(b);
+  }
+  return boundaries;
+}
+
+std::unique_ptr<Layout> SortLayoutGenerator::Generate(
+    const Table& sample, const std::vector<Query>& workload,
+    uint32_t target_partitions) const {
+  (void)workload;
+  // Dictionary codes are insertion-order dependent and not stable across
+  // partition rewrites, so range-partitioning by a string column's numeric
+  // view would diverge after a reorganization. Sort layouts are for numeric
+  // (incl. date/time) columns; use Qd-tree or Z-order for categoricals.
+  OREO_CHECK(sample.schema().field(static_cast<size_t>(column_)).type !=
+             DataType::kString)
+      << "SortLayoutGenerator requires a numeric column";
+  std::vector<double> boundaries =
+      QuantileBoundaries(sample, column_, target_partitions);
+  std::string name =
+      sample.schema().field(static_cast<size_t>(column_)).name;
+  return std::make_unique<SortedLayout>(column_, name, std::move(boundaries));
+}
+
+}  // namespace oreo

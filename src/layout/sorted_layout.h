@@ -1,0 +1,60 @@
+// Sort-based layout: order rows by one column and chop into k equal-depth
+// partitions. This is the "default layout, such as partitioning by time"
+// that OREO starts from before any workload is observed (paper §IV-A).
+//
+// Partition boundaries are learned from a dataset sample (quantiles), so the
+// layout can route rows of the full table without re-sorting it.
+#ifndef OREO_LAYOUT_SORTED_LAYOUT_H_
+#define OREO_LAYOUT_SORTED_LAYOUT_H_
+
+#include <memory>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace oreo {
+
+/// Equal-depth range partitioning on a single column.
+class SortedLayout : public Layout {
+ public:
+  /// `boundaries` are ascending split points (numeric view of the column;
+  /// string columns use dictionary codes). Rows with value <= boundaries[i]
+  /// (and > boundaries[i-1]) go to partition i; k = boundaries.size() + 1.
+  SortedLayout(int column, std::string column_name,
+               std::vector<double> boundaries);
+
+  std::string Describe() const override;
+  uint32_t NumPartitionsUpperBound() const override;
+  std::vector<uint32_t> Assign(const Table& table) const override;
+
+  int column() const { return column_; }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+ private:
+  int column_;
+  std::string column_name_;
+  std::vector<double> boundaries_;
+};
+
+/// Generates SortedLayouts on a fixed column (ignores the workload).
+class SortLayoutGenerator : public LayoutGenerator {
+ public:
+  explicit SortLayoutGenerator(int column) : column_(column) {}
+
+  std::string name() const override { return "sort"; }
+  std::unique_ptr<Layout> Generate(const Table& sample,
+                                   const std::vector<Query>& workload,
+                                   uint32_t target_partitions) const override;
+
+ private:
+  int column_;
+};
+
+/// Computes k-quantile split points of `column` from `sample`
+/// (helper shared with the Z-order generator).
+std::vector<double> QuantileBoundaries(const Table& sample, int column,
+                                       uint32_t k);
+
+}  // namespace oreo
+
+#endif  // OREO_LAYOUT_SORTED_LAYOUT_H_

@@ -1,0 +1,159 @@
+#include "layout/zorder_layout.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace oreo {
+
+ZOrderLayout::ZOrderLayout(std::vector<int> columns,
+                           std::vector<std::string> column_names,
+                           std::vector<ZOrderDimension> dims, int bits_per_dim,
+                           std::vector<uint64_t> code_boundaries)
+    : columns_(std::move(columns)),
+      column_names_(std::move(column_names)),
+      dims_(std::move(dims)),
+      bits_per_dim_(bits_per_dim),
+      code_boundaries_(std::move(code_boundaries)) {
+  OREO_CHECK(!columns_.empty());
+  OREO_CHECK_EQ(columns_.size(), dims_.size());
+  OREO_CHECK(std::is_sorted(code_boundaries_.begin(), code_boundaries_.end()));
+  for (const ZOrderDimension& d : dims_) {
+    OREO_CHECK(d.size() > 0);
+    if (d.is_string) {
+      OREO_DCHECK(std::is_sorted(d.strings.begin(), d.strings.end()));
+    } else {
+      OREO_DCHECK(std::is_sorted(d.numeric.begin(), d.numeric.end()));
+    }
+  }
+}
+
+std::string ZOrderLayout::Describe() const {
+  std::string out = "zorder(";
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += column_names_[i];
+  }
+  out += ", k=" + std::to_string(code_boundaries_.size() + 1) + ")";
+  return out;
+}
+
+uint32_t ZOrderLayout::NumPartitionsUpperBound() const {
+  return static_cast<uint32_t>(code_boundaries_.size()) + 1;
+}
+
+uint32_t ZOrderLayout::RankOf(const Table& table, uint32_t row,
+                              size_t dim) const {
+  const ZOrderDimension& d = dims_[dim];
+  const Column& col = table.column(static_cast<size_t>(columns_[dim]));
+  size_t pos;
+  if (d.is_string) {
+    // Rank by lexicographic value: stable across any re-encoding of the
+    // column's dictionary.
+    pos = static_cast<size_t>(
+        std::upper_bound(d.strings.begin(), d.strings.end(),
+                         col.GetString(row)) -
+        d.strings.begin());
+  } else {
+    pos = static_cast<size_t>(
+        std::upper_bound(d.numeric.begin(), d.numeric.end(),
+                         col.GetNumeric(row)) -
+        d.numeric.begin());
+  }
+  uint64_t max_rank = (1ULL << bits_per_dim_) - 1;
+  return static_cast<uint32_t>(pos * max_rank / d.size());
+}
+
+uint64_t ZOrderLayout::CodeForRow(const Table& table, uint32_t row) const {
+  std::vector<uint32_t> ranks(columns_.size());
+  for (size_t d = 0; d < columns_.size(); ++d) {
+    ranks[d] = RankOf(table, row, d);
+  }
+  return bit_util::MortonEncode(ranks, bits_per_dim_);
+}
+
+std::vector<uint32_t> ZOrderLayout::Assign(const Table& table) const {
+  std::vector<uint32_t> out(table.num_rows());
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    uint64_t code = CodeForRow(table, r);
+    auto it = std::lower_bound(code_boundaries_.begin(),
+                               code_boundaries_.end(), code);
+    out[r] = static_cast<uint32_t>(it - code_boundaries_.begin());
+  }
+  return out;
+}
+
+std::vector<int> MostQueriedColumns(const std::vector<Query>& workload,
+                                    size_t num_table_columns) {
+  std::vector<int64_t> counts(num_table_columns, 0);
+  for (const Query& q : workload) {
+    for (const Predicate& p : q.conjuncts) {
+      if (p.column >= 0 && static_cast<size_t>(p.column) < num_table_columns) {
+        ++counts[static_cast<size_t>(p.column)];
+      }
+    }
+  }
+  std::vector<int> cols(num_table_columns);
+  for (size_t i = 0; i < num_table_columns; ++i) cols[i] = static_cast<int>(i);
+  std::stable_sort(cols.begin(), cols.end(), [&](int a, int b) {
+    return counts[static_cast<size_t>(a)] > counts[static_cast<size_t>(b)];
+  });
+  return cols;
+}
+
+std::unique_ptr<Layout> ZOrderGenerator::Generate(
+    const Table& sample, const std::vector<Query>& workload,
+    uint32_t target_partitions) const {
+  OREO_CHECK_GT(sample.num_rows(), 0u);
+  std::vector<int> ranked = MostQueriedColumns(workload, sample.num_columns());
+  size_t n_dims = std::min<size_t>(static_cast<size_t>(num_columns_),
+                                   sample.num_columns());
+  std::vector<int> cols(ranked.begin(),
+                        ranked.begin() + static_cast<long>(n_dims));
+
+  std::vector<std::string> names;
+  std::vector<ZOrderDimension> dims;
+  for (int c : cols) {
+    names.push_back(sample.schema().field(static_cast<size_t>(c)).name);
+    const Column& col = sample.column(static_cast<size_t>(c));
+    ZOrderDimension d;
+    if (col.type() == DataType::kString) {
+      d.is_string = true;
+      d.strings.reserve(sample.num_rows());
+      for (uint32_t r = 0; r < sample.num_rows(); ++r) {
+        d.strings.push_back(col.GetString(r));
+      }
+      std::sort(d.strings.begin(), d.strings.end());
+    } else {
+      d.numeric.reserve(sample.num_rows());
+      for (uint32_t r = 0; r < sample.num_rows(); ++r) {
+        d.numeric.push_back(col.GetNumeric(r));
+      }
+      std::sort(d.numeric.begin(), d.numeric.end());
+    }
+    dims.push_back(std::move(d));
+  }
+
+  // Temporary layout with no boundaries to compute sample codes.
+  ZOrderLayout probe(cols, names, dims, bits_per_dim_, {});
+  std::vector<uint64_t> codes;
+  codes.reserve(sample.num_rows());
+  for (uint32_t r = 0; r < sample.num_rows(); ++r) {
+    codes.push_back(probe.CodeForRow(sample, r));
+  }
+  std::sort(codes.begin(), codes.end());
+  std::vector<uint64_t> boundaries;
+  for (uint32_t i = 1; i < target_partitions; ++i) {
+    size_t idx = static_cast<size_t>(
+        static_cast<uint64_t>(i) * codes.size() / target_partitions);
+    idx = std::min(idx, codes.size() - 1);
+    uint64_t b = codes[idx];
+    if (boundaries.empty() || b > boundaries.back()) boundaries.push_back(b);
+  }
+  return std::make_unique<ZOrderLayout>(std::move(cols), std::move(names),
+                                        std::move(dims), bits_per_dim_,
+                                        std::move(boundaries));
+}
+
+}  // namespace oreo

@@ -1,0 +1,83 @@
+// Z-order (Morton) layout: interleaves per-column quantile ranks into a
+// space-filling-curve code, then range-partitions the code space. Following
+// the paper (§VI-A1), the workload-aware generator picks the top-3 most
+// queried columns in the sliding window.
+#ifndef OREO_LAYOUT_ZORDER_LAYOUT_H_
+#define OREO_LAYOUT_ZORDER_LAYOUT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layout/layout.h"
+
+namespace oreo {
+
+/// Per-dimension rank domain: sorted sample values a row's value is ranked
+/// against. String dimensions rank by lexicographic value — never by
+/// dictionary code, which is insertion-order dependent and not stable across
+/// partition rewrites.
+struct ZOrderDimension {
+  bool is_string = false;
+  std::vector<double> numeric;       ///< ascending (numeric dims)
+  std::vector<std::string> strings;  ///< ascending (string dims)
+
+  size_t size() const { return is_string ? strings.size() : numeric.size(); }
+};
+
+/// Morton-code range partitioning on a fixed set of columns.
+class ZOrderLayout : public Layout {
+ public:
+  /// `dims[d]` holds sorted sampled values of column `columns[d]`; a row's
+  /// rank in dimension d is the (scaled) position of its value within that
+  /// sample. `code_boundaries` are ascending Morton-code split points
+  /// (k = code_boundaries.size() + 1 partitions).
+  ZOrderLayout(std::vector<int> columns, std::vector<std::string> column_names,
+               std::vector<ZOrderDimension> dims, int bits_per_dim,
+               std::vector<uint64_t> code_boundaries);
+
+  std::string Describe() const override;
+  uint32_t NumPartitionsUpperBound() const override;
+  std::vector<uint32_t> Assign(const Table& table) const override;
+
+  /// Morton code for row `row` of `table` under this layout's rank mapping.
+  uint64_t CodeForRow(const Table& table, uint32_t row) const;
+
+  const std::vector<int>& columns() const { return columns_; }
+
+ private:
+  uint32_t RankOf(const Table& table, uint32_t row, size_t dim) const;
+
+  std::vector<int> columns_;
+  std::vector<std::string> column_names_;
+  std::vector<ZOrderDimension> dims_;
+  int bits_per_dim_;
+  std::vector<uint64_t> code_boundaries_;
+};
+
+/// Workload-aware Z-order generator: chooses the `num_columns` most
+/// frequently filtered columns in the workload (falling back to the first
+/// table columns when the workload is empty).
+class ZOrderGenerator : public LayoutGenerator {
+ public:
+  explicit ZOrderGenerator(int num_columns = 3, int bits_per_dim = 12)
+      : num_columns_(num_columns), bits_per_dim_(bits_per_dim) {}
+
+  std::string name() const override { return "zorder"; }
+  std::unique_ptr<Layout> Generate(const Table& sample,
+                                   const std::vector<Query>& workload,
+                                   uint32_t target_partitions) const override;
+
+ private:
+  int num_columns_;
+  int bits_per_dim_;
+};
+
+/// Returns column indices ordered by how often the workload filters on them
+/// (descending; ties by index). Exposed for tests.
+std::vector<int> MostQueriedColumns(const std::vector<Query>& workload,
+                                    size_t num_table_columns);
+
+}  // namespace oreo
+
+#endif  // OREO_LAYOUT_ZORDER_LAYOUT_H_

@@ -1,0 +1,247 @@
+#include "mts/dumts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace oreo {
+namespace mts {
+
+DynamicUmts::DynamicUmts(const DumtsOptions& options,
+                         std::vector<StateId> initial_states,
+                         std::optional<StateId> initial_state)
+    : options_(options), rng_(options.seed) {
+  OREO_CHECK(options_.alpha > 0.0) << "alpha must be positive";
+  OREO_CHECK(!initial_states.empty()) << "need at least one state";
+  for (StateId s : initial_states) {
+    auto [it, inserted] = counters_.emplace(s, 0.0);
+    OREO_CHECK(inserted) << "duplicate initial state " << s;
+    active_.insert(s);
+  }
+  if (initial_state.has_value()) {
+    OREO_CHECK(counters_.count(*initial_state))
+        << "initial_state not in initial_states";
+    current_ = *initial_state;
+  } else {
+    std::vector<StateId> ids(active_.begin(), active_.end());
+    current_ = ids[rng_.Uniform(ids.size())];
+  }
+  stats_.max_state_space = counters_.size();
+}
+
+double DynamicUmts::Counter(StateId s) const {
+  auto it = counters_.find(s);
+  OREO_CHECK(it != counters_.end()) << "unknown state " << s;
+  return it->second;
+}
+
+std::vector<StateId> DynamicUmts::ActiveStates() const {
+  return std::vector<StateId>(active_.begin(), active_.end());
+}
+
+std::vector<StateId> DynamicUmts::AllStates() const {
+  std::vector<StateId> out;
+  out.reserve(counters_.size());
+  for (const auto& [s, c] : counters_) out.push_back(s);
+  return out;
+}
+
+void DynamicUmts::StartNewPhase() {
+  // Save this phase's per-state service history for the predictor.
+  prev_phase_cost_sum_ = std::move(phase_cost_sum_);
+  prev_phase_query_count_ = phase_query_count_;
+  phase_cost_sum_.clear();
+  phase_query_count_ = 0;
+
+  // Admit deferred states, reset all counters (paper Algorithm 2).
+  for (StateId s : pending_) counters_.emplace(s, 0.0);
+  pending_.clear();
+  active_.clear();
+  for (auto& [s, c] : counters_) {
+    c = 0.0;
+    active_.insert(s);
+  }
+  ++stats_.num_phases;
+  stats_.max_state_space =
+      std::max(stats_.max_state_space, counters_.size() + pending_.size());
+}
+
+double DynamicUmts::PhaseWeight(StateId s) const {
+  // Weight = average fraction of data skipped by s in the previous phase.
+  auto it = prev_phase_cost_sum_.find(s);
+  if (it == prev_phase_cost_sum_.end() || prev_phase_query_count_ == 0) {
+    if (weight_fallback_override_.has_value()) {
+      return *weight_fallback_override_;
+    }
+    // Median weight of states that do have history.
+    std::vector<double> known;
+    for (const auto& [sid, sum] : prev_phase_cost_sum_) {
+      if (prev_phase_query_count_ > 0) {
+        known.push_back(1.0 -
+                        sum / static_cast<double>(prev_phase_query_count_));
+      }
+    }
+    if (known.empty()) return 1.0;
+    return Median(std::move(known));
+  }
+  return 1.0 - it->second / static_cast<double>(prev_phase_query_count_);
+}
+
+StateId DynamicUmts::SampleTransition() {
+  OREO_CHECK(!active_.empty());
+  std::vector<StateId> ids(active_.begin(), active_.end());
+  if (options_.gamma <= 0.0 || ids.size() == 1) {
+    return ids[rng_.Uniform(ids.size())];
+  }
+  std::vector<double> weights;
+  weights.reserve(ids.size());
+  double total = 0.0;
+  for (StateId s : ids) {
+    double w = std::clamp(PhaseWeight(s), 0.0, 1.0);
+    w = std::pow(w, options_.gamma);
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return ids[rng_.Uniform(ids.size())];
+  }
+  return ids[rng_.Discrete(weights)];
+}
+
+void DynamicUmts::AddStateWithCounter(StateId s, double counter) {
+  OREO_CHECK(!Contains(s) && !pending_.count(s)) << "state exists: " << s;
+  ++stats_.states_added;
+  counter = std::max(counter, 0.0);
+  counters_.emplace(s, counter);
+  if (counter < options_.alpha) active_.insert(s);
+  stats_.max_state_space =
+      std::max(stats_.max_state_space, counters_.size() + pending_.size());
+}
+
+void DynamicUmts::AddState(StateId s) {
+  OREO_CHECK(!Contains(s) && !pending_.count(s)) << "state exists: " << s;
+  ++stats_.states_added;
+  if (options_.mid_phase_admission == MidPhaseAdmission::kDefer) {
+    pending_.insert(s);
+  } else {
+    // Immediate admission: counter seeded with the median of active
+    // counters so the newcomer is neither favored nor penalized (SIV-C).
+    std::vector<double> cs;
+    for (StateId a : active_) cs.push_back(counters_.at(a));
+    double seed_counter = cs.empty() ? 0.0 : Median(std::move(cs));
+    seed_counter = std::min(seed_counter, options_.alpha);  // keep it active
+    counters_.emplace(s, seed_counter);
+    if (seed_counter < options_.alpha) active_.insert(s);
+  }
+  stats_.max_state_space =
+      std::max(stats_.max_state_space, counters_.size() + pending_.size());
+}
+
+std::optional<DumtsDecision> DynamicUmts::RemoveState(StateId s) {
+  ++stats_.states_removed;
+  if (pending_.erase(s) > 0) return std::nullopt;
+  auto it = counters_.find(s);
+  OREO_CHECK(it != counters_.end()) << "removing unknown state " << s;
+  OREO_CHECK_GT(counters_.size() + pending_.size(), 1u)
+      << "cannot remove the last state";
+  active_.erase(s);
+  counters_.erase(it);
+
+  DumtsDecision decision;
+  decision.previous_state = current_;
+  decision.serve_state = current_;
+
+  if (active_.empty()) {
+    // No non-full state remains: start a new phase (Algorithm 4 line 8-9).
+    StartNewPhase();
+    decision.phase_reset = true;
+  }
+  if (s == current_) {
+    // The state we occupy was deleted: forced random switch.
+    current_ = SampleTransition();
+    decision.serve_state = current_;
+    decision.switched = true;
+    ++stats_.num_switches;
+    return decision;
+  }
+  if (decision.phase_reset) return decision;
+  return std::nullopt;
+}
+
+DumtsDecision DynamicUmts::OnQuery(
+    const std::function<double(StateId)>& cost_fn) {
+  ++stats_.queries;
+  ++phase_query_count_;
+
+  // Algorithm 3 line 1: counters of active states absorb this query's cost.
+  std::vector<StateId> newly_full;
+  for (StateId s : active_) {
+    double c = cost_fn(s);
+    OREO_DCHECK(c >= 0.0 && c <= 1.0 + 1e-9)
+        << "service cost out of [0,1]: " << c;
+    counters_[s] += c;
+    phase_cost_sum_[s] += c;
+    if (counters_[s] >= options_.alpha) newly_full.push_back(s);
+  }
+  for (StateId s : newly_full) active_.erase(s);
+
+  DumtsDecision decision;
+  decision.previous_state = current_;
+
+  if (active_.count(current_) == 0) {
+    // Current state's counter is full (Algorithm 3 line 3).
+    if (active_.empty()) {
+      StartNewPhase();
+      decision.phase_reset = true;
+      if (!options_.stay_at_phase_start || counters_.count(current_) == 0) {
+        StateId next = SampleTransition();
+        if (next != current_) {
+          current_ = next;
+          decision.switched = true;
+          ++stats_.num_switches;
+        }
+      }
+      // stay_at_phase_start: remain in place, saving the initial move.
+    } else {
+      current_ = SampleTransition();
+      decision.switched = true;
+      ++stats_.num_switches;
+    }
+  }
+  decision.serve_state = current_;
+  return decision;
+}
+
+std::vector<int> ProcessQueries(const std::vector<std::vector<double>>& costs,
+                                const DumtsOptions& options) {
+  std::vector<int> schedule;
+  if (costs.empty()) return schedule;
+  const size_t n = costs[0].size();
+  std::vector<StateId> states(n);
+  for (size_t i = 0; i < n; ++i) states[i] = static_cast<StateId>(i);
+  DynamicUmts alg(options, states);
+  schedule.reserve(costs.size());
+  for (const auto& row : costs) {
+    OREO_CHECK_EQ(row.size(), n);
+    DumtsDecision d =
+        alg.OnQuery([&row](StateId s) { return row[static_cast<size_t>(s)]; });
+    schedule.push_back(d.serve_state);
+  }
+  return schedule;
+}
+
+double ScheduleCost(const std::vector<std::vector<double>>& costs,
+                    const std::vector<int>& schedule, double alpha) {
+  OREO_CHECK_EQ(costs.size(), schedule.size());
+  double total = 0.0;
+  for (size_t t = 0; t < schedule.size(); ++t) {
+    total += costs[t][static_cast<size_t>(schedule[t])];
+    if (t > 0 && schedule[t] != schedule[t - 1]) total += alpha;
+  }
+  return total;
+}
+
+}  // namespace mts
+}  // namespace oreo

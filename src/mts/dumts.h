@@ -1,0 +1,155 @@
+// D-UMTS: the paper's dynamic variant of the uniform metrical task system,
+// solved by an extension of the randomized algorithm of Borodin, Linial and
+// Saks (paper Algorithms 1-4, Theorem IV.1).
+//
+// States carry counters that accumulate the service cost each state *would*
+// have paid for every query in the current phase. A counter is "full" at
+// >= alpha. When the current state's counter fills, the algorithm switches to
+// a random non-full state; when no non-full state remains, a new phase starts
+// and all counters reset. The competitive ratio is 2*H(|S_max|).
+//
+// Extensions implemented exactly as described in the paper:
+//  * dynamic state additions are deferred to the next phase (Algorithm 4);
+//    an alternative immediate-admission mode seeds the counter with the
+//    median of active counters (SIV-C);
+//  * state removals mark the counter full; removing the current state forces
+//    a random switch; removing the last active state starts a new phase;
+//  * stay-at-phase-start: when a phase resets, the system may remain in its
+//    current state instead of making the initial random move (SIV-A);
+//  * predictor-biased transitions: switch to state s with probability
+//    proportional to w_s^gamma, where w_s is the average fraction of data
+//    skipped by s in the previous phase (SIV-C); gamma = 0 is uniform.
+#ifndef OREO_MTS_DUMTS_H_
+#define OREO_MTS_DUMTS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace oreo {
+namespace mts {
+
+using StateId = int;
+
+/// How AddState treats states arriving mid-phase.
+enum class MidPhaseAdmission {
+  kDefer,          ///< paper Algorithm 4: state joins at the next phase reset
+  kMedianCounter,  ///< SIV-C alternative: active immediately, counter = median
+};
+
+struct DumtsOptions {
+  /// Relative reorganization cost (> 1); a counter is full at >= alpha.
+  double alpha = 80.0;
+  /// Transition-bias exponent; 0 = uniform random transitions.
+  double gamma = 0.0;
+  /// Remain in the current state when a phase resets (saves the initial
+  /// random move; does not change the asymptotic competitive ratio).
+  bool stay_at_phase_start = true;
+  MidPhaseAdmission mid_phase_admission = MidPhaseAdmission::kDefer;
+  uint64_t seed = 42;
+};
+
+/// Outcome of processing one query.
+struct DumtsDecision {
+  StateId serve_state;   ///< state the query is (to be) served in
+  bool switched = false; ///< true if a movement (cost alpha) occurred
+  StateId previous_state;
+  bool phase_reset = false;
+};
+
+struct DumtsStats {
+  int64_t num_switches = 0;
+  int64_t num_phases = 1;
+  int64_t queries = 0;
+  int64_t states_added = 0;
+  int64_t states_removed = 0;
+  size_t max_state_space = 0;  ///< |S_max| over the run (bounds the ratio)
+};
+
+/// The D-UMTS decision maker (the core of the paper's REORGANIZER).
+class DynamicUmts {
+ public:
+  /// Starts with `initial_states` active (all counters 0). If
+  /// `initial_state` is set it must be a member; otherwise the start state is
+  /// chosen uniformly at random (as in Algorithm 1 line 2).
+  DynamicUmts(const DumtsOptions& options, std::vector<StateId> initial_states,
+              std::optional<StateId> initial_state = std::nullopt);
+
+  /// State-management query: add a state (paper Algorithm 4, add branch).
+  void AddState(StateId s);
+
+  /// Immediate admission with an explicit counter value — the SIV-C "replay
+  /// the queries processed in the current phase so far to fill in the
+  /// counter" option, where the caller performs the replay (it owns the
+  /// query history and the cost function). The state joins the current
+  /// phase; if `counter` >= alpha it starts out full (not active).
+  void AddStateWithCounter(StateId s, double counter);
+
+  /// State-management query: remove a state. If the current state is removed
+  /// the algorithm switches immediately; the returned decision reports it
+  /// (the caller is responsible for charging the movement cost).
+  std::optional<DumtsDecision> RemoveState(StateId s);
+
+  /// Service query (Algorithm 4, service branch): `cost_fn(s)` must return
+  /// c(s, q) in [0, 1] for any active state s. Returns the state to serve
+  /// the query in, after any switch decision.
+  DumtsDecision OnQuery(const std::function<double(StateId)>& cost_fn);
+
+  /// Supplies the predictor weight used for biased transitions when the
+  /// state has no history from the previous phase (e.g. freshly added).
+  /// Defaults to the median weight of states that do have history.
+  void SetDefaultWeightFallback(double w) { weight_fallback_override_ = w; }
+
+  StateId current_state() const { return current_; }
+  const DumtsStats& stats() const { return stats_; }
+  bool IsActive(StateId s) const { return active_.count(s) > 0; }
+  bool Contains(StateId s) const { return counters_.count(s) > 0; }
+  double Counter(StateId s) const;
+  std::vector<StateId> ActiveStates() const;
+  std::vector<StateId> AllStates() const;
+  size_t StateSpaceSize() const { return counters_.size() + pending_.size(); }
+
+ private:
+  void StartNewPhase();
+  /// Samples a transition target from the active set using the w^gamma
+  /// distribution (uniform if gamma == 0 or no weights available).
+  StateId SampleTransition();
+  double PhaseWeight(StateId s) const;
+
+  DumtsOptions options_;
+  Rng rng_;
+  // S with counters; states in `pending_` await the next phase (kDefer).
+  std::map<StateId, double> counters_;
+  std::set<StateId> active_;   // SA: counter < alpha
+  std::set<StateId> pending_;  // added mid-phase, not yet in S
+  StateId current_;
+  // Previous-phase per-state service totals, for predictor weights.
+  std::map<StateId, double> prev_phase_cost_sum_;
+  int64_t prev_phase_query_count_ = 0;
+  // Current-phase accumulation.
+  std::map<StateId, double> phase_cost_sum_;
+  int64_t phase_query_count_ = 0;
+  std::optional<double> weight_fallback_override_;
+  DumtsStats stats_;
+};
+
+/// Batch helper mirroring the paper's Algorithm 1 ProcessQueries(Q, S):
+/// runs the classic fixed-state algorithm over a cost matrix
+/// (costs[t][i] = c(state i, query t)) and returns the serving-state index
+/// per query.
+std::vector<int> ProcessQueries(const std::vector<std::vector<double>>& costs,
+                                const DumtsOptions& options);
+
+/// Total cost (service + alpha per switch) of a schedule against a cost
+/// matrix; the initial state is free.
+double ScheduleCost(const std::vector<std::vector<double>>& costs,
+                    const std::vector<int>& schedule, double alpha);
+
+}  // namespace mts
+}  // namespace oreo
+
+#endif  // OREO_MTS_DUMTS_H_

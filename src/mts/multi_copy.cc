@@ -1,0 +1,94 @@
+#include "mts/multi_copy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace mts {
+
+MultiCopyUmts::MultiCopyUmts(const MultiCopyOptions& options,
+                             std::vector<int> states, int initial_state)
+    : options_(options), rng_(options.seed) {
+  OREO_CHECK(options_.alpha > 0.0);
+  OREO_CHECK_GE(options_.max_copies, 1u);
+  OREO_CHECK(!states.empty());
+  for (int s : states) {
+    auto [it, inserted] = counters_.emplace(s, 0.0);
+    OREO_CHECK(inserted) << "duplicate state " << s;
+    active_.insert(s);
+  }
+  OREO_CHECK(counters_.count(initial_state));
+  kept_.insert(initial_state);
+}
+
+void MultiCopyUmts::StartNewPhase() {
+  active_.clear();
+  for (auto& [s, c] : counters_) {
+    c = 0.0;
+    active_.insert(s);
+  }
+  ++num_phases_;
+}
+
+MultiCopyDecision MultiCopyUmts::OnQuery(
+    const std::function<double(int)>& cost_fn) {
+  // Absorb costs into every active counter (as in Algorithm 4).
+  std::vector<int> newly_full;
+  for (int s : active_) {
+    counters_[s] += cost_fn(s);
+    if (counters_[s] >= options_.alpha) newly_full.push_back(s);
+  }
+  for (int s : newly_full) active_.erase(s);
+
+  MultiCopyDecision decision{};
+  // Does any kept copy still have a non-full counter?
+  bool kept_has_active = false;
+  for (int s : kept_) {
+    if (active_.count(s)) {
+      kept_has_active = true;
+      break;
+    }
+  }
+
+  if (!kept_has_active) {
+    if (active_.empty()) {
+      StartNewPhase();
+      decision.phase_reset = true;
+      // After the reset every kept copy is active again; keep the set as-is
+      // (the multi-copy analogue of stay-at-phase-start).
+    } else {
+      // Materialize a random non-full state.
+      std::vector<int> ids(active_.begin(), active_.end());
+      int pick = ids[rng_.Uniform(ids.size())];
+      kept_.insert(pick);
+      decision.materialized = pick;
+      ++num_materializations_;
+      if (kept_.size() > options_.max_copies) {
+        // Evict the kept state with the largest counter (worst performer).
+        int worst = *kept_.begin();
+        for (int s : kept_) {
+          if (counters_[s] > counters_[worst]) worst = s;
+        }
+        kept_.erase(worst);
+        decision.evicted = worst;
+      }
+    }
+  }
+
+  // Serve with the cheapest kept copy for this query.
+  int best = *kept_.begin();
+  double best_cost = cost_fn(best);
+  for (int s : kept_) {
+    double c = cost_fn(s);
+    if (c < best_cost) {
+      best_cost = c;
+      best = s;
+    }
+  }
+  decision.serve_state = best;
+  return decision;
+}
+
+}  // namespace mts
+}  // namespace oreo

@@ -1,0 +1,72 @@
+// Multi-copy D-UMTS variant (paper SVIII / Appendix D of the technical
+// report): if storage budget allows keeping up to m materialized layouts of
+// the dataset simultaneously, a query is served by the cheapest *kept*
+// layout, and only materializing a new copy costs alpha.
+//
+// The technical report is not public, so this is our reconstruction of the
+// variant, documented here and exercised by tests/benches as an extension:
+//  * the kept set K holds at most m states; serving cost = min_{s in K} c(s,q);
+//  * counters accumulate per-state service costs exactly as in Algorithm 4;
+//  * when every member of K has a full counter, the algorithm materializes a
+//    random non-full active state into K (movement cost alpha), evicting the
+//    member with the largest counter if |K| would exceed m (eviction is free,
+//    mirroring index drops in adaptive indexing);
+//  * when no non-full state remains at all, the phase resets.
+// With m = 1 this degenerates to the single-copy Algorithm 4 behaviour.
+#ifndef OREO_MTS_MULTI_COPY_H_
+#define OREO_MTS_MULTI_COPY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace oreo {
+namespace mts {
+
+struct MultiCopyOptions {
+  double alpha = 80.0;
+  size_t max_copies = 2;  ///< m: simultaneously materialized layouts
+  uint64_t seed = 42;
+};
+
+struct MultiCopyDecision {
+  int serve_state;                  ///< cheapest kept state for this query
+  std::optional<int> materialized;  ///< state added to K (cost alpha)
+  std::optional<int> evicted;       ///< state dropped from K (free)
+  bool phase_reset = false;
+};
+
+/// Multi-copy decision maker over a fixed state set.
+class MultiCopyUmts {
+ public:
+  MultiCopyUmts(const MultiCopyOptions& options, std::vector<int> states,
+                int initial_state);
+
+  /// `cost_fn(s)` returns c(s, q). Serving cost of the query is
+  /// min over kept states; counters absorb every state's cost.
+  MultiCopyDecision OnQuery(const std::function<double(int)>& cost_fn);
+
+  const std::set<int>& kept() const { return kept_; }
+  int64_t num_materializations() const { return num_materializations_; }
+  int64_t num_phases() const { return num_phases_; }
+
+ private:
+  void StartNewPhase();
+
+  MultiCopyOptions options_;
+  Rng rng_;
+  std::map<int, double> counters_;
+  std::set<int> active_;  // counter < alpha
+  std::set<int> kept_;    // K: materialized copies
+  int64_t num_materializations_ = 0;
+  int64_t num_phases_ = 1;
+};
+
+}  // namespace mts
+}  // namespace oreo
+
+#endif  // OREO_MTS_MULTI_COPY_H_

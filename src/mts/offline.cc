@@ -1,0 +1,168 @@
+#include "mts/offline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace mts {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+OfflineResult Backtrack(const std::vector<std::vector<double>>& dp,
+                        const std::vector<std::vector<int>>& parent) {
+  OfflineResult result;
+  const size_t t_max = dp.size();
+  if (t_max == 0) return result;
+  const size_t n = dp[0].size();
+  size_t best = 0;
+  for (size_t s = 1; s < n; ++s) {
+    if (dp[t_max - 1][s] < dp[t_max - 1][best]) best = s;
+  }
+  result.total_cost = dp[t_max - 1][best];
+  result.schedule.resize(t_max);
+  int cur = static_cast<int>(best);
+  for (size_t t = t_max; t-- > 0;) {
+    result.schedule[t] = cur;
+    cur = parent[t][static_cast<size_t>(cur)];
+  }
+  for (size_t t = 1; t < t_max; ++t) {
+    if (result.schedule[t] != result.schedule[t - 1]) ++result.num_switches;
+  }
+  return result;
+}
+}  // namespace
+
+OfflineResult SolveOfflineUniform(const std::vector<std::vector<double>>& costs,
+                                  double alpha) {
+  std::vector<std::vector<bool>> available;
+  if (!costs.empty()) {
+    available.assign(costs.size(),
+                     std::vector<bool>(costs[0].size(), true));
+  }
+  return SolveOfflineUniformDynamic(costs, available, alpha);
+}
+
+OfflineResult SolveOfflineUniformDynamic(
+    const std::vector<std::vector<double>>& costs,
+    const std::vector<std::vector<bool>>& available, double alpha) {
+  OfflineResult result;
+  const size_t t_max = costs.size();
+  if (t_max == 0) return result;
+  const size_t n = costs[0].size();
+  OREO_CHECK_EQ(available.size(), t_max);
+
+  std::vector<std::vector<double>> dp(t_max, std::vector<double>(n, kInf));
+  std::vector<std::vector<int>> parent(t_max, std::vector<int>(n, -1));
+
+  bool any = false;
+  for (size_t s = 0; s < n; ++s) {
+    if (available[0][s]) {
+      dp[0][s] = costs[0][s];
+      any = true;
+    }
+  }
+  OREO_CHECK(any) << "no available state at t=0";
+
+  for (size_t t = 1; t < t_max; ++t) {
+    OREO_CHECK_EQ(costs[t].size(), n);
+    // Best predecessor if we switch: min over available-at-t-1 states.
+    double best_prev = kInf;
+    int best_prev_state = -1;
+    for (size_t s = 0; s < n; ++s) {
+      if (dp[t - 1][s] < best_prev) {
+        best_prev = dp[t - 1][s];
+        best_prev_state = static_cast<int>(s);
+      }
+    }
+    any = false;
+    for (size_t s = 0; s < n; ++s) {
+      if (!available[t][s]) continue;
+      double stay = dp[t - 1][s];
+      double move = best_prev + alpha;
+      if (stay <= move) {
+        dp[t][s] = stay + costs[t][s];
+        parent[t][s] = static_cast<int>(s);
+      } else {
+        dp[t][s] = move + costs[t][s];
+        parent[t][s] = best_prev_state;
+      }
+      if (std::isfinite(dp[t][s])) any = true;
+    }
+    OREO_CHECK(any) << "no available state at t=" << t;
+  }
+  return Backtrack(dp, parent);
+}
+
+OfflineResult SolveOfflineMetric(const std::vector<std::vector<double>>& costs,
+                                 const std::vector<std::vector<double>>& dist) {
+  OfflineResult result;
+  const size_t t_max = costs.size();
+  if (t_max == 0) return result;
+  const size_t n = costs[0].size();
+  OREO_CHECK_EQ(dist.size(), n);
+  for (const auto& row : dist) OREO_CHECK_EQ(row.size(), n);
+
+  std::vector<std::vector<double>> dp(t_max, std::vector<double>(n, kInf));
+  std::vector<std::vector<int>> parent(t_max, std::vector<int>(n, -1));
+  for (size_t s = 0; s < n; ++s) dp[0][s] = costs[0][s];
+
+  for (size_t t = 1; t < t_max; ++t) {
+    for (size_t s = 0; s < n; ++s) {
+      for (size_t p = 0; p < n; ++p) {
+        double cand = dp[t - 1][p] + dist[p][s] + costs[t][s];
+        if (cand < dp[t][s]) {
+          dp[t][s] = cand;
+          parent[t][s] = static_cast<int>(p);
+        }
+      }
+    }
+  }
+  return Backtrack(dp, parent);
+}
+
+OfflineResult BruteForceOffline(const std::vector<std::vector<double>>& costs,
+                                double alpha) {
+  OfflineResult best;
+  best.total_cost = kInf;
+  const size_t t_max = costs.size();
+  if (t_max == 0) {
+    best.total_cost = 0.0;
+    return best;
+  }
+  const size_t n = costs[0].size();
+  double combos = std::pow(static_cast<double>(n), static_cast<double>(t_max));
+  OREO_CHECK(combos <= (1 << 22)) << "instance too large for brute force";
+
+  std::vector<int> schedule(t_max, 0);
+  const auto total_combos = static_cast<uint64_t>(combos);
+  for (uint64_t mask = 0; mask < total_combos; ++mask) {
+    uint64_t m = mask;
+    for (size_t t = 0; t < t_max; ++t) {
+      schedule[t] = static_cast<int>(m % n);
+      m /= n;
+    }
+    double cost = 0.0;
+    int switches = 0;
+    for (size_t t = 0; t < t_max; ++t) {
+      cost += costs[t][static_cast<size_t>(schedule[t])];
+      if (t > 0 && schedule[t] != schedule[t - 1]) {
+        cost += alpha;
+        ++switches;
+      }
+      if (cost >= best.total_cost) break;
+    }
+    if (cost < best.total_cost) {
+      best.total_cost = cost;
+      best.schedule = schedule;
+      best.num_switches = switches;
+    }
+  }
+  return best;
+}
+
+}  // namespace mts
+}  // namespace oreo

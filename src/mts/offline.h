@@ -1,0 +1,49 @@
+// Offline-optimal solvers used as comparison oracles and in tests:
+//  * SolveOfflineUniform  — uniform switching cost alpha (the paper's OPT in
+//    the competitive analysis, Figure 4);
+//  * SolveOfflineUniformDynamic — same, restricted to the states available at
+//    each time step (the oblivious adversary of D-UMTS must use the same
+//    dynamic state space as the algorithm, SIII-A);
+//  * SolveOfflineMetric   — arbitrary asymmetric movement-cost matrix (used
+//    to validate the work-function algorithm, Appendix C);
+//  * BruteForceOffline    — exponential reference for tiny instances.
+#ifndef OREO_MTS_OFFLINE_H_
+#define OREO_MTS_OFFLINE_H_
+
+#include <vector>
+
+namespace oreo {
+namespace mts {
+
+struct OfflineResult {
+  double total_cost = 0.0;
+  std::vector<int> schedule;  ///< serving state per time step
+  int num_switches = 0;
+};
+
+/// Optimal offline schedule for costs[t][s] with uniform movement cost
+/// `alpha`. The initial state is free (no arrival cost). O(T * S).
+OfflineResult SolveOfflineUniform(const std::vector<std::vector<double>>& costs,
+                                  double alpha);
+
+/// Dynamic-availability variant: state s may serve query t only when
+/// available[t][s] is true. Movement is permitted only between available
+/// states. CHECK-fails if some time step has no available state.
+OfflineResult SolveOfflineUniformDynamic(
+    const std::vector<std::vector<double>>& costs,
+    const std::vector<std::vector<bool>>& available, double alpha);
+
+/// General-metric variant: moving from s' to s costs dist[s'][s]
+/// (dist[s][s] must be 0; asymmetry allowed). O(T * S^2).
+OfflineResult SolveOfflineMetric(const std::vector<std::vector<double>>& costs,
+                                 const std::vector<std::vector<double>>& dist);
+
+/// Exhaustive search over all S^T schedules (tiny instances only; CHECK-fails
+/// if S^T would exceed ~2^22).
+OfflineResult BruteForceOffline(const std::vector<std::vector<double>>& costs,
+                                double alpha);
+
+}  // namespace mts
+}  // namespace oreo
+
+#endif  // OREO_MTS_OFFLINE_H_

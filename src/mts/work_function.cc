@@ -1,0 +1,72 @@
+#include "mts/work_function.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace mts {
+
+WorkFunctionAlgorithm::WorkFunctionAlgorithm(
+    std::vector<std::vector<double>> dist, int initial_state)
+    : dist_(std::move(dist)), current_(initial_state) {
+  const size_t n = dist_.size();
+  OREO_CHECK_GE(n, 1u);
+  for (const auto& row : dist_) OREO_CHECK_EQ(row.size(), n);
+  OREO_CHECK(initial_state >= 0 && static_cast<size_t>(initial_state) < n);
+  // w_0(s) = cost of starting at `initial_state` and ending at s.
+  w_.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    w_[s] = dist_[static_cast<size_t>(initial_state)][s];
+  }
+}
+
+int WorkFunctionAlgorithm::OnQuery(const std::vector<double>& costs) {
+  const size_t n = w_.size();
+  OREO_CHECK_EQ(costs.size(), n);
+  // Work-function update: w'(s) = min_s' [ w(s') + c(s') + d(s', s) ].
+  std::vector<double> next(n, std::numeric_limits<double>::infinity());
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t p = 0; p < n; ++p) {
+      double cand = w_[p] + costs[p] + dist_[p][s];
+      if (cand < next[s]) next[s] = cand;
+    }
+  }
+  w_ = std::move(next);
+  // Move rule ("support" condition): the work function is d-Lipschitz, so
+  // w'(cur) <= w'(s) + d(s, cur) always. Move exactly when equality holds
+  // for some other state s — the current state's work value is then realized
+  // by ending in s and paying the move, so the algorithm relocates to the
+  // supporting state with the smallest work value. With ties kept at the
+  // current state WFA would never move; moving on strict inequality alone
+  // is impossible. This is the textbook WFA for task systems.
+  const double cur_w = w_[static_cast<size_t>(current_)];
+  int best = current_;
+  double best_w = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < n; ++s) {
+    if (static_cast<int>(s) == current_) continue;
+    double supported = w_[s] + dist_[s][static_cast<size_t>(current_)];
+    if (supported <= cur_w + 1e-12 && w_[s] < best_w) {
+      best_w = w_[s];
+      best = static_cast<int>(s);
+    }
+  }
+  if (best != current_) {
+    current_ = best;
+    ++num_switches_;
+  }
+  return current_;
+}
+
+TwoStateAsymmetric::TwoStateAsymmetric(double cost_01, double cost_10,
+                                       int initial_state)
+    : wfa_({{0.0, cost_01}, {cost_10, 0.0}}, initial_state) {
+  OREO_CHECK(cost_01 > 0.0 && cost_10 > 0.0);
+}
+
+int TwoStateAsymmetric::OnQuery(double c0, double c1) {
+  return wfa_.OnQuery({c0, c1});
+}
+
+}  // namespace mts
+}  // namespace oreo

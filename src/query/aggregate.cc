@@ -1,0 +1,108 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string AggResult::ToString() const {
+  std::string out = AggOpName(op);
+  out += "=";
+  if (!valid) return out + "NULL";
+  if (op == AggOp::kCount) return out + std::to_string(count);
+  return out + std::to_string(value);
+}
+
+Aggregator::Aggregator(std::vector<AggSpec> specs)
+    : specs_(std::move(specs)),
+      sums_(specs_.size(), 0.0),
+      mins_(specs_.size(), std::numeric_limits<double>::infinity()),
+      maxs_(specs_.size(), -std::numeric_limits<double>::infinity()),
+      counts_(specs_.size(), 0) {
+  for (const AggSpec& s : specs_) {
+    OREO_CHECK(s.op == AggOp::kCount || s.column >= 0)
+        << "aggregate needs a column";
+  }
+}
+
+void Aggregator::FoldRow(const Table& table, uint32_t row) {
+  ++rows_seen_;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const AggSpec& s = specs_[i];
+    ++counts_[i];
+    if (s.op == AggOp::kCount) continue;
+    double v = table.column(static_cast<size_t>(s.column)).GetNumeric(row);
+    sums_[i] += v;
+    mins_[i] = std::min(mins_[i], v);
+    maxs_[i] = std::max(maxs_[i], v);
+  }
+}
+
+void Aggregator::Consume(const Table& table, const Query& query) {
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    if (query.Matches(table, r)) FoldRow(table, r);
+  }
+}
+
+void Aggregator::ConsumeRows(const Table& table,
+                             const std::vector<uint32_t>& rows) {
+  for (uint32_t r : rows) FoldRow(table, r);
+}
+
+std::vector<AggResult> Aggregator::Finish() const {
+  std::vector<AggResult> out;
+  out.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    AggResult r;
+    r.op = specs_[i].op;
+    r.count = counts_[i];
+    switch (specs_[i].op) {
+      case AggOp::kCount:
+        break;
+      case AggOp::kSum:
+        r.value = sums_[i];
+        break;
+      case AggOp::kMin:
+        r.value = mins_[i];
+        r.valid = counts_[i] > 0;
+        break;
+      case AggOp::kMax:
+        r.value = maxs_[i];
+        r.valid = counts_[i] > 0;
+        break;
+      case AggOp::kAvg:
+        r.valid = counts_[i] > 0;
+        r.value = r.valid ? sums_[i] / static_cast<double>(counts_[i]) : 0.0;
+        break;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AggResult> RunAggregates(const Table& table, const Query& query,
+                                     const std::vector<AggSpec>& specs) {
+  Aggregator agg(specs);
+  agg.Consume(table, query);
+  return agg.Finish();
+}
+
+}  // namespace oreo

@@ -1,0 +1,74 @@
+// Aggregate evaluation over filtered scans. The paper's query templates are
+// SQL aggregates (q1 pricing summary, q6 revenue forecast, ...); the cost
+// model only needs the fraction of data accessed, but a usable engine must
+// also produce the answers. Aggregates run over the rows that survive the
+// query's conjuncts.
+#ifndef OREO_QUERY_AGGREGATE_H_
+#define OREO_QUERY_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace oreo {
+
+/// Supported aggregate functions.
+enum class AggOp : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggOpName(AggOp op);
+
+/// One aggregate to compute: op over `column` (column ignored for kCount).
+struct AggSpec {
+  AggOp op = AggOp::kCount;
+  int column = -1;
+};
+
+/// Result of one aggregate. kCount reports into `count`; numeric aggregates
+/// report into `value` (int columns are widened to double). For empty inputs
+/// kSum is 0, kMin/kMax/kAvg report `valid = false`.
+struct AggResult {
+  AggOp op;
+  double value = 0.0;
+  int64_t count = 0;
+  bool valid = true;
+
+  std::string ToString() const;
+};
+
+/// Streaming aggregate accumulator: feed rows from any number of partitions,
+/// then Finish(). Mirrors how a scan operator folds partition blocks.
+class Aggregator {
+ public:
+  explicit Aggregator(std::vector<AggSpec> specs);
+
+  /// Folds every row of `table` that matches `query` (evaluated against
+  /// `table`'s own schema — remap predicate columns for projected blocks).
+  void Consume(const Table& table, const Query& query);
+
+  /// Folds the given rows unconditionally.
+  void ConsumeRows(const Table& table, const std::vector<uint32_t>& rows);
+
+  std::vector<AggResult> Finish() const;
+  int64_t rows_seen() const { return rows_seen_; }
+
+ private:
+  void FoldRow(const Table& table, uint32_t row);
+
+  std::vector<AggSpec> specs_;
+  std::vector<double> sums_;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+  std::vector<int64_t> counts_;
+  int64_t rows_seen_ = 0;
+};
+
+/// One-shot convenience: aggregates over a whole table.
+std::vector<AggResult> RunAggregates(const Table& table, const Query& query,
+                                     const std::vector<AggSpec>& specs);
+
+}  // namespace oreo
+
+#endif  // OREO_QUERY_AGGREGATE_H_

@@ -1,0 +1,246 @@
+#include "query/predicate.h"
+
+#include <string_view>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+    case CompareOp::kIn:
+      return "IN";
+  }
+  return "?";
+}
+
+Predicate Predicate::Eq(int col, Value v) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kEq;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Lt(int col, Value v) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kLt;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Le(int col, Value v) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kLe;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Gt(int col, Value v) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kGt;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Ge(int col, Value v) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kGe;
+  p.value = std::move(v);
+  return p;
+}
+
+Predicate Predicate::Between(int col, Value lo, Value hi) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kBetween;
+  p.value = std::move(lo);
+  p.value2 = std::move(hi);
+  return p;
+}
+
+Predicate Predicate::In(int col, std::vector<Value> values) {
+  Predicate p;
+  p.column = col;
+  p.op = CompareOp::kIn;
+  p.in_list = std::move(values);
+  return p;
+}
+
+namespace {
+
+// Typed comparison without materializing a Value per cell — this is the
+// hottest loop in the system (row routing, selectivity estimation, physical
+// scans all funnel through it).
+template <typename T, typename Get>
+bool MatchesTyped(const Predicate& p, const Get& get, const T& cell) {
+  switch (p.op) {
+    case CompareOp::kEq:
+      return cell == get(p.value);
+    case CompareOp::kLt:
+      return cell < get(p.value);
+    case CompareOp::kLe:
+      return cell <= get(p.value);
+    case CompareOp::kGt:
+      return cell > get(p.value);
+    case CompareOp::kGe:
+      return cell >= get(p.value);
+    case CompareOp::kBetween:
+      return get(p.value) <= cell && cell <= get(p.value2);
+    case CompareOp::kIn:
+      for (const Value& v : p.in_list) {
+        if (cell == get(v)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Predicate::Matches(const Table& table, uint32_t row) const {
+  OREO_DCHECK(column >= 0 &&
+              static_cast<size_t>(column) < table.num_columns());
+  const Column& col = table.column(static_cast<size_t>(column));
+  switch (col.type()) {
+    case DataType::kInt64:
+      return MatchesTyped<int64_t>(
+          *this, [](const Value& v) { return v.AsInt64(); },
+          col.GetInt64(row));
+    case DataType::kDouble:
+      return MatchesTyped<double>(
+          *this, [](const Value& v) { return v.AsDouble(); },
+          col.GetDouble(row));
+    case DataType::kString:
+      return MatchesTyped<std::string_view>(
+          *this,
+          [](const Value& v) { return std::string_view(v.AsString()); },
+          std::string_view(col.GetString(row)));
+  }
+  return false;
+}
+
+namespace {
+
+// Numeric [min,max] interval of a zone for int64/double columns.
+struct NumericBounds {
+  double lo;
+  double hi;
+};
+
+NumericBounds BoundsOf(const ColumnZone& zone) {
+  if (zone.type == DataType::kInt64) {
+    return {static_cast<double>(zone.int_min), static_cast<double>(zone.int_max)};
+  }
+  return {zone.dbl_min, zone.dbl_max};
+}
+
+}  // namespace
+
+bool Predicate::ProvesEmpty(const ColumnZone& zone) const {
+  if (zone.empty) return true;  // empty partition: trivially skippable
+
+  if (zone.type == DataType::kString) {
+    // String comparisons are lexicographic on [str_min, str_max], plus exact
+    // membership when the distinct set did not overflow.
+    switch (op) {
+      case CompareOp::kEq: {
+        const std::string& v = value.AsString();
+        if (v < zone.str_min || v > zone.str_max) return true;
+        if (!zone.distinct_overflow) return zone.distinct.count(v) == 0;
+        return false;
+      }
+      case CompareOp::kIn: {
+        for (const Value& v : in_list) {
+          const std::string& s = v.AsString();
+          if (s < zone.str_min || s > zone.str_max) continue;
+          if (!zone.distinct_overflow) {
+            if (zone.distinct.count(s) > 0) return false;
+            continue;
+          }
+          return false;  // possibly present
+        }
+        return true;
+      }
+      case CompareOp::kLt:
+        return zone.str_min >= value.AsString();
+      case CompareOp::kLe:
+        return zone.str_min > value.AsString();
+      case CompareOp::kGt:
+        return zone.str_max <= value.AsString();
+      case CompareOp::kGe:
+        return zone.str_max < value.AsString();
+      case CompareOp::kBetween:
+        return zone.str_max < value.AsString() ||
+               zone.str_min > value2.AsString();
+    }
+    return false;
+  }
+
+  const NumericBounds b = BoundsOf(zone);
+  switch (op) {
+    case CompareOp::kEq: {
+      double v = value.AsNumeric();
+      return v < b.lo || v > b.hi;
+    }
+    case CompareOp::kLt:
+      return b.lo >= value.AsNumeric();
+    case CompareOp::kLe:
+      return b.lo > value.AsNumeric();
+    case CompareOp::kGt:
+      return b.hi <= value.AsNumeric();
+    case CompareOp::kGe:
+      return b.hi < value.AsNumeric();
+    case CompareOp::kBetween:
+      return b.hi < value.AsNumeric() || b.lo > value2.AsNumeric();
+    case CompareOp::kIn: {
+      for (const Value& v : in_list) {
+        double x = v.AsNumeric();
+        if (x >= b.lo && x <= b.hi) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Predicate::ToString(const Schema* schema) const {
+  std::string col_name =
+      (schema != nullptr && column >= 0 &&
+       static_cast<size_t>(column) < schema->num_fields())
+          ? schema->field(static_cast<size_t>(column)).name
+          : "col" + std::to_string(column);
+  switch (op) {
+    case CompareOp::kBetween:
+      return col_name + " BETWEEN " + value.ToString() + " AND " +
+             value2.ToString();
+    case CompareOp::kIn: {
+      std::string out = col_name + " IN (";
+      for (size_t i = 0; i < in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list[i].ToString();
+      }
+      return out + ")";
+    }
+    default:
+      return col_name + " " + CompareOpName(op) + " " + value.ToString();
+  }
+}
+
+}  // namespace oreo

@@ -1,0 +1,61 @@
+// Predicates: the building blocks of queries and of Qd-tree cuts.
+// A predicate constrains a single column; a Query (query.h) is a conjunction
+// of predicates, mirroring the filter shapes used for data skipping in the
+// paper (range predicates, equality, IN-lists; Figure 2).
+#ifndef OREO_QUERY_PREDICATE_H_
+#define OREO_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "storage/table.h"
+#include "storage/zone_map.h"
+
+namespace oreo {
+
+/// Comparison operator of a predicate.
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  ///< inclusive [lo, hi]; uses `value` and `value2`
+  kIn,       ///< membership in `in_list`
+};
+
+const char* CompareOpName(CompareOp op);
+
+/// A single-column filter.
+struct Predicate {
+  int column = -1;  ///< field index in the table schema
+  CompareOp op = CompareOp::kEq;
+  Value value;                 ///< operand (lo for kBetween)
+  Value value2;                ///< hi for kBetween
+  std::vector<Value> in_list;  ///< operands for kIn
+
+  // --- convenience constructors ---
+  static Predicate Eq(int col, Value v);
+  static Predicate Lt(int col, Value v);
+  static Predicate Le(int col, Value v);
+  static Predicate Gt(int col, Value v);
+  static Predicate Ge(int col, Value v);
+  static Predicate Between(int col, Value lo, Value hi);
+  static Predicate In(int col, std::vector<Value> values);
+
+  /// True if row `row` of `table` satisfies this predicate.
+  bool Matches(const Table& table, uint32_t row) const;
+
+  /// True if the zone metadata proves that *no* row in the partition can
+  /// satisfy this predicate (i.e. the partition may be skipped on account of
+  /// this conjunct). Conservative: false when unsure.
+  bool ProvesEmpty(const ColumnZone& zone) const;
+
+  /// Display form, e.g. "col3 BETWEEN 10 AND 20".
+  std::string ToString(const Schema* schema = nullptr) const;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_QUERY_PREDICATE_H_

@@ -1,0 +1,92 @@
+#include "query/query.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+
+bool Query::Matches(const Table& table, uint32_t row) const {
+  for (const Predicate& p : conjuncts) {
+    if (!p.Matches(table, row)) return false;
+  }
+  return true;
+}
+
+bool Query::CanSkipPartition(const ZoneMap& zone) const {
+  for (const Predicate& p : conjuncts) {
+    OREO_DCHECK(p.column >= 0 &&
+                static_cast<size_t>(p.column) < zone.columns.size());
+    if (p.ProvesEmpty(zone.columns[static_cast<size_t>(p.column)])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Query::ToString(const Schema* schema) const {
+  if (conjuncts.empty()) return "SELECT * (full scan)";
+  std::string out = "WHERE ";
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += conjuncts[i].ToString(schema);
+  }
+  return out;
+}
+
+uint64_t CountMatches(const Table& table, const std::vector<uint32_t>& row_ids,
+                      const Query& query) {
+  uint64_t count = 0;
+  for (uint32_t r : row_ids) {
+    if (query.Matches(table, r)) ++count;
+  }
+  return count;
+}
+
+uint64_t CountMatches(const Table& table, const Query& query) {
+  uint64_t count = 0;
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    if (query.Matches(table, r)) ++count;
+  }
+  return count;
+}
+
+double EstimateSelectivity(const Table& sample, const Query& query) {
+  if (sample.num_rows() == 0) return 0.0;
+  return static_cast<double>(CountMatches(sample, query)) /
+         static_cast<double>(sample.num_rows());
+}
+
+double FractionAccessed(const Partitioning& partitioning, const Query& query) {
+  if (partitioning.total_rows == 0) return 0.0;
+  uint64_t accessed = 0;
+  for (size_t i = 0; i < partitioning.zones.size(); ++i) {
+    if (!query.CanSkipPartition(partitioning.zones[i])) {
+      accessed += partitioning.zones[i].num_rows;
+    }
+  }
+  return static_cast<double>(accessed) /
+         static_cast<double>(partitioning.total_rows);
+}
+
+double FractionAccessedFromMetadata(const PartitionMetadata& meta,
+                                    const Query& query) {
+  if (meta.total_rows == 0) return 0.0;
+  uint64_t accessed = 0;
+  for (const ZoneMap& zm : meta.zones) {
+    if (!query.CanSkipPartition(zm)) accessed += zm.num_rows;
+  }
+  return static_cast<double>(accessed) /
+         static_cast<double>(meta.total_rows);
+}
+
+std::vector<uint32_t> PartitionsToRead(const Partitioning& partitioning,
+                                       const Query& query) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < partitioning.zones.size(); ++i) {
+    if (!query.CanSkipPartition(partitioning.zones[i])) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace oreo

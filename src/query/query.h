@@ -1,0 +1,59 @@
+// A query: a conjunction of predicates over one table, with workload
+// bookkeeping (arrival order, originating template) used by the workload
+// generators and the evaluation harness.
+#ifndef OREO_QUERY_QUERY_H_
+#define OREO_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/metadata_io.h"
+#include "storage/partitioning.h"
+
+namespace oreo {
+
+/// A conjunctive filter query. An empty conjunct list is a full scan.
+struct Query {
+  int64_t id = 0;           ///< arrival position in the stream
+  int template_id = -1;     ///< originating workload template (-1 = unknown)
+  std::vector<Predicate> conjuncts;
+
+  /// True if row `row` of `table` satisfies all conjuncts.
+  bool Matches(const Table& table, uint32_t row) const;
+
+  /// True if the zone map proves no row of the partition matches
+  /// (any conjunct proving emptiness suffices).
+  bool CanSkipPartition(const ZoneMap& zone) const;
+
+  std::string ToString(const Schema* schema = nullptr) const;
+};
+
+/// Number of rows among `row_ids` that match `query` (full scan within a
+/// partition; used by the physical engine and by selectivity estimation).
+uint64_t CountMatches(const Table& table, const std::vector<uint32_t>& row_ids,
+                      const Query& query);
+
+/// Number of matching rows over the whole table.
+uint64_t CountMatches(const Table& table, const Query& query);
+
+/// Fraction of matching rows in a sample table (selectivity estimate).
+double EstimateSelectivity(const Table& sample, const Query& query);
+
+/// The paper's query cost c(s, q): fraction of rows residing in partitions
+/// that zone-map pruning cannot skip, in [0, 1].
+double FractionAccessed(const Partitioning& partitioning, const Query& query);
+
+/// c(s, q) evaluated from persisted partition metadata alone — identical to
+/// FractionAccessed over the original partitioning.
+double FractionAccessedFromMetadata(const PartitionMetadata& meta,
+                                    const Query& query);
+
+/// Ids of partitions that must be read for `query` (the "BID list").
+std::vector<uint32_t> PartitionsToRead(const Partitioning& partitioning,
+                                       const Query& query);
+
+}  // namespace oreo
+
+#endif  // OREO_QUERY_QUERY_H_

@@ -1,0 +1,52 @@
+// Classic uniform reservoir sampling (Vitter's Algorithm R): every item seen
+// so far is retained with equal probability k/n. Used by the §VI-D4 ablation
+// comparing sliding-window vs reservoir candidate generation.
+#ifndef OREO_SAMPLING_RESERVOIR_H_
+#define OREO_SAMPLING_RESERVOIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace oreo {
+
+/// Uniform fixed-size sample over an unbounded stream.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, Rng rng)
+      : capacity_(capacity), rng_(rng) {
+    OREO_CHECK_GT(capacity, 0u);
+    sample_.reserve(capacity);
+  }
+
+  void Add(T item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(std::move(item));
+      return;
+    }
+    // Replace a random slot with probability capacity/seen.
+    uint64_t j = rng_.Uniform(seen_);
+    if (j < capacity_) {
+      sample_[j] = std::move(item);
+    }
+  }
+
+  size_t size() const { return sample_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t seen() const { return seen_; }
+  const std::vector<T>& Items() const { return sample_; }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_SAMPLING_RESERVOIR_H_

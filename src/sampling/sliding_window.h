@@ -1,0 +1,63 @@
+// Fixed-capacity sliding window over a stream (ring buffer). The Layout
+// Manager generates candidate layouts from the most recent W queries
+// (paper §V-A, default W = 200).
+#ifndef OREO_SAMPLING_SLIDING_WINDOW_H_
+#define OREO_SAMPLING_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+/// Keeps the last `capacity` items added, in arrival order.
+template <typename T>
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(size_t capacity) : capacity_(capacity) {
+    OREO_CHECK_GT(capacity, 0u);
+    buffer_.reserve(capacity);
+  }
+
+  void Add(T item) {
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(item));
+    } else {
+      buffer_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++total_seen_;
+  }
+
+  size_t size() const { return buffer_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return buffer_.size() == capacity_; }
+  /// Total items ever added (not just retained).
+  size_t total_seen() const { return total_seen_; }
+
+  /// Items oldest-to-newest.
+  std::vector<T> Items() const {
+    std::vector<T> out;
+    out.reserve(buffer_.size());
+    for (size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    buffer_.clear();
+    head_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest element once full
+  size_t total_seen_ = 0;
+  std::vector<T> buffer_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_SAMPLING_SLIDING_WINDOW_H_

@@ -1,0 +1,63 @@
+// Lightweight column encodings for the on-disk block format: plain, RLE,
+// zigzag delta-varint (for sorted/clustered integers), and dictionary (for
+// strings). Reorganization cost in the paper includes compressing and writing
+// partitions; these codecs make that work real in the physical benchmarks.
+#ifndef OREO_STORAGE_CODEC_H_
+#define OREO_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oreo {
+
+/// Wire encoding of a column chunk.
+enum class Encoding : uint8_t {
+  kPlain = 0,        ///< raw little-endian values
+  kRle = 1,          ///< (varint run length, zigzag varint value) pairs
+  kDeltaVarint = 2,  ///< first value raw, then zigzag varint deltas
+  kDictionary = 3,   ///< length-prefixed dictionary + plain u32 codes
+};
+
+const char* EncodingName(Encoding e);
+
+// --- varint / zigzag primitives (exposed for tests) ---
+
+void PutVarint64(std::string* out, uint64_t v);
+/// Reads a varint at *pos, advancing it. Returns false on truncation.
+bool GetVarint64(std::string_view data, size_t* pos, uint64_t* v);
+uint64_t ZigZagEncode(int64_t v);
+int64_t ZigZagDecode(uint64_t v);
+
+// --- int64 columns ---
+
+/// Encodes `values` using `enc` (kPlain, kRle or kDeltaVarint).
+void EncodeInt64(const std::vector<int64_t>& values, Encoding enc,
+                 std::string* out);
+/// Decodes exactly `n` values; fails with Corruption on malformed input.
+Status DecodeInt64(std::string_view data, Encoding enc, size_t n,
+                   std::vector<int64_t>* out);
+/// Picks the smallest encoding among plain/RLE/delta for the given data
+/// using cheap heuristics (run count, sortedness).
+Encoding ChooseInt64Encoding(const std::vector<int64_t>& values);
+
+// --- double columns (plain only) ---
+
+void EncodeDouble(const std::vector<double>& values, std::string* out);
+Status DecodeDouble(std::string_view data, size_t n,
+                    std::vector<double>* out);
+
+// --- string columns (dictionary) ---
+
+void EncodeStringDict(const std::vector<uint32_t>& codes,
+                      const std::vector<std::string>& dict, std::string* out);
+Status DecodeStringDict(std::string_view data, size_t n,
+                        std::vector<uint32_t>* codes,
+                        std::vector<std::string>* dict);
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_CODEC_H_

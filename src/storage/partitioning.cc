@@ -1,0 +1,51 @@
+#include "storage/partitioning.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+Partitioning BuildPartitioning(const Table& table,
+                               const std::vector<uint32_t>& assignment,
+                               uint32_t num_partitions) {
+  OREO_CHECK_EQ(assignment.size(), table.num_rows());
+  Partitioning out;
+  out.partitions.assign(num_partitions, {});
+  for (uint32_t r = 0; r < assignment.size(); ++r) {
+    OREO_CHECK_LT(assignment[r], num_partitions);
+    out.partitions[assignment[r]].push_back(r);
+  }
+  // Drop empty partitions to keep metadata compact.
+  out.partitions.erase(
+      std::remove_if(out.partitions.begin(), out.partitions.end(),
+                     [](const std::vector<uint32_t>& p) { return p.empty(); }),
+      out.partitions.end());
+  out.zones.reserve(out.partitions.size());
+  for (const auto& rows : out.partitions) {
+    out.zones.push_back(BuildZoneMap(table, rows));
+  }
+  out.total_rows = table.num_rows();
+  return out;
+}
+
+bool ValidatePartitioning(const Partitioning& p, uint64_t expected_rows) {
+  std::vector<uint8_t> seen(expected_rows, 0);
+  uint64_t count = 0;
+  for (const auto& part : p.partitions) {
+    for (uint32_t r : part) {
+      if (r >= expected_rows) return false;
+      if (seen[r]) return false;
+      seen[r] = 1;
+      ++count;
+    }
+  }
+  if (count != expected_rows) return false;
+  if (p.zones.size() != p.partitions.size()) return false;
+  for (size_t i = 0; i < p.partitions.size(); ++i) {
+    if (p.zones[i].num_rows != p.partitions[i].size()) return false;
+  }
+  return true;
+}
+
+}  // namespace oreo

@@ -1,0 +1,62 @@
+// In-memory columnar table: a Schema plus one Column per field.
+#ifndef OREO_STORAGE_TABLE_H_
+#define OREO_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/rng.h"
+#include "storage/column.h"
+
+namespace oreo {
+
+/// A columnar table. Rows are appended column-wise or row-wise; after
+/// construction the table is treated as immutable by the rest of the system.
+class Table {
+ public:
+  /// Empty table with an empty schema (useful as a placeholder).
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Appends one row; `values` must match the schema arity and types.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Recomputes num_rows after direct column mutation; CHECK-fails if the
+  /// columns disagree on length.
+  void FinishAppends();
+
+  void Reserve(size_t n);
+
+  /// New table containing rows at `row_ids` in order.
+  Table Take(const std::vector<uint32_t>& row_ids) const;
+
+  /// Appends all rows of `other` (schemas must match).
+  void Append(const Table& other);
+
+  /// Uniform sample without replacement of min(n, num_rows) rows.
+  /// Returns the sampled table; `out_row_ids` (optional) receives the chosen
+  /// row ids in ascending order.
+  Table SampleRows(size_t n, Rng* rng,
+                   std::vector<uint32_t>* out_row_ids = nullptr) const;
+
+  /// Approximate in-memory footprint in bytes (column data only).
+  size_t MemoryBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_TABLE_H_

@@ -1,0 +1,86 @@
+#include "storage/zone_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+void ColumnZone::UpdateInt64(int64_t v) {
+  if (empty) {
+    int_min = int_max = v;
+    empty = false;
+  } else {
+    int_min = std::min(int_min, v);
+    int_max = std::max(int_max, v);
+  }
+}
+
+void ColumnZone::UpdateDouble(double v) {
+  if (empty) {
+    dbl_min = dbl_max = v;
+    empty = false;
+  } else {
+    dbl_min = std::min(dbl_min, v);
+    dbl_max = std::max(dbl_max, v);
+  }
+}
+
+void ColumnZone::UpdateString(const std::string& v) {
+  if (empty) {
+    str_min = str_max = v;
+    empty = false;
+  } else {
+    if (v < str_min) str_min = v;
+    if (v > str_max) str_max = v;
+  }
+  if (!distinct_overflow) {
+    distinct.insert(v);
+    if (distinct.size() > kMaxDistinct) {
+      distinct.clear();
+      distinct_overflow = true;
+    }
+  }
+}
+
+ZoneMap ZoneMap::ForSchema(const Schema& schema) {
+  ZoneMap zm;
+  zm.columns.resize(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    zm.columns[i].type = schema.field(i).type;
+  }
+  return zm;
+}
+
+void ZoneMap::UpdateRow(const Table& table, uint32_t row) {
+  OREO_DCHECK(columns.size() == table.num_columns());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const Column& col = table.column(c);
+    switch (col.type()) {
+      case DataType::kInt64:
+        columns[c].UpdateInt64(col.GetInt64(row));
+        break;
+      case DataType::kDouble:
+        columns[c].UpdateDouble(col.GetDouble(row));
+        break;
+      case DataType::kString:
+        columns[c].UpdateString(col.GetString(row));
+        break;
+    }
+  }
+  ++num_rows;
+}
+
+ZoneMap BuildZoneMap(const Table& table, const std::vector<uint32_t>& row_ids) {
+  ZoneMap zm = ZoneMap::ForSchema(table.schema());
+  for (uint32_t r : row_ids) zm.UpdateRow(table, r);
+  return zm;
+}
+
+ZoneMap BuildZoneMap(const Table& table) {
+  ZoneMap zm = ZoneMap::ForSchema(table.schema());
+  for (uint32_t r = 0; r < table.num_rows(); ++r) zm.UpdateRow(table, r);
+  return zm;
+}
+
+}  // namespace oreo

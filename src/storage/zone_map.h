@@ -1,0 +1,65 @@
+// Partition-level metadata ("zone maps"): per-column min/max plus a bounded
+// distinct-value set for categoricals. This is the only information the
+// query optimizer uses to decide whether a partition can be skipped
+// (paper §III-B, Figure 2), so query costs can be estimated without touching
+// the underlying data.
+#ifndef OREO_STORAGE_ZONE_MAP_H_
+#define OREO_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/table.h"
+
+namespace oreo {
+
+/// Zone metadata for one column of one partition.
+struct ColumnZone {
+  DataType type = DataType::kInt64;
+  bool empty = true;
+
+  // Numeric bounds (kInt64 / kDouble).
+  int64_t int_min = 0;
+  int64_t int_max = 0;
+  double dbl_min = 0.0;
+  double dbl_max = 0.0;
+
+  // String bounds and distinct set (kString). The distinct set is capped at
+  // kMaxDistinct values; past that only min/max remain usable.
+  std::string str_min;
+  std::string str_max;
+  std::set<std::string> distinct;
+  bool distinct_overflow = false;
+
+  static constexpr size_t kMaxDistinct = 64;
+
+  void UpdateInt64(int64_t v);
+  void UpdateDouble(double v);
+  void UpdateString(const std::string& v);
+};
+
+/// Zone metadata for one partition: one ColumnZone per schema field plus the
+/// row count.
+struct ZoneMap {
+  std::vector<ColumnZone> columns;
+  uint64_t num_rows = 0;
+
+  /// Initializes empty zones for every field in `schema`.
+  static ZoneMap ForSchema(const Schema& schema);
+
+  /// Folds row `row` of `table` into this zone map.
+  void UpdateRow(const Table& table, uint32_t row);
+};
+
+/// Builds a zone map covering the given rows of `table`.
+ZoneMap BuildZoneMap(const Table& table, const std::vector<uint32_t>& row_ids);
+
+/// Builds a zone map covering the entire table.
+ZoneMap BuildZoneMap(const Table& table);
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_ZONE_MAP_H_

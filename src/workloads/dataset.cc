@@ -1,0 +1,603 @@
+#include "workloads/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace workloads {
+
+namespace {
+
+// TPC-H date domain: days since epoch for 1992-01-01 .. 1998-12-31.
+constexpr int64_t kTpchDateLo = 8035;
+constexpr int64_t kTpchDateHi = 10591;
+
+std::vector<std::string> NamePool(const std::string& prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::string num = std::to_string(i);
+    if (num.size() < 2) num = "0" + num;
+    out.push_back(prefix + "_" + num);
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadDataset MakeTpchLike(size_t rows, uint64_t seed) {
+  Schema schema({
+      {"l_orderkey", DataType::kInt64},      // 0
+      {"l_quantity", DataType::kInt64},      // 1
+      {"l_extendedprice", DataType::kDouble},  // 2
+      {"l_discount", DataType::kDouble},     // 3
+      {"l_tax", DataType::kDouble},          // 4
+      {"l_shipdate", DataType::kInt64},      // 5
+      {"l_commitdate", DataType::kInt64},    // 6
+      {"l_receiptdate", DataType::kInt64},   // 7
+      {"l_orderdate", DataType::kInt64},     // 8
+      {"l_shipmode", DataType::kString},     // 9
+      {"l_shipinstruct", DataType::kString},  // 10
+      {"l_returnflag", DataType::kString},   // 11
+      {"l_linestatus", DataType::kString},   // 12
+      {"o_orderpriority", DataType::kString},  // 13
+      {"c_mktsegment", DataType::kString},   // 14
+      {"c_nation", DataType::kString},       // 15
+      {"c_region", DataType::kString},       // 16
+      {"p_brand", DataType::kString},        // 17
+      {"p_container", DataType::kString},    // 18
+      {"p_size", DataType::kInt64},          // 19
+      {"p_type", DataType::kString},         // 20
+  });
+
+  const std::vector<std::string> ship_modes = {
+      "MAIL", "SHIP", "RAIL", "TRUCK", "AIR", "FOB", "REG AIR"};
+  const std::vector<std::string> ship_instr = {
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  const std::vector<std::string> return_flags = {"R", "A", "N"};
+  const std::vector<std::string> line_status = {"O", "F"};
+  const std::vector<std::string> priorities = {
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  const std::vector<std::string> segments = {
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"};
+  const std::vector<std::string> nations = NamePool("NATION", 25);
+  const std::vector<std::string> regions = {"AFRICA", "AMERICA", "ASIA",
+                                            "EUROPE", "MIDDLE EAST"};
+  const std::vector<std::string> brands = NamePool("Brand#", 25);
+  const std::vector<std::string> containers = NamePool("CONTAINER", 12);
+  const std::vector<std::string> types = NamePool("TYPE", 12);
+
+  Table table(schema);
+  table.Reserve(rows);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    int64_t orderkey = rng.UniformInt(1, static_cast<int64_t>(rows / 4 + 4));
+    int64_t quantity = rng.UniformInt(1, 50);
+    double base_price = rng.UniformDouble(900.0, 10000.0);
+    double price = static_cast<double>(quantity) * base_price;
+    double discount = 0.01 * static_cast<double>(rng.UniformInt(0, 10));
+    double tax = 0.01 * static_cast<double>(rng.UniformInt(0, 8));
+    int64_t shipdate = rng.UniformInt(kTpchDateLo, kTpchDateHi);
+    int64_t commitdate = shipdate + rng.UniformInt(-30, 30);
+    int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+    int64_t orderdate = shipdate - rng.UniformInt(1, 121);
+    size_t nation = static_cast<size_t>(rng.Zipf(25, 0.5));
+
+    table.mutable_column(0)->AppendInt64(orderkey);
+    table.mutable_column(1)->AppendInt64(quantity);
+    table.mutable_column(2)->AppendDouble(price);
+    table.mutable_column(3)->AppendDouble(discount);
+    table.mutable_column(4)->AppendDouble(tax);
+    table.mutable_column(5)->AppendInt64(shipdate);
+    table.mutable_column(6)->AppendInt64(commitdate);
+    table.mutable_column(7)->AppendInt64(receiptdate);
+    table.mutable_column(8)->AppendInt64(orderdate);
+    table.mutable_column(9)->AppendString(ship_modes[rng.Uniform(7)]);
+    table.mutable_column(10)->AppendString(ship_instr[rng.Uniform(4)]);
+    table.mutable_column(11)->AppendString(
+        return_flags[rng.Bernoulli(0.25) ? 0 : 1 + rng.Uniform(2)]);
+    table.mutable_column(12)->AppendString(line_status[rng.Uniform(2)]);
+    table.mutable_column(13)->AppendString(priorities[rng.Uniform(5)]);
+    table.mutable_column(14)->AppendString(segments[rng.Uniform(5)]);
+    table.mutable_column(15)->AppendString(nations[nation]);
+    table.mutable_column(16)->AppendString(regions[nation / 5]);
+    table.mutable_column(17)->AppendString(brands[rng.Uniform(25)]);
+    table.mutable_column(18)->AppendString(containers[rng.Uniform(12)]);
+    table.mutable_column(19)->AppendInt64(rng.UniformInt(1, 50));
+    table.mutable_column(20)->AppendString(types[rng.Uniform(12)]);
+  }
+  table.FinishAppends();
+
+  auto day = [](int64_t d) { return Value(d); };
+  std::vector<QueryTemplate> templates;
+  // q1: pricing summary over recently shipped items.
+  templates.push_back({"q1", [day](Rng* r) {
+    Query q;
+    int64_t hi = kTpchDateHi - r->UniformInt(60, 120);
+    q.conjuncts = {Predicate::Le(5, day(hi))};
+    return q;
+  }});
+  // q3: shipping priority for one market segment around a cut date.
+  templates.push_back({"q3", [day, segments](Rng* r) {
+    Query q;
+    int64_t d = r->UniformInt(kTpchDateLo + 300, kTpchDateHi - 300);
+    q.conjuncts = {Predicate::Eq(14, Value(segments[r->Uniform(5)])),
+                   Predicate::Lt(8, day(d)), Predicate::Gt(5, day(d))};
+    return q;
+  }});
+  // q4: orders placed in a quarter.
+  templates.push_back({"q4", [day](Rng* r) {
+    Query q;
+    int64_t d = r->UniformInt(kTpchDateLo, kTpchDateHi - 90);
+    q.conjuncts = {Predicate::Between(8, day(d), day(d + 90))};
+    return q;
+  }});
+  // q5: local supplier volume: one region, one order year.
+  templates.push_back({"q5", [day, regions](Rng* r) {
+    Query q;
+    int64_t y = r->UniformInt(0, 5);
+    int64_t start = kTpchDateLo + y * 365;
+    q.conjuncts = {Predicate::Eq(16, Value(regions[r->Uniform(5)])),
+                   Predicate::Between(8, day(start), day(start + 365))};
+    return q;
+  }});
+  // q6: forecast revenue change: ship year + discount band + quantity cap.
+  templates.push_back({"q6", [day](Rng* r) {
+    Query q;
+    int64_t y = r->UniformInt(0, 5);
+    int64_t start = kTpchDateLo + y * 365;
+    double d = 0.01 * static_cast<double>(r->UniformInt(2, 8));
+    q.conjuncts = {
+        Predicate::Between(5, day(start), day(start + 365)),
+        Predicate::Between(3, Value(d - 0.011), Value(d + 0.011)),
+        Predicate::Lt(1, Value(static_cast<int64_t>(r->UniformInt(20, 30))))};
+    return q;
+  }});
+  // q7: volume shipping between two nations across two ship years.
+  templates.push_back({"q7", [day, nations](Rng* r) {
+    Query q;
+    size_t n1 = r->Uniform(25);
+    size_t n2 = (n1 + 1 + r->Uniform(24)) % 25;
+    int64_t y = r->UniformInt(0, 4);
+    int64_t start = kTpchDateLo + y * 365;
+    q.conjuncts = {
+        Predicate::In(15, {Value(nations[n1]), Value(nations[n2])}),
+        Predicate::Between(5, day(start), day(start + 730))};
+    return q;
+  }});
+  // q8: market share: region + two order years + product type.
+  templates.push_back({"q8", [day, regions, types](Rng* r) {
+    Query q;
+    int64_t y = r->UniformInt(0, 4);
+    int64_t start = kTpchDateLo + y * 365;
+    q.conjuncts = {Predicate::Eq(16, Value(regions[r->Uniform(5)])),
+                   Predicate::Between(8, day(start), day(start + 730)),
+                   Predicate::Eq(20, Value(types[r->Uniform(12)]))};
+    return q;
+  }});
+  // q10: returned items in a quarter.
+  templates.push_back({"q10", [day](Rng* r) {
+    Query q;
+    int64_t d = r->UniformInt(kTpchDateLo, kTpchDateHi - 90);
+    q.conjuncts = {Predicate::Between(8, day(d), day(d + 90)),
+                   Predicate::Eq(11, Value("R"))};
+    return q;
+  }});
+  // q12: shipping modes and delivery priority: two modes, one receipt year.
+  templates.push_back({"q12", [day, ship_modes](Rng* r) {
+    Query q;
+    size_t m1 = r->Uniform(7);
+    size_t m2 = (m1 + 1 + r->Uniform(6)) % 7;
+    int64_t y = r->UniformInt(0, 6);
+    int64_t start = kTpchDateLo + y * 365;
+    q.conjuncts = {
+        Predicate::In(9, {Value(ship_modes[m1]), Value(ship_modes[m2])}),
+        Predicate::Between(7, day(start), day(start + 365))};
+    return q;
+  }});
+  // q14: promotion effect in one ship month.
+  templates.push_back({"q14", [day](Rng* r) {
+    Query q;
+    int64_t d = r->UniformInt(kTpchDateLo, kTpchDateHi - 30);
+    q.conjuncts = {Predicate::Between(5, day(d), day(d + 30))};
+    return q;
+  }});
+  // q17: small-quantity-order revenue: one brand + container.
+  templates.push_back({"q17", [brands, containers](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(17, Value(brands[r->Uniform(25)])),
+                   Predicate::Eq(18, Value(containers[r->Uniform(12)]))};
+    return q;
+  }});
+  // q19: discounted revenue: brand + quantity band.
+  templates.push_back({"q19", [brands](Rng* r) {
+    Query q;
+    int64_t lo = r->UniformInt(1, 30);
+    q.conjuncts = {Predicate::Eq(17, Value(brands[r->Uniform(25)])),
+                   Predicate::Between(1, Value(lo), Value(lo + 10))};
+    return q;
+  }});
+  // q21: suppliers who kept orders waiting: nation + line status F.
+  templates.push_back({"q21", [nations](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(15, Value(nations[r->Uniform(25)])),
+                   Predicate::Eq(12, Value("F"))};
+    return q;
+  }});
+
+  WorkloadDataset ds;
+  ds.name = "tpch";
+  ds.table = std::move(table);
+  ds.templates = std::move(templates);
+  ds.time_column = 5;  // l_shipdate
+  return ds;
+}
+
+WorkloadDataset MakeTpcdsLike(size_t rows, uint64_t seed) {
+  // 5 years of sales days.
+  constexpr int64_t kDays = 1826;
+  Schema schema({
+      {"ss_sold_date", DataType::kInt64},      // 0
+      {"ss_sold_time", DataType::kInt64},      // 1
+      {"ss_item", DataType::kInt64},           // 2
+      {"ss_quantity", DataType::kInt64},       // 3
+      {"ss_sales_price", DataType::kDouble},   // 4
+      {"ss_ext_sales_price", DataType::kDouble},  // 5
+      {"ss_net_profit", DataType::kDouble},    // 6
+      {"ss_list_price", DataType::kDouble},    // 7
+      {"ss_coupon_amt", DataType::kDouble},    // 8
+      {"d_year", DataType::kInt64},            // 9
+      {"d_moy", DataType::kInt64},             // 10
+      {"d_dom", DataType::kInt64},             // 11
+      {"i_category", DataType::kString},       // 12
+      {"i_brand", DataType::kString},          // 13
+      {"i_class", DataType::kString},          // 14
+      {"s_store", DataType::kString},          // 15
+      {"s_state", DataType::kString},          // 16
+      {"c_birth_country", DataType::kString},  // 17
+      {"hd_dep_count", DataType::kInt64},      // 18
+  });
+
+  const std::vector<std::string> categories = NamePool("CATEGORY", 10);
+  const std::vector<std::string> brands = NamePool("BRAND", 50);
+  const std::vector<std::string> classes = NamePool("CLASS", 20);
+  const std::vector<std::string> stores = NamePool("STORE", 12);
+  const std::vector<std::string> states = NamePool("STATE", 10);
+  const std::vector<std::string> countries = NamePool("COUNTRY", 30);
+
+  Table table(schema);
+  table.Reserve(rows);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    int64_t sold_date = rng.UniformInt(0, kDays - 1);
+    int64_t year = 1998 + sold_date / 365;
+    int64_t moy = 1 + (sold_date % 365) / 31;
+    int64_t dom = 1 + (sold_date % 31);
+    int64_t quantity = rng.UniformInt(1, 100);
+    double list_price = rng.UniformDouble(1.0, 200.0);
+    double sales_price = list_price * rng.UniformDouble(0.3, 1.0);
+
+    table.mutable_column(0)->AppendInt64(sold_date);
+    table.mutable_column(1)->AppendInt64(rng.UniformInt(0, 86399));
+    table.mutable_column(2)->AppendInt64(rng.UniformInt(1, 18000));
+    table.mutable_column(3)->AppendInt64(quantity);
+    table.mutable_column(4)->AppendDouble(sales_price);
+    table.mutable_column(5)->AppendDouble(sales_price *
+                                          static_cast<double>(quantity));
+    table.mutable_column(6)->AppendDouble(rng.UniformDouble(-100.0, 300.0));
+    table.mutable_column(7)->AppendDouble(list_price);
+    table.mutable_column(8)->AppendDouble(
+        rng.Bernoulli(0.2) ? rng.UniformDouble(0.0, 50.0) : 0.0);
+    table.mutable_column(9)->AppendInt64(year);
+    table.mutable_column(10)->AppendInt64(moy);
+    table.mutable_column(11)->AppendInt64(dom);
+    table.mutable_column(12)->AppendString(
+        categories[static_cast<size_t>(rng.Zipf(10, 0.5))]);
+    table.mutable_column(13)->AppendString(brands[rng.Uniform(50)]);
+    table.mutable_column(14)->AppendString(classes[rng.Uniform(20)]);
+    table.mutable_column(15)->AppendString(stores[rng.Uniform(12)]);
+    table.mutable_column(16)->AppendString(
+        states[static_cast<size_t>(rng.Zipf(10, 0.7))]);
+    table.mutable_column(17)->AppendString(countries[rng.Uniform(30)]);
+    table.mutable_column(18)->AppendInt64(rng.UniformInt(0, 9));
+  }
+  table.FinishAppends();
+
+  std::vector<QueryTemplate> templates;
+  auto year_pred = [](Rng* r) {
+    return Predicate::Eq(9, Value(static_cast<int64_t>(r->UniformInt(1998, 2002))));
+  };
+  // q3: brand sales in December of a year.
+  templates.push_back({"q3", [brands, year_pred](Rng* r) {
+    Query q;
+    q.conjuncts = {year_pred(r), Predicate::Eq(10, Value(int64_t{12})),
+                   Predicate::Eq(13, Value(brands[r->Uniform(50)]))};
+    return q;
+  }});
+  // q7: demographics: year + dependent count.
+  templates.push_back({"q7", [year_pred](Rng* r) {
+    Query q;
+    q.conjuncts = {year_pred(r),
+                   Predicate::Eq(18, Value(static_cast<int64_t>(r->UniformInt(0, 9))))};
+    return q;
+  }});
+  // q13: year + sales-price band + dependents.
+  templates.push_back({"q13", [year_pred](Rng* r) {
+    Query q;
+    double lo = r->UniformDouble(20.0, 120.0);
+    q.conjuncts = {year_pred(r),
+                   Predicate::Between(4, Value(lo), Value(lo + 50.0)),
+                   Predicate::Between(18, Value(int64_t{1}), Value(int64_t{3}))};
+    return q;
+  }});
+  // q19: category sales in one month of a year.
+  templates.push_back({"q19", [categories, year_pred](Rng* r) {
+    Query q;
+    q.conjuncts = {year_pred(r),
+                   Predicate::Eq(10, Value(static_cast<int64_t>(r->UniformInt(1, 12)))),
+                   Predicate::Eq(12, Value(categories[r->Uniform(10)]))};
+    return q;
+  }});
+  // q27: year + a few states.
+  templates.push_back({"q27", [states, year_pred](Rng* r) {
+    Query q;
+    size_t s1 = r->Uniform(10);
+    size_t s2 = (s1 + 1 + r->Uniform(9)) % 10;
+    q.conjuncts = {year_pred(r),
+                   Predicate::In(16, {Value(states[s1]), Value(states[s2])})};
+    return q;
+  }});
+  // q28: quantity band + list-price band.
+  templates.push_back({"q28", [](Rng* r) {
+    Query q;
+    int64_t qlo = r->UniformInt(0, 80);
+    double plo = r->UniformDouble(10.0, 150.0);
+    q.conjuncts = {Predicate::Between(3, Value(qlo), Value(qlo + 10)),
+                   Predicate::Between(7, Value(plo), Value(plo + 20.0))};
+    return q;
+  }});
+  // q34: start-of-month shoppers in one state.
+  templates.push_back({"q34", [states](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Between(11, Value(int64_t{1}), Value(int64_t{3})),
+                   Predicate::Eq(16, Value(states[r->Uniform(10)]))};
+    return q;
+  }});
+  // q36: year + item class.
+  templates.push_back({"q36", [classes, year_pred](Rng* r) {
+    Query q;
+    q.conjuncts = {year_pred(r),
+                   Predicate::Eq(14, Value(classes[r->Uniform(20)]))};
+    return q;
+  }});
+  // q46: year + day-of-month window + state.
+  templates.push_back({"q46", [states, year_pred](Rng* r) {
+    Query q;
+    int64_t dlo = r->UniformInt(1, 25);
+    q.conjuncts = {year_pred(r),
+                   Predicate::Between(11, Value(dlo), Value(dlo + 5)),
+                   Predicate::Eq(16, Value(states[r->Uniform(10)]))};
+    return q;
+  }});
+  // q48: sales-price band in one year.
+  templates.push_back({"q48", [year_pred](Rng* r) {
+    Query q;
+    double lo = r->UniformDouble(10.0, 150.0);
+    q.conjuncts = {year_pred(r),
+                   Predicate::Between(4, Value(lo), Value(lo + 30.0))};
+    return q;
+  }});
+  // q53: brand in one month.
+  templates.push_back({"q53", [brands](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(13, Value(brands[r->Uniform(50)])),
+                   Predicate::Eq(10, Value(static_cast<int64_t>(r->UniformInt(1, 12))))};
+    return q;
+  }});
+  // q68: first days of month + state + year.
+  templates.push_back({"q68", [states, year_pred](Rng* r) {
+    Query q;
+    q.conjuncts = {year_pred(r),
+                   Predicate::Between(11, Value(int64_t{1}), Value(int64_t{2})),
+                   Predicate::Eq(16, Value(states[r->Uniform(10)]))};
+    return q;
+  }});
+  // q79: one day-of-month + state.
+  templates.push_back({"q79", [states](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(11, Value(static_cast<int64_t>(r->UniformInt(1, 28)))),
+                   Predicate::Eq(16, Value(states[r->Uniform(10)]))};
+    return q;
+  }});
+  // q88: time-of-day hour band + dependents.
+  templates.push_back({"q88", [](Rng* r) {
+    Query q;
+    int64_t t = r->UniformInt(0, 82799);
+    q.conjuncts = {Predicate::Between(1, Value(t), Value(t + 3600)),
+                   Predicate::Le(18, Value(static_cast<int64_t>(r->UniformInt(2, 6))))};
+    return q;
+  }});
+  // q89: year + a few categories.
+  templates.push_back({"q89", [categories, year_pred](Rng* r) {
+    Query q;
+    size_t c1 = r->Uniform(10);
+    size_t c2 = (c1 + 1 + r->Uniform(9)) % 10;
+    size_t c3 = (c1 + 2 + r->Uniform(8)) % 10;
+    q.conjuncts = {year_pred(r),
+                   Predicate::In(12, {Value(categories[c1]), Value(categories[c2]),
+                                      Value(categories[c3])})};
+    return q;
+  }});
+  // q96: half-hour time band.
+  templates.push_back({"q96", [](Rng* r) {
+    Query q;
+    int64_t t = r->UniformInt(0, 84599);
+    q.conjuncts = {Predicate::Between(1, Value(t), Value(t + 1800))};
+    return q;
+  }});
+  // q98: category sales in a 30-day window.
+  templates.push_back({"q98", [categories](Rng* r) {
+    Query q;
+    int64_t d = r->UniformInt(0, kDays - 31);
+    q.conjuncts = {Predicate::Between(0, Value(d), Value(d + 30)),
+                   Predicate::Eq(12, Value(categories[r->Uniform(10)]))};
+    return q;
+  }});
+
+  WorkloadDataset ds;
+  ds.name = "tpcds";
+  ds.table = std::move(table);
+  ds.templates = std::move(templates);
+  ds.time_column = 0;  // ss_sold_date
+  return ds;
+}
+
+WorkloadDataset MakeTelemetry(size_t rows, uint64_t seed) {
+  // 180 days of ingestion-job log records, in arrival order.
+  constexpr int64_t kSpanSeconds = 180LL * 24 * 3600;
+  Schema schema({
+      {"arrival_time", DataType::kInt64},   // 0
+      {"collector", DataType::kString},     // 1
+      {"job_id", DataType::kInt64},         // 2
+      {"status", DataType::kString},        // 3
+      {"duration_ms", DataType::kDouble},   // 4
+      {"bytes_ingested", DataType::kDouble},  // 5
+      {"host", DataType::kString},          // 6
+      {"severity", DataType::kInt64},       // 7
+      {"team", DataType::kString},          // 8
+      {"record_count", DataType::kInt64},   // 9
+  });
+
+  const std::vector<std::string> collectors = NamePool("collector", 50);
+  const std::vector<std::string> statuses = {"SUCCESS", "FAILED", "RUNNING",
+                                             "TIMEOUT", "CANCELLED"};
+  const std::vector<std::string> hosts = NamePool("host", 100);
+  const std::vector<std::string> teams = NamePool("team", 25);
+
+  Table table(schema);
+  table.Reserve(rows);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    // Arrival times increase with row order (ingestion), with jitter.
+    int64_t arrival =
+        static_cast<int64_t>(static_cast<double>(r) / static_cast<double>(rows) *
+                             static_cast<double>(kSpanSeconds)) +
+        rng.UniformInt(0, 3600);
+    double duration = std::exp(rng.Normal(6.0, 1.5));          // ~ms
+    double bytes = std::exp(rng.Normal(14.0, 2.0));            // ~bytes
+
+    table.mutable_column(0)->AppendInt64(arrival);
+    table.mutable_column(1)->AppendString(
+        collectors[static_cast<size_t>(rng.Zipf(50, 1.1))]);
+    table.mutable_column(2)->AppendInt64(rng.UniformInt(1, 5000));
+    table.mutable_column(3)->AppendString(
+        statuses[static_cast<size_t>(rng.Zipf(5, 1.5))]);
+    table.mutable_column(4)->AppendDouble(duration);
+    table.mutable_column(5)->AppendDouble(bytes);
+    table.mutable_column(6)->AppendString(hosts[rng.Uniform(100)]);
+    table.mutable_column(7)->AppendInt64(rng.Zipf(5, 1.0));
+    table.mutable_column(8)->AppendString(teams[rng.Uniform(25)]);
+    table.mutable_column(9)->AppendInt64(rng.UniformInt(1, 100000));
+  }
+  table.FinishAppends();
+
+  auto time_window = [](Rng* r, int64_t span) {
+    int64_t start = r->UniformInt(0, kSpanSeconds - span);
+    return Predicate::Between(0, Value(start), Value(start + span));
+  };
+  std::vector<QueryTemplate> templates;
+  // Short time-range scans (a few hours).
+  templates.push_back({"hours_range", [time_window](Rng* r) {
+    Query q;
+    q.conjuncts = {time_window(r, r->UniformInt(2, 6) * 3600)};
+    return q;
+  }});
+  // One day of one collector's data.
+  templates.push_back({"collector_day", [time_window, collectors](Rng* r) {
+    Query q;
+    q.conjuncts = {time_window(r, 24 * 3600),
+                   Predicate::Eq(1, Value(collectors[static_cast<size_t>(
+                                       r->Zipf(50, 1.1))]))};
+    return q;
+  }});
+  // Month-long range scans.
+  templates.push_back({"month_range", [time_window](Rng* r) {
+    Query q;
+    q.conjuncts = {time_window(r, 30LL * 24 * 3600)};
+    return q;
+  }});
+  // A week of one collector.
+  templates.push_back({"collector_week", [time_window, collectors](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(1, Value(collectors[static_cast<size_t>(
+                                       r->Zipf(50, 1.1))])),
+                   time_window(r, 7LL * 24 * 3600)};
+    return q;
+  }});
+  // All history of a few collectors.
+  templates.push_back({"collector_in", [collectors](Rng* r) {
+    Query q;
+    size_t c1 = r->Uniform(50);
+    size_t c2 = (c1 + 1 + r->Uniform(49)) % 50;
+    size_t c3 = (c1 + 2 + r->Uniform(48)) % 50;
+    q.conjuncts = {Predicate::In(1, {Value(collectors[c1]), Value(collectors[c2]),
+                                     Value(collectors[c3])})};
+    return q;
+  }});
+  // Failed jobs in a day.
+  templates.push_back({"failed_day", [time_window](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(3, Value("FAILED")),
+                   time_window(r, 24 * 3600)};
+    return q;
+  }});
+  // High-severity records in half a day.
+  templates.push_back({"severity_range", [time_window](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Ge(7, Value(int64_t{3})),
+                   time_window(r, 12 * 3600)};
+    return q;
+  }});
+  // Two weeks of one team.
+  templates.push_back({"team_fortnight", [time_window, teams](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(8, Value(teams[r->Uniform(25)])),
+                   time_window(r, 14LL * 24 * 3600)};
+    return q;
+  }});
+  // Large ingests in a day.
+  templates.push_back({"large_ingest", [time_window](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Ge(5, Value(std::exp(r->UniformDouble(16.0, 18.0)))),
+                   time_window(r, 24 * 3600)};
+    return q;
+  }});
+  // One host's records over three days.
+  templates.push_back({"host_range", [time_window, hosts](Rng* r) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(6, Value(hosts[r->Uniform(100)])),
+                   time_window(r, 3LL * 24 * 3600)};
+    return q;
+  }});
+
+  WorkloadDataset ds;
+  ds.name = "telemetry";
+  ds.table = std::move(table);
+  ds.templates = std::move(templates);
+  ds.time_column = 0;  // arrival_time
+  return ds;
+}
+
+WorkloadDataset MakeDataset(const std::string& name, size_t rows,
+                            uint64_t seed) {
+  if (name == "tpch") return MakeTpchLike(rows, seed);
+  if (name == "tpcds") return MakeTpcdsLike(rows, seed);
+  if (name == "telemetry") return MakeTelemetry(rows, seed);
+  OREO_CHECK(false) << "unknown dataset: " << name;
+  return MakeTpchLike(rows, seed);
+}
+
+}  // namespace workloads
+}  // namespace oreo

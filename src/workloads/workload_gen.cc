@@ -1,0 +1,77 @@
+#include "workloads/workload_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace workloads {
+
+Workload GenerateWorkload(const std::vector<QueryTemplate>& templates,
+                          const WorkloadOptions& options) {
+  OREO_CHECK(!templates.empty());
+  OREO_CHECK_GE(options.num_segments, 1u);
+  OREO_CHECK_GE(options.num_queries,
+                options.num_segments * options.min_segment_length);
+  Rng rng(options.seed);
+
+  // Segment lengths: random stick-breaking with a floor.
+  const size_t n_seg = options.num_segments;
+  std::vector<double> raw(n_seg);
+  double total = 0.0;
+  for (double& x : raw) {
+    x = rng.UniformDouble(0.2, 1.0);
+    total += x;
+  }
+  size_t flexible =
+      options.num_queries - n_seg * options.min_segment_length;
+  std::vector<size_t> lengths(n_seg, options.min_segment_length);
+  size_t assigned = 0;
+  for (size_t i = 0; i < n_seg; ++i) {
+    size_t extra = static_cast<size_t>(
+        raw[i] / total * static_cast<double>(flexible));
+    lengths[i] += extra;
+    assigned += extra;
+  }
+  lengths[n_seg - 1] += flexible - assigned;  // remainder to the last segment
+
+  Workload wl;
+  wl.queries.reserve(options.num_queries);
+  int prev_template = -1;
+  size_t pos = 0;
+  for (size_t seg = 0; seg < n_seg; ++seg) {
+    int tpl;
+    if (templates.size() == 1) {
+      tpl = 0;
+    } else {
+      do {
+        tpl = static_cast<int>(rng.Uniform(templates.size()));
+      } while (tpl == prev_template);
+    }
+    prev_template = tpl;
+    wl.segment_starts.push_back(pos);
+    wl.segment_templates.push_back(tpl);
+    // Each segment runs a small pool of recurring parameterizations.
+    std::vector<Query> pool;
+    if (options.segment_pool_size > 0) {
+      pool.reserve(options.segment_pool_size);
+      for (size_t i = 0; i < options.segment_pool_size; ++i) {
+        pool.push_back(templates[static_cast<size_t>(tpl)].instantiate(&rng));
+      }
+    }
+    for (size_t i = 0; i < lengths[seg]; ++i) {
+      Query q = pool.empty()
+                    ? templates[static_cast<size_t>(tpl)].instantiate(&rng)
+                    : pool[rng.Uniform(pool.size())];
+      q.id = static_cast<int64_t>(pos);
+      q.template_id = tpl;
+      wl.queries.push_back(std::move(q));
+      ++pos;
+    }
+  }
+  OREO_CHECK_EQ(wl.queries.size(), options.num_queries);
+  return wl;
+}
+
+}  // namespace workloads
+}  // namespace oreo

@@ -1,0 +1,47 @@
+// Template-switching workload state machine (paper SVI-A2): the stream stays
+// on one query template for an arbitrary stretch, then switches to a
+// different random template. Segment boundaries are what the Offline-Optimal
+// baseline (Figure 4) exploits.
+#ifndef OREO_WORKLOADS_WORKLOAD_GEN_H_
+#define OREO_WORKLOADS_WORKLOAD_GEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/dataset.h"
+
+namespace oreo {
+namespace workloads {
+
+struct WorkloadOptions {
+  size_t num_queries = 30000;
+  /// Number of template segments (segments - 1 template switches; the paper's
+  /// Offline Optimal makes 20 changes -> 21 segments).
+  size_t num_segments = 21;
+  /// Minimum queries per segment (guards against degenerate splits).
+  size_t min_segment_length = 50;
+  /// Queries within a segment are drawn from a pool of this many fixed
+  /// template instantiations, modeling recurring parameterized queries
+  /// ("query patterns remain stable over short periods", paper SIII-C).
+  /// 0 (default, matching the paper's generator) = fresh random parameters
+  /// for every query.
+  size_t segment_pool_size = 0;
+  uint64_t seed = 7;
+};
+
+/// A generated query stream.
+struct Workload {
+  std::vector<Query> queries;            ///< id = position, template_id set
+  std::vector<size_t> segment_starts;    ///< first query index per segment
+  std::vector<int> segment_templates;    ///< template per segment
+};
+
+/// Draws a workload from the template family.
+Workload GenerateWorkload(const std::vector<QueryTemplate>& templates,
+                          const WorkloadOptions& options);
+
+}  // namespace workloads
+}  // namespace oreo
+
+#endif  // OREO_WORKLOADS_WORKLOAD_GEN_H_

@@ -1,0 +1,100 @@
+// Tests for src/catalog: DataType, Value, Schema.
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "catalog/value.h"
+
+namespace oreo {
+namespace {
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+}
+
+TEST(TypesTest, Widths) {
+  EXPECT_EQ(DataTypeWidth(DataType::kInt64), 8u);
+  EXPECT_EQ(DataTypeWidth(DataType::kDouble), 8u);
+  EXPECT_EQ(DataTypeWidth(DataType::kString), 4u);
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(int64_t{1}).type(), DataType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value("x").type(), DataType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, AsNumericWidensInt) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(7.5).AsNumeric(), 7.5);
+}
+
+TEST(ValueTest, IntComparisons) {
+  Value a(int64_t{1}), b(int64_t{2});
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == Value(int64_t{1}));
+}
+
+TEST(ValueTest, StringComparisonsAreLexicographic) {
+  EXPECT_TRUE(Value("apple") < Value("banana"));
+  EXPECT_TRUE(Value("b") > Value("apple"));
+  EXPECT_TRUE(Value("x") == Value("x"));
+}
+
+TEST(ValueTest, DoubleComparisons) {
+  EXPECT_TRUE(Value(1.0) < Value(1.5));
+  EXPECT_FALSE(Value(2.0) < Value(1.5));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64},
+            {"b", DataType::kDouble},
+            {"c", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.FieldIndex("a"), 0);
+  EXPECT_EQ(s.FieldIndex("c"), 2);
+  EXPECT_EQ(s.FieldIndex("nope"), -1);
+  EXPECT_EQ(s.field(1).name, "b");
+  EXPECT_EQ(s.field(1).type, DataType::kDouble);
+}
+
+TEST(SchemaTest, Equals) {
+  Schema a({{"x", DataType::kInt64}});
+  Schema b({{"x", DataType::kInt64}});
+  Schema c({{"x", DataType::kDouble}});
+  Schema d({{"y", DataType::kInt64}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "{a:int64, b:string}");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_fields(), 0u);
+  EXPECT_EQ(s.FieldIndex("a"), -1);
+}
+
+}  // namespace
+}  // namespace oreo

@@ -1,0 +1,445 @@
+// Tests for src/layout: sorted / Z-order / Qd-tree layouts and generators.
+// Core invariants: assignments cover every row exactly once within bounds;
+// zone maps of materialized instances contain their rows; workload-aware
+// layouts actually skip data for their target workloads.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "layout/qdtree_layout.h"
+#include "layout/sorted_layout.h"
+#include "layout/zorder_layout.h"
+
+namespace oreo {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"ts", DataType::kInt64},
+                 {"qty", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"cat", DataType::kString}});
+}
+
+Table MakeTable(size_t rows, uint64_t seed) {
+  Table t(TestSchema());
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d", "e", "f"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),  // ts: arrival order
+                 Value(rng.UniformInt(0, 1000)),
+                 Value(rng.UniformDouble(0, 100)),
+                 Value(cats[rng.Uniform(6)])});
+  }
+  return t;
+}
+
+std::vector<Query> RangeWorkload(int column, int64_t domain, int64_t width,
+                                 size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    int64_t lo = rng.UniformInt(0, domain - width);
+    q.conjuncts = {Predicate::Between(column, Value(lo), Value(lo + width))};
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+void CheckAssignmentBounds(const std::vector<uint32_t>& assignment,
+                           uint32_t bound, size_t rows) {
+  ASSERT_EQ(assignment.size(), rows);
+  for (uint32_t a : assignment) EXPECT_LT(a, bound);
+}
+
+// Each row must fall inside its partition's zone map.
+void CheckZoneContainment(const Table& t, const LayoutInstance& inst) {
+  const Partitioning& p = inst.partitioning();
+  ASSERT_TRUE(ValidatePartitioning(p, t.num_rows()));
+  for (size_t pid = 0; pid < p.num_partitions(); ++pid) {
+    const ZoneMap& zm = p.zones[pid];
+    for (uint32_t r : p.partitions[pid]) {
+      for (size_t c = 0; c < t.num_columns(); ++c) {
+        const Column& col = t.column(c);
+        const ColumnZone& z = zm.columns[c];
+        switch (col.type()) {
+          case DataType::kInt64:
+            EXPECT_GE(col.GetInt64(r), z.int_min);
+            EXPECT_LE(col.GetInt64(r), z.int_max);
+            break;
+          case DataType::kDouble:
+            EXPECT_GE(col.GetDouble(r), z.dbl_min);
+            EXPECT_LE(col.GetDouble(r), z.dbl_max);
+            break;
+          case DataType::kString:
+            EXPECT_GE(col.GetString(r), z.str_min);
+            EXPECT_LE(col.GetString(r), z.str_max);
+            break;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- SortedLayout ----
+
+TEST(SortedLayoutTest, AssignRespectsBoundaries) {
+  SortedLayout layout(0, "ts", {10.0, 20.0});
+  Table t(TestSchema());
+  for (int64_t v : {5, 10, 15, 20, 25}) {
+    t.AppendRow({Value(v), Value(int64_t{0}), Value(0.0), Value("a")});
+  }
+  std::vector<uint32_t> a = layout.Assign(t);
+  // lower_bound semantics: value <= boundary goes left of it.
+  EXPECT_EQ(a, (std::vector<uint32_t>{0, 0, 1, 1, 2}));
+  EXPECT_EQ(layout.NumPartitionsUpperBound(), 3u);
+}
+
+TEST(SortedLayoutTest, GeneratorMakesBalancedPartitions) {
+  Table t = MakeTable(5000, 1);
+  Rng rng(2);
+  Table sample = t.SampleRows(500, &rng);
+  SortLayoutGenerator gen(0);
+  auto layout = gen.Generate(sample, {}, 8);
+  auto inst = Materialize("sorted", std::shared_ptr<const Layout>(std::move(layout)), t);
+  const Partitioning& p = inst.partitioning();
+  EXPECT_GE(p.num_partitions(), 6u);
+  EXPECT_LE(p.num_partitions(), 8u);
+  for (const auto& part : p.partitions) {
+    EXPECT_GT(part.size(), 5000u / 16);
+    EXPECT_LT(part.size(), 5000u / 4);
+  }
+  CheckZoneContainment(t, inst);
+}
+
+TEST(SortedLayoutTest, SkipsRangeQueriesOnSortColumn) {
+  Table t = MakeTable(4000, 3);
+  Rng rng(4);
+  Table sample = t.SampleRows(400, &rng);
+  SortLayoutGenerator gen(0);
+  auto inst = Materialize(
+      "sorted", std::shared_ptr<const Layout>(gen.Generate(sample, {}, 16)), t);
+  // A narrow ts range should touch ~1-2 of 16 partitions.
+  Query q;
+  q.conjuncts = {Predicate::Between(0, Value(int64_t{100}), Value(int64_t{200}))};
+  EXPECT_LT(inst.QueryCost(q), 0.2);
+}
+
+TEST(SortedLayoutTest, QuantileBoundariesDeduplicated) {
+  // Constant column -> no usable boundaries -> single partition.
+  Table t(TestSchema());
+  for (int i = 0; i < 100; ++i) {
+    t.AppendRow({Value(int64_t{7}), Value(int64_t{0}), Value(0.0), Value("a")});
+  }
+  std::vector<double> b = QuantileBoundaries(t, 0, 8);
+  EXPECT_LE(b.size(), 1u);
+}
+
+// ------------------------------------------------------- ZOrderLayout ----
+
+TEST(ZOrderLayoutTest, MostQueriedColumnsRanking) {
+  std::vector<Query> wl;
+  for (int i = 0; i < 10; ++i) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(2, Value(1.0))};
+    if (i < 5) q.conjuncts.push_back(Predicate::Eq(1, Value(int64_t{3})));
+    wl.push_back(q);
+  }
+  std::vector<int> ranked = MostQueriedColumns(wl, 4);
+  EXPECT_EQ(ranked[0], 2);
+  EXPECT_EQ(ranked[1], 1);
+}
+
+TEST(ZOrderLayoutTest, AssignCoversAllPartitionsInBounds) {
+  Table t = MakeTable(3000, 5);
+  Rng rng(6);
+  Table sample = t.SampleRows(300, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 50, 40, 7);
+  ZOrderGenerator gen(2, 10);
+  auto layout = gen.Generate(sample, wl, 12);
+  CheckAssignmentBounds(layout->Assign(t), layout->NumPartitionsUpperBound(),
+                        t.num_rows());
+}
+
+TEST(ZOrderLayoutTest, ZoneContainmentHolds) {
+  Table t = MakeTable(2000, 8);
+  Rng rng(9);
+  Table sample = t.SampleRows(400, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 100, 30, 10);
+  ZOrderGenerator gen(3, 10);
+  auto inst = Materialize(
+      "zorder", std::shared_ptr<const Layout>(gen.Generate(sample, wl, 10)), t);
+  CheckZoneContainment(t, inst);
+}
+
+TEST(ZOrderLayoutTest, ImprovesSkippingOnInterleavedColumns) {
+  Table t = MakeTable(6000, 11);
+  Rng rng(12);
+  Table sample = t.SampleRows(600, &rng);
+  // Workload filters qty and price; z-order on those two beats sort-by-ts.
+  Rng qrng(13);
+  std::vector<Query> wl;
+  for (int i = 0; i < 60; ++i) {
+    Query q;
+    int64_t qlo = qrng.UniformInt(0, 900);
+    double plo = qrng.UniformDouble(0, 80);
+    q.conjuncts = {Predicate::Between(1, Value(qlo), Value(qlo + 100)),
+                   Predicate::Between(2, Value(plo), Value(plo + 20.0))};
+    wl.push_back(q);
+  }
+  ZOrderGenerator zgen(2, 12);
+  auto z = Materialize(
+      "zorder", std::shared_ptr<const Layout>(zgen.Generate(sample, wl, 16)), t);
+  SortLayoutGenerator sgen(0);
+  auto s = Materialize(
+      "sorted", std::shared_ptr<const Layout>(sgen.Generate(sample, wl, 16)), t);
+  double z_cost = 0, s_cost = 0;
+  for (const Query& q : wl) {
+    z_cost += z.QueryCost(q);
+    s_cost += s.QueryCost(q);
+  }
+  EXPECT_LT(z_cost, s_cost * 0.8);
+}
+
+TEST(ZOrderLayoutTest, StringDimRoutingStableAcrossReencoding) {
+  // Regression: z-order ranks string dimensions by value, so routing must be
+  // identical after rows pass through a partition rewrite that rebuilds the
+  // dictionary in a different insertion order.
+  Table t = MakeTable(3000, 60);
+  Rng rng(61);
+  Table sample = t.SampleRows(500, &rng);
+  // Workload hammering the categorical column so it becomes a z-order dim.
+  std::vector<Query> wl;
+  Rng qrng(62);
+  const char* cats[] = {"a", "b", "c", "d", "e", "f"};
+  for (int i = 0; i < 40; ++i) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(3, Value(cats[qrng.Uniform(6)])),
+                   Predicate::Between(1, Value(qrng.UniformInt(0, 500)),
+                                      Value(qrng.UniformInt(501, 999)))};
+    wl.push_back(q);
+  }
+  ZOrderGenerator gen(2, 10);
+  auto layout = gen.Generate(sample, wl, 8);
+  std::vector<uint32_t> canonical = layout->Assign(t);
+
+  // Rebuild the table with a scrambled dictionary insertion order: append
+  // rows back-to-front so first-appearance codes differ.
+  std::vector<uint32_t> reversed(t.num_rows());
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    reversed[r] = static_cast<uint32_t>(t.num_rows()) - 1 - r;
+  }
+  Table scrambled(t.schema());
+  scrambled.Append(t.Take(reversed));
+  std::vector<uint32_t> assigned = layout->Assign(scrambled);
+  for (uint32_t r = 0; r < t.num_rows(); ++r) {
+    ASSERT_EQ(assigned[r], canonical[reversed[r]]) << "row " << r;
+  }
+}
+
+TEST(ZOrderLayoutTest, DescribeNamesColumns) {
+  Table t = MakeTable(500, 14);
+  Rng rng(15);
+  Table sample = t.SampleRows(200, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 50, 10, 16);
+  ZOrderGenerator gen(1, 8);
+  auto layout = gen.Generate(sample, wl, 4);
+  EXPECT_NE(layout->Describe().find("qty"), std::string::npos);
+}
+
+// ------------------------------------------------------- QdTreeLayout ----
+
+TEST(QdTreeTest, HarvestCutsDedupes) {
+  Query q1, q2;
+  q1.conjuncts = {Predicate::Eq(3, Value("a"))};
+  q2.conjuncts = {Predicate::Eq(3, Value("a")),
+                  Predicate::Between(1, Value(int64_t{10}), Value(int64_t{20}))};
+  std::vector<Predicate> cuts = HarvestCuts({q1, q2}, 100);
+  // eq(a) once + two half-planes from the between.
+  EXPECT_EQ(cuts.size(), 3u);
+  // The duplicated Eq cut is the most frequent, so it sorts first.
+  EXPECT_EQ(cuts[0].op, CompareOp::kEq);
+}
+
+TEST(QdTreeTest, HarvestCutsRespectsCap) {
+  std::vector<Query> wl;
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(1, Value(rng.UniformInt(0, 1000000)))};
+    wl.push_back(q);
+  }
+  EXPECT_LE(HarvestCuts(wl, 32).size(), 32u);
+}
+
+TEST(QdTreeTest, EmptyWorkloadYieldsSingleLeaf) {
+  Table t = MakeTable(500, 18);
+  QdTreeGenerator gen;
+  auto layout = gen.Generate(t, {}, 8);
+  EXPECT_EQ(layout->NumPartitionsUpperBound(), 1u);
+  std::vector<uint32_t> a = layout->Assign(t);
+  for (uint32_t x : a) EXPECT_EQ(x, 0u);
+}
+
+TEST(QdTreeTest, RespectsTargetLeafCount) {
+  Table t = MakeTable(4000, 19);
+  Rng rng(20);
+  Table sample = t.SampleRows(800, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 60, 50, 21);
+  QdTreeGenerator gen;
+  auto layout = gen.Generate(sample, wl, 16);
+  EXPECT_LE(layout->NumPartitionsUpperBound(), 16u);
+  EXPECT_GT(layout->NumPartitionsUpperBound(), 2u);
+}
+
+TEST(QdTreeTest, AssignmentCompleteAndZonesContain) {
+  Table t = MakeTable(3000, 22);
+  Rng rng(23);
+  Table sample = t.SampleRows(600, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 80, 40, 24);
+  QdTreeGenerator gen;
+  auto inst = Materialize(
+      "qdtree", std::shared_ptr<const Layout>(gen.Generate(sample, wl, 12)), t);
+  CheckZoneContainment(t, inst);
+}
+
+TEST(QdTreeTest, SkipsTargetWorkload) {
+  Table t = MakeTable(6000, 25);
+  Rng rng(26);
+  Table sample = t.SampleRows(800, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 50, 60, 27);
+  QdTreeGenerator gen;
+  auto inst = Materialize(
+      "qdtree", std::shared_ptr<const Layout>(gen.Generate(sample, wl, 16)), t);
+  // Fresh queries from the same distribution should skip most data.
+  std::vector<Query> test = RangeWorkload(1, 1000, 50, 40, 28);
+  double mean = 0;
+  for (const Query& q : test) mean += inst.QueryCost(q);
+  mean /= static_cast<double>(test.size());
+  EXPECT_LT(mean, 0.45);  // narrow ranges on a 16-leaf tree
+}
+
+TEST(QdTreeTest, BeatsDefaultSortOnItsWorkload) {
+  Table t = MakeTable(6000, 29);
+  Rng rng(30);
+  Table sample = t.SampleRows(800, &rng);
+  // Workload over the categorical column: sort-by-ts cannot skip it.
+  Rng qrng(31);
+  std::vector<Query> wl;
+  const char* cats[] = {"a", "b", "c", "d", "e", "f"};
+  for (int i = 0; i < 50; ++i) {
+    Query q;
+    q.conjuncts = {Predicate::Eq(3, Value(cats[qrng.Uniform(6)]))};
+    wl.push_back(q);
+  }
+  QdTreeGenerator gen;
+  auto qd = Materialize(
+      "qdtree", std::shared_ptr<const Layout>(gen.Generate(sample, wl, 12)), t);
+  SortLayoutGenerator sgen(0);
+  auto srt = Materialize(
+      "sorted", std::shared_ptr<const Layout>(sgen.Generate(sample, wl, 12)), t);
+  double qd_cost = 0, s_cost = 0;
+  for (const Query& q : wl) {
+    qd_cost += qd.QueryCost(q);
+    s_cost += srt.QueryCost(q);
+  }
+  EXPECT_LT(qd_cost, s_cost * 0.6);
+}
+
+TEST(QdTreeTest, MinLeafSizeHonored) {
+  Table t = MakeTable(2000, 32);
+  Rng rng(33);
+  Table sample = t.SampleRows(1000, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 30, 60, 34);
+  QdTreeOptions opts;
+  opts.min_leaf_rows = 100;
+  QdTreeGenerator gen(opts);
+  auto layout = gen.Generate(sample, wl, 32);
+  // With 1000 sample rows and min 100/leaf, at most 10 leaves are possible.
+  EXPECT_LE(layout->NumPartitionsUpperBound(), 10u);
+}
+
+TEST(QdTreeTest, DepthIsReported) {
+  Table t = MakeTable(2000, 35);
+  Rng rng(36);
+  Table sample = t.SampleRows(500, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 60, 40, 37);
+  QdTreeGenerator gen;
+  auto layout = gen.Generate(sample, wl, 8);
+  auto* qd = dynamic_cast<QdTreeLayout*>(layout.get());
+  ASSERT_NE(qd, nullptr);
+  if (qd->num_leaves() > 1) {
+    EXPECT_GE(qd->Depth(), 1);
+    EXPECT_LT(qd->Depth(), 20);
+  }
+}
+
+// LayoutInstance cost vectors.
+TEST(LayoutInstanceTest, CostVectorAndAvgSkipped) {
+  Table t = MakeTable(1000, 38);
+  Rng rng(39);
+  Table sample = t.SampleRows(300, &rng);
+  SortLayoutGenerator gen(0);
+  auto inst = Materialize(
+      "sorted", std::shared_ptr<const Layout>(gen.Generate(sample, {}, 8)), t);
+  std::vector<Query> wl = RangeWorkload(0, 1000, 100, 10, 40);
+  std::vector<double> cv = inst.CostVector(wl);
+  ASSERT_EQ(cv.size(), wl.size());
+  double mean = 0;
+  for (double c : cv) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    mean += c;
+  }
+  mean /= static_cast<double>(cv.size());
+  EXPECT_NEAR(inst.AvgSkipped(wl), 1.0 - mean, 1e-12);
+}
+
+// Generator sweep: every generator must produce complete, in-bounds
+// assignments for a variety of partition targets.
+struct GenCase {
+  const char* name;
+  int which;  // 0=sort, 1=zorder, 2=qdtree
+  uint32_t k;
+};
+
+class GeneratorSweepTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorSweepTest, CompleteAssignment) {
+  const GenCase& gc = GetParam();
+  Table t = MakeTable(2500, 41);
+  Rng rng(42);
+  Table sample = t.SampleRows(500, &rng);
+  std::vector<Query> wl = RangeWorkload(1, 1000, 70, 30, 43);
+  std::unique_ptr<Layout> layout;
+  switch (gc.which) {
+    case 0:
+      layout = SortLayoutGenerator(0).Generate(sample, wl, gc.k);
+      break;
+    case 1:
+      layout = ZOrderGenerator(3, 10).Generate(sample, wl, gc.k);
+      break;
+    case 2:
+      layout = QdTreeGenerator().Generate(sample, wl, gc.k);
+      break;
+  }
+  auto inst =
+      Materialize(gc.name, std::shared_ptr<const Layout>(std::move(layout)), t);
+  EXPECT_TRUE(ValidatePartitioning(inst.partitioning(), t.num_rows()));
+  EXPECT_LE(inst.partitioning().num_partitions(), gc.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSweepTest,
+    ::testing::Values(GenCase{"sort_k2", 0, 2}, GenCase{"sort_k8", 0, 8},
+                      GenCase{"sort_k64", 0, 64}, GenCase{"zorder_k2", 1, 2},
+                      GenCase{"zorder_k8", 1, 8}, GenCase{"zorder_k64", 1, 64},
+                      GenCase{"qdtree_k2", 2, 2}, GenCase{"qdtree_k8", 2, 8},
+                      GenCase{"qdtree_k64", 2, 64}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace oreo

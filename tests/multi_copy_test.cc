@@ -1,0 +1,100 @@
+// Tests for the multi-copy D-UMTS variant (Appendix D reconstruction):
+// serving cost = min over kept copies, materialization costs alpha,
+// eviction is free, m = 1 degenerates to single-copy behaviour.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mts/multi_copy.h"
+
+namespace oreo {
+namespace mts {
+namespace {
+
+MultiCopyOptions Opts(double alpha, size_t m, uint64_t seed = 42) {
+  MultiCopyOptions o;
+  o.alpha = alpha;
+  o.max_copies = m;
+  o.seed = seed;
+  return o;
+}
+
+TEST(MultiCopyTest, StartsWithInitialCopyOnly) {
+  MultiCopyUmts alg(Opts(5.0, 2), {0, 1, 2}, 1);
+  EXPECT_EQ(alg.kept(), (std::set<int>{1}));
+}
+
+TEST(MultiCopyTest, ServesFromCheapestKeptCopy) {
+  MultiCopyUmts alg(Opts(100.0, 2), {0, 1}, 0);
+  MultiCopyDecision d = alg.OnQuery([](int s) { return s == 0 ? 0.9 : 0.1; });
+  // Only state 0 is kept, so it must serve despite being pricier.
+  EXPECT_EQ(d.serve_state, 0);
+}
+
+TEST(MultiCopyTest, MaterializesWhenKeptSetExhausted) {
+  MultiCopyUmts alg(Opts(1.0, 2, 3), {0, 1, 2}, 0);
+  // State 0 expensive, others free: counter fills after 2 queries.
+  auto costs = [](int s) { return s == 0 ? 0.6 : 0.0; };
+  MultiCopyDecision d1 = alg.OnQuery(costs);
+  EXPECT_FALSE(d1.materialized.has_value());
+  MultiCopyDecision d2 = alg.OnQuery(costs);
+  ASSERT_TRUE(d2.materialized.has_value());
+  EXPECT_NE(*d2.materialized, 0);
+  EXPECT_EQ(alg.kept().size(), 2u);
+  // With a free copy in the kept set, serving cost drops to 0.
+  EXPECT_EQ(costs(d2.serve_state), 0.0);
+}
+
+TEST(MultiCopyTest, EvictsWorstWhenOverCapacity) {
+  MultiCopyUmts alg(Opts(1.0, 1, 5), {0, 1, 2}, 0);
+  auto costs = [](int s) { return s == 0 ? 0.6 : 0.0; };
+  alg.OnQuery(costs);
+  MultiCopyDecision d = alg.OnQuery(costs);
+  ASSERT_TRUE(d.materialized.has_value());
+  ASSERT_TRUE(d.evicted.has_value());
+  EXPECT_EQ(*d.evicted, 0);  // the full-counter copy goes
+  EXPECT_EQ(alg.kept().size(), 1u);
+}
+
+TEST(MultiCopyTest, PhaseResetWhenAllCountersFull) {
+  MultiCopyUmts alg(Opts(1.0, 2, 7), {0, 1}, 0);
+  auto costs = [](int) { return 0.6; };
+  alg.OnQuery(costs);
+  MultiCopyDecision d = alg.OnQuery(costs);  // both counters 1.2 -> reset
+  EXPECT_TRUE(d.phase_reset);
+  EXPECT_EQ(alg.num_phases(), 2);
+}
+
+TEST(MultiCopyTest, MoreCopiesNeverHurtServingCost) {
+  // With the same seed and workload, total serving cost with m=3 should be
+  // <= m=1 (materializations aside): min over a superset can't be worse.
+  Rng wrng(11);
+  std::vector<std::vector<double>> costs(400, std::vector<double>(4));
+  for (auto& row : costs) {
+    for (auto& c : row) c = wrng.UniformDouble();
+  }
+  auto run = [&](size_t m) {
+    MultiCopyUmts alg(Opts(3.0, m, 13), {0, 1, 2, 3}, 0);
+    double serve = 0.0;
+    for (const auto& row : costs) {
+      MultiCopyDecision d =
+          alg.OnQuery([&](int s) { return row[static_cast<size_t>(s)]; });
+      serve += row[static_cast<size_t>(d.serve_state)];
+    }
+    return serve;
+  };
+  EXPECT_LE(run(3), run(1) * 1.05);
+}
+
+TEST(MultiCopyTest, CapacityBoundNeverExceeded) {
+  Rng wrng(17);
+  MultiCopyUmts alg(Opts(1.5, 2, 19), {0, 1, 2, 3, 4}, 0);
+  for (int t = 0; t < 500; ++t) {
+    alg.OnQuery([&](int) { return wrng.UniformDouble(); });
+    EXPECT_LE(alg.kept().size(), 2u);
+    EXPECT_GE(alg.kept().size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mts
+}  // namespace oreo

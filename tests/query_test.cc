@@ -1,0 +1,440 @@
+// Tests for src/query: predicate evaluation, zone-map pruning soundness
+// (the load-bearing invariant: a skipped partition contains no matching row),
+// selectivity estimation and the fraction-accessed cost model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "query/aggregate.h"
+#include "query/query.h"
+#include "storage/metadata_io.h"
+#include "storage/partitioning.h"
+
+namespace oreo {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"qty", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"region", DataType::kString}});
+}
+
+Table MakeRandomTable(size_t rows, uint64_t seed) {
+  Table t(TestSchema());
+  Rng rng(seed);
+  const char* regions[] = {"asia", "europe", "america", "africa", "oceania"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(rng.UniformInt(0, 100)),
+                 Value(rng.UniformDouble(0.0, 50.0)),
+                 Value(regions[rng.Uniform(5)])});
+  }
+  return t;
+}
+
+// ------------------------------------------------- predicate matching ----
+
+TEST(PredicateTest, IntComparisons) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{10}), Value(1.0), Value("asia")});
+  EXPECT_TRUE(Predicate::Eq(0, Value(int64_t{10})).Matches(t, 0));
+  EXPECT_FALSE(Predicate::Eq(0, Value(int64_t{11})).Matches(t, 0));
+  EXPECT_TRUE(Predicate::Lt(0, Value(int64_t{11})).Matches(t, 0));
+  EXPECT_FALSE(Predicate::Lt(0, Value(int64_t{10})).Matches(t, 0));
+  EXPECT_TRUE(Predicate::Le(0, Value(int64_t{10})).Matches(t, 0));
+  EXPECT_TRUE(Predicate::Gt(0, Value(int64_t{9})).Matches(t, 0));
+  EXPECT_TRUE(Predicate::Ge(0, Value(int64_t{10})).Matches(t, 0));
+  EXPECT_FALSE(Predicate::Ge(0, Value(int64_t{11})).Matches(t, 0));
+}
+
+TEST(PredicateTest, BetweenInclusive) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{10}), Value(1.0), Value("asia")});
+  EXPECT_TRUE(
+      Predicate::Between(0, Value(int64_t{10}), Value(int64_t{20})).Matches(t, 0));
+  EXPECT_TRUE(
+      Predicate::Between(0, Value(int64_t{0}), Value(int64_t{10})).Matches(t, 0));
+  EXPECT_FALSE(
+      Predicate::Between(0, Value(int64_t{11}), Value(int64_t{20})).Matches(t, 0));
+}
+
+TEST(PredicateTest, InList) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(1.0), Value("asia")});
+  EXPECT_TRUE(Predicate::In(2, {Value("europe"), Value("asia")}).Matches(t, 0));
+  EXPECT_FALSE(Predicate::In(2, {Value("europe"), Value("africa")}).Matches(t, 0));
+  EXPECT_FALSE(Predicate::In(2, {}).Matches(t, 0));
+}
+
+TEST(PredicateTest, StringComparisons) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(1.0), Value("europe")});
+  EXPECT_TRUE(Predicate::Ge(2, Value("asia")).Matches(t, 0));
+  EXPECT_TRUE(Predicate::Lt(2, Value("zzz")).Matches(t, 0));
+  EXPECT_FALSE(Predicate::Lt(2, Value("europe")).Matches(t, 0));
+}
+
+TEST(PredicateTest, ToStringWithSchema) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Predicate::Eq(0, Value(int64_t{5})).ToString(&s), "qty = 5");
+  EXPECT_EQ(Predicate::Between(0, Value(int64_t{1}), Value(int64_t{2})).ToString(&s),
+            "qty BETWEEN 1 AND 2");
+  EXPECT_EQ(Predicate::In(2, {Value("a"), Value("b")}).ToString(&s),
+            "region IN ('a', 'b')");
+}
+
+// ------------------------------------------------------ query matching ----
+
+TEST(QueryTest, ConjunctionSemantics) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{10}), Value(5.0), Value("asia")});
+  Query q;
+  q.conjuncts = {Predicate::Ge(0, Value(int64_t{5})),
+                 Predicate::Eq(2, Value("asia"))};
+  EXPECT_TRUE(q.Matches(t, 0));
+  q.conjuncts.push_back(Predicate::Lt(1, Value(2.0)));
+  EXPECT_FALSE(q.Matches(t, 0));
+}
+
+TEST(QueryTest, EmptyConjunctsIsFullScan) {
+  Table t = MakeRandomTable(10, 1);
+  Query q;
+  EXPECT_EQ(CountMatches(t, q), 10u);
+  ZoneMap zm = BuildZoneMap(t);
+  EXPECT_FALSE(q.CanSkipPartition(zm));
+}
+
+TEST(QueryTest, CountMatchesSubset) {
+  Table t(TestSchema());
+  for (int64_t i = 0; i < 10; ++i) {
+    t.AppendRow({Value(i), Value(0.0), Value("x")});
+  }
+  Query q;
+  q.conjuncts = {Predicate::Lt(0, Value(int64_t{5}))};
+  EXPECT_EQ(CountMatches(t, q), 5u);
+  EXPECT_EQ(CountMatches(t, {0, 7, 3}, q), 2u);
+}
+
+TEST(QueryTest, EstimateSelectivity) {
+  Table t(TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    t.AppendRow({Value(i), Value(0.0), Value("x")});
+  }
+  Query q;
+  q.conjuncts = {Predicate::Lt(0, Value(int64_t{25}))};
+  EXPECT_DOUBLE_EQ(EstimateSelectivity(t, q), 0.25);
+}
+
+// ------------------------------------------------------ zone pruning -----
+
+TEST(PruningTest, EqOutsideBounds) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{10}), Value(1.0), Value("b")});
+  t.AppendRow({Value(int64_t{20}), Value(2.0), Value("c")});
+  ZoneMap zm = BuildZoneMap(t);
+  Query q;
+  q.conjuncts = {Predicate::Eq(0, Value(int64_t{30}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Eq(0, Value(int64_t{15}))};
+  EXPECT_FALSE(q.CanSkipPartition(zm));  // inside range: cannot prove empty
+}
+
+TEST(PruningTest, StringDistinctSetProvesAbsence) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(1.0), Value("alpha")});
+  t.AppendRow({Value(int64_t{2}), Value(2.0), Value("gamma")});
+  ZoneMap zm = BuildZoneMap(t);
+  Query q;
+  // "beta" is within [alpha, gamma] lexicographically, but the distinct set
+  // proves it absent.
+  q.conjuncts = {Predicate::Eq(2, Value("beta"))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Eq(2, Value("gamma"))};
+  EXPECT_FALSE(q.CanSkipPartition(zm));
+}
+
+TEST(PruningTest, InListPruning) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(1.0), Value("aa")});
+  t.AppendRow({Value(int64_t{5}), Value(2.0), Value("bb")});
+  ZoneMap zm = BuildZoneMap(t);
+  Query q;
+  q.conjuncts = {Predicate::In(0, {Value(int64_t{7}), Value(int64_t{9})})};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::In(0, {Value(int64_t{7}), Value(int64_t{3})})};
+  EXPECT_FALSE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::In(2, {Value("cc"), Value("dd")})};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+}
+
+TEST(PruningTest, RangePruning) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{10}), Value(1.0), Value("a")});
+  t.AppendRow({Value(int64_t{20}), Value(2.0), Value("a")});
+  ZoneMap zm = BuildZoneMap(t);
+  Query q;
+  q.conjuncts = {Predicate::Lt(0, Value(int64_t{10}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Le(0, Value(int64_t{10}))};
+  EXPECT_FALSE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Gt(0, Value(int64_t{20}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Between(0, Value(int64_t{21}), Value(int64_t{30}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+  q.conjuncts = {Predicate::Between(0, Value(int64_t{0}), Value(int64_t{9}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+}
+
+TEST(PruningTest, EmptyPartitionAlwaysSkippable) {
+  Table t = MakeRandomTable(5, 2);
+  ZoneMap zm = BuildZoneMap(t, {});
+  Query q;
+  q.conjuncts = {Predicate::Eq(0, Value(int64_t{1}))};
+  EXPECT_TRUE(q.CanSkipPartition(zm));
+}
+
+// Soundness property: whenever CanSkipPartition says a partition can be
+// skipped, no row in that partition may match the query. Sweeps random
+// queries over random partitionings (parameterized by seed).
+class PruningSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+Query RandomQuery(Rng* rng) {
+  const char* regions[] = {"asia", "europe", "america", "africa", "oceania"};
+  Query q;
+  int n_preds = 1 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < n_preds; ++i) {
+    switch (rng->Uniform(6)) {
+      case 0:
+        q.conjuncts.push_back(Predicate::Eq(0, Value(rng->UniformInt(0, 100))));
+        break;
+      case 1: {
+        int64_t lo = rng->UniformInt(0, 90);
+        q.conjuncts.push_back(
+            Predicate::Between(0, Value(lo), Value(lo + 10)));
+        break;
+      }
+      case 2:
+        q.conjuncts.push_back(Predicate::Lt(1, Value(rng->UniformDouble(0, 50))));
+        break;
+      case 3:
+        q.conjuncts.push_back(Predicate::Ge(1, Value(rng->UniformDouble(0, 50))));
+        break;
+      case 4:
+        q.conjuncts.push_back(Predicate::Eq(2, Value(regions[rng->Uniform(5)])));
+        break;
+      case 5:
+        q.conjuncts.push_back(Predicate::In(
+            2, {Value(regions[rng->Uniform(5)]), Value(regions[rng->Uniform(5)])}));
+        break;
+    }
+  }
+  return q;
+}
+
+TEST_P(PruningSoundnessTest, SkippedPartitionsHaveNoMatches) {
+  Rng rng(GetParam());
+  Table t = MakeRandomTable(500, GetParam() * 31 + 7);
+  // Random partitioning into 8 parts.
+  std::vector<uint32_t> assignment(t.num_rows());
+  for (auto& a : assignment) a = static_cast<uint32_t>(rng.Uniform(8));
+  Partitioning p = BuildPartitioning(t, assignment, 8);
+  ASSERT_TRUE(ValidatePartitioning(p, t.num_rows()));
+
+  for (int qi = 0; qi < 50; ++qi) {
+    Query q = RandomQuery(&rng);
+    for (size_t pid = 0; pid < p.num_partitions(); ++pid) {
+      if (q.CanSkipPartition(p.zones[pid])) {
+        EXPECT_EQ(CountMatches(t, p.partitions[pid], q), 0u)
+            << "unsound skip: " << q.ToString(&t.schema());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningSoundnessTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------- fraction accessed ----
+
+TEST(FractionAccessedTest, FullScanIsOne) {
+  Table t = MakeRandomTable(100, 3);
+  std::vector<uint32_t> assignment(t.num_rows());
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    assignment[i] = static_cast<uint32_t>(i % 4);
+  }
+  Partitioning p = BuildPartitioning(t, assignment, 4);
+  Query q;  // no conjuncts
+  EXPECT_DOUBLE_EQ(FractionAccessed(p, q), 1.0);
+  EXPECT_EQ(PartitionsToRead(p, q).size(), 4u);
+}
+
+TEST(FractionAccessedTest, PerfectClusteringSkips) {
+  // Rows partitioned exactly by qty range: a point query touches 1/4.
+  Table t(TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    t.AppendRow({Value(i), Value(0.0), Value("x")});
+  }
+  std::vector<uint32_t> assignment(100);
+  for (size_t i = 0; i < 100; ++i) assignment[i] = static_cast<uint32_t>(i / 25);
+  Partitioning p = BuildPartitioning(t, assignment, 4);
+  Query q;
+  q.conjuncts = {Predicate::Eq(0, Value(int64_t{10}))};
+  EXPECT_DOUBLE_EQ(FractionAccessed(p, q), 0.25);
+  EXPECT_EQ(PartitionsToRead(p, q), std::vector<uint32_t>{0});
+}
+
+TEST(FractionAccessedTest, CostInUnitInterval) {
+  Rng rng(5);
+  Table t = MakeRandomTable(200, 5);
+  std::vector<uint32_t> assignment(t.num_rows());
+  for (auto& a : assignment) a = static_cast<uint32_t>(rng.Uniform(6));
+  Partitioning p = BuildPartitioning(t, assignment, 6);
+  for (int i = 0; i < 30; ++i) {
+    Query q = RandomQuery(&rng);
+    double c = FractionAccessed(p, q);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+// ----------------------------------------------------------- aggregates ----
+
+TEST(AggregateTest, CountSumMinMaxAvg) {
+  Table t(TestSchema());
+  for (int64_t i = 1; i <= 10; ++i) {
+    t.AppendRow({Value(i), Value(static_cast<double>(i) * 2.0), Value("x")});
+  }
+  Query q;
+  q.conjuncts = {Predicate::Le(0, Value(int64_t{5}))};  // qty in 1..5
+  std::vector<AggResult> r = RunAggregates(
+      t, q,
+      {{AggOp::kCount, -1}, {AggOp::kSum, 1}, {AggOp::kMin, 1},
+       {AggOp::kMax, 1}, {AggOp::kAvg, 0}});
+  EXPECT_EQ(r[0].count, 5);
+  EXPECT_DOUBLE_EQ(r[1].value, 2.0 + 4 + 6 + 8 + 10);
+  EXPECT_DOUBLE_EQ(r[2].value, 2.0);
+  EXPECT_DOUBLE_EQ(r[3].value, 10.0);
+  EXPECT_DOUBLE_EQ(r[4].value, 3.0);
+  for (const AggResult& a : r) EXPECT_TRUE(a.valid);
+}
+
+TEST(AggregateTest, EmptyInputSemantics) {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(1.0), Value("x")});
+  Query q;
+  q.conjuncts = {Predicate::Gt(0, Value(int64_t{100}))};  // matches nothing
+  std::vector<AggResult> r = RunAggregates(
+      t, q, {{AggOp::kCount, -1}, {AggOp::kSum, 1}, {AggOp::kMin, 1},
+             {AggOp::kAvg, 1}});
+  EXPECT_EQ(r[0].count, 0);
+  EXPECT_TRUE(r[0].valid);
+  EXPECT_DOUBLE_EQ(r[1].value, 0.0);  // SUM of nothing = 0
+  EXPECT_FALSE(r[2].valid);           // MIN of nothing = NULL
+  EXPECT_FALSE(r[3].valid);           // AVG of nothing = NULL
+}
+
+TEST(AggregateTest, StreamingAcrossPartitionsMatchesOneShot) {
+  Table t = MakeRandomTable(300, 21);
+  Query q;
+  q.conjuncts = {Predicate::Ge(1, Value(10.0))};
+  std::vector<AggSpec> specs = {{AggOp::kSum, 0}, {AggOp::kAvg, 1},
+                                {AggOp::kCount, -1}};
+  std::vector<AggResult> oneshot = RunAggregates(t, q, specs);
+
+  // Same data split across three "partitions".
+  Aggregator agg(specs);
+  std::vector<uint32_t> p1, p2, p3;
+  for (uint32_t r = 0; r < 300; ++r) {
+    (r % 3 == 0 ? p1 : r % 3 == 1 ? p2 : p3).push_back(r);
+  }
+  for (const auto* part : {&p1, &p2, &p3}) {
+    Table sub = t.Take(*part);
+    agg.Consume(sub, q);
+  }
+  std::vector<AggResult> streamed = agg.Finish();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(streamed[i].count, oneshot[i].count);
+    EXPECT_NEAR(streamed[i].value, oneshot[i].value, 1e-9);
+  }
+}
+
+TEST(AggregateTest, ConsumeRowsUnconditional) {
+  Table t = MakeRandomTable(50, 22);
+  Aggregator agg({{AggOp::kCount, -1}});
+  agg.ConsumeRows(t, {0, 5, 7});
+  EXPECT_EQ(agg.Finish()[0].count, 3);
+  EXPECT_EQ(agg.rows_seen(), 3);
+}
+
+// ----------------------------------------------- metadata persistence ----
+
+TEST(MetadataTest, RoundTripPreservesPruningBehavior) {
+  Rng rng(23);
+  Table t = MakeRandomTable(400, 23);
+  std::vector<uint32_t> assignment(t.num_rows());
+  for (auto& a : assignment) a = static_cast<uint32_t>(rng.Uniform(8));
+  Partitioning p = BuildPartitioning(t, assignment, 8);
+  PartitionMetadata meta = MetadataFrom(t.schema(), p, "test-layout");
+
+  std::string data = SerializePartitionMetadata(meta);
+  Result<PartitionMetadata> back = DeserializePartitionMetadata(data);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->layout_name, "test-layout");
+  EXPECT_EQ(back->total_rows, t.num_rows());
+  EXPECT_TRUE(back->schema.Equals(t.schema()));
+  ASSERT_EQ(back->zones.size(), p.zones.size());
+
+  // Cost estimation from persisted metadata must be bit-identical.
+  for (int i = 0; i < 40; ++i) {
+    Query q = RandomQuery(&rng);
+    EXPECT_DOUBLE_EQ(FractionAccessedFromMetadata(*back, q),
+                     FractionAccessed(p, q));
+  }
+}
+
+TEST(MetadataTest, FileRoundTripAndCorruption) {
+  namespace fs = std::filesystem;
+  Rng rng(29);
+  Table t = MakeRandomTable(100, 29);
+  std::vector<uint32_t> assignment(t.num_rows(), 0);
+  Partitioning p = BuildPartitioning(t, assignment, 1);
+  PartitionMetadata meta = MetadataFrom(t.schema(), p, "single");
+  std::string path =
+      (fs::temp_directory_path() / "oreo_meta_test.bin").string();
+  ASSERT_TRUE(WriteMetadataFile(path, meta).ok());
+  Result<PartitionMetadata> back = ReadMetadataFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->zones.size(), 1u);
+
+  // Flip a byte: must be detected.
+  std::string data = SerializePartitionMetadata(meta);
+  data[data.size() / 3] = static_cast<char>(data[data.size() / 3] ^ 0x10);
+  EXPECT_EQ(DeserializePartitionMetadata(data).status().code(),
+            StatusCode::kCorruption);
+  // Truncation: must be detected.
+  EXPECT_EQ(DeserializePartitionMetadata(data.substr(0, data.size() / 2))
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+  fs::remove(path);
+}
+
+TEST(FractionAccessedTest, LowerBoundsTrueSelectivity) {
+  // Pruning is conservative: the fraction accessed can never be below the
+  // true fraction of matching rows.
+  Rng rng(11);
+  Table t = MakeRandomTable(400, 11);
+  std::vector<uint32_t> assignment(t.num_rows());
+  for (auto& a : assignment) a = static_cast<uint32_t>(rng.Uniform(8));
+  Partitioning p = BuildPartitioning(t, assignment, 8);
+  for (int i = 0; i < 40; ++i) {
+    Query q = RandomQuery(&rng);
+    double accessed = FractionAccessed(p, q);
+    double truth = static_cast<double>(CountMatches(t, q)) /
+                   static_cast<double>(t.num_rows());
+    EXPECT_GE(accessed + 1e-12, truth);
+  }
+}
+
+}  // namespace
+}  // namespace oreo

@@ -1,0 +1,153 @@
+// Tests for src/sampling: sliding window semantics, reservoir uniformity,
+// and the recency bias of the time-biased reservoir (the R-TBS stand-in
+// behind Algorithm 5's admission sample).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "sampling/reservoir.h"
+#include "sampling/sliding_window.h"
+#include "sampling/time_biased.h"
+
+namespace oreo {
+namespace {
+
+// ------------------------------------------------------ SlidingWindow ----
+
+TEST(SlidingWindowTest, FillsThenSlides) {
+  SlidingWindow<int> w(3);
+  EXPECT_EQ(w.size(), 0u);
+  w.Add(1);
+  w.Add(2);
+  EXPECT_FALSE(w.full());
+  w.Add(3);
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.Items(), (std::vector<int>{1, 2, 3}));
+  w.Add(4);
+  EXPECT_EQ(w.Items(), (std::vector<int>{2, 3, 4}));
+  w.Add(5);
+  w.Add(6);
+  EXPECT_EQ(w.Items(), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(w.total_seen(), 6u);
+}
+
+TEST(SlidingWindowTest, CapacityOne) {
+  SlidingWindow<int> w(1);
+  w.Add(1);
+  w.Add(2);
+  EXPECT_EQ(w.Items(), std::vector<int>{2});
+}
+
+TEST(SlidingWindowTest, Clear) {
+  SlidingWindow<int> w(4);
+  w.Add(1);
+  w.Add(2);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  w.Add(9);
+  EXPECT_EQ(w.Items(), std::vector<int>{9});
+}
+
+TEST(SlidingWindowTest, OrderPreservedAcrossManyWraps) {
+  SlidingWindow<int> w(5);
+  for (int i = 0; i < 137; ++i) w.Add(i);
+  EXPECT_EQ(w.Items(), (std::vector<int>{132, 133, 134, 135, 136}));
+}
+
+// --------------------------------------------------------- Reservoir ----
+
+TEST(ReservoirTest, KeepsEverythingWhileUnderCapacity) {
+  ReservoirSampler<int> r(10, Rng(1));
+  for (int i = 0; i < 10; ++i) r.Add(i);
+  EXPECT_EQ(r.size(), 10u);
+  std::vector<int> items = r.Items();
+  std::sort(items.begin(), items.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(items[static_cast<size_t>(i)], i);
+}
+
+TEST(ReservoirTest, SizeIsCapped) {
+  ReservoirSampler<int> r(16, Rng(2));
+  for (int i = 0; i < 1000; ++i) r.Add(i);
+  EXPECT_EQ(r.size(), 16u);
+  EXPECT_EQ(r.seen(), 1000u);
+}
+
+TEST(ReservoirTest, InclusionIsApproximatelyUniform) {
+  // Each of 100 items should appear in a size-10 reservoir ~10% of runs.
+  const int kTrials = 3000;
+  std::vector<int> hits(100, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler<int> r(10, Rng(static_cast<uint64_t>(trial) + 17));
+    for (int i = 0; i < 100; ++i) r.Add(i);
+    for (int v : r.Items()) ++hits[static_cast<size_t>(v)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kTrials, 0.10, 0.03);
+  }
+}
+
+// -------------------------------------------------- TimeBiasedReservoir ----
+
+TEST(TimeBiasedTest, SizeIsCapped) {
+  TimeBiasedReservoir<int> r(8, 0.1, Rng(3));
+  for (int i = 0; i < 500; ++i) r.Add(i, static_cast<double>(i));
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_EQ(r.seen(), 500u);
+}
+
+TEST(TimeBiasedTest, RecentItemsDominate) {
+  // With strong decay, the sample should contain mostly recent items.
+  const int kTrials = 200;
+  double recent_fraction = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    TimeBiasedReservoir<int> r(20, 0.05,
+                               Rng(static_cast<uint64_t>(trial) + 5));
+    for (int i = 0; i < 1000; ++i) r.Add(i, static_cast<double>(i));
+    int recent = 0;
+    for (int v : r.Items()) {
+      if (v >= 800) ++recent;
+    }
+    recent_fraction += static_cast<double>(recent) / 20.0;
+  }
+  recent_fraction /= kTrials;
+  // Uniform sampling would put only 20% in [800, 1000).
+  EXPECT_GT(recent_fraction, 0.6);
+}
+
+TEST(TimeBiasedTest, ZeroLambdaIsApproximatelyUniform) {
+  const int kTrials = 2000;
+  std::vector<int> hits(100, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    TimeBiasedReservoir<int> r(10, 0.0, Rng(static_cast<uint64_t>(trial)));
+    for (int i = 0; i < 100; ++i) r.Add(i, static_cast<double>(i));
+    for (int v : r.Items()) ++hits[static_cast<size_t>(v)];
+  }
+  // First and last deciles should be retained at comparable rates.
+  double first = std::accumulate(hits.begin(), hits.begin() + 10, 0.0);
+  double last = std::accumulate(hits.end() - 10, hits.end(), 0.0);
+  EXPECT_NEAR(first / last, 1.0, 0.25);
+}
+
+TEST(TimeBiasedTest, StrongerDecayMeansMoreRecency) {
+  auto recency = [](double lambda) {
+    double total = 0.0;
+    for (int trial = 0; trial < 100; ++trial) {
+      TimeBiasedReservoir<int> r(20, lambda,
+                                 Rng(static_cast<uint64_t>(trial) + 31));
+      for (int i = 0; i < 1000; ++i) r.Add(i, static_cast<double>(i));
+      for (int v : r.Items()) total += v;
+    }
+    return total;
+  };
+  EXPECT_LT(recency(0.001), recency(0.1));
+}
+
+TEST(TimeBiasedTest, UnderCapacityKeepsAll) {
+  TimeBiasedReservoir<int> r(50, 0.1, Rng(9));
+  for (int i = 0; i < 20; ++i) r.Add(i, static_cast<double>(i));
+  EXPECT_EQ(r.size(), 20u);
+}
+
+}  // namespace
+}  // namespace oreo

@@ -1,0 +1,264 @@
+// Tests for src/storage: Column, Table, ZoneMap, Partitioning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/partitioning.h"
+#include "storage/table.h"
+#include "storage/zone_map.h"
+
+namespace oreo {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"tag", DataType::kString}});
+}
+
+Table SmallTable() {
+  Table t(TestSchema());
+  t.AppendRow({Value(int64_t{1}), Value(0.5), Value("a")});
+  t.AppendRow({Value(int64_t{5}), Value(1.5), Value("b")});
+  t.AppendRow({Value(int64_t{3}), Value(-2.0), Value("a")});
+  t.AppendRow({Value(int64_t{9}), Value(0.0), Value("c")});
+  return t;
+}
+
+// -------------------------------------------------------------- Column ----
+
+TEST(ColumnTest, Int64AppendGet) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(10);
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt64(0), 10);
+  EXPECT_EQ(c.GetInt64(1), -3);
+  EXPECT_DOUBLE_EQ(c.GetNumeric(1), -3.0);
+}
+
+TEST(ColumnTest, StringDictionaryDedupes) {
+  Column c(DataType::kString);
+  c.AppendString("x");
+  c.AppendString("y");
+  c.AppendString("x");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.dictionary().size(), 2u);
+  EXPECT_EQ(c.GetString(0), "x");
+  EXPECT_EQ(c.GetString(2), "x");
+  EXPECT_EQ(c.GetCode(0), c.GetCode(2));
+  EXPECT_NE(c.GetCode(0), c.GetCode(1));
+}
+
+TEST(ColumnTest, FindCode) {
+  Column c(DataType::kString);
+  c.AppendString("hello");
+  EXPECT_EQ(c.FindCode("hello"), 0);
+  EXPECT_EQ(c.FindCode("world"), -1);
+}
+
+TEST(ColumnTest, GetValueRoundTrip) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(3.25);
+  EXPECT_TRUE(c.GetValue(0) == Value(3.25));
+}
+
+TEST(ColumnTest, TakeReordersAndRepeats) {
+  Column c(DataType::kInt64);
+  for (int64_t v : {10, 20, 30}) c.AppendInt64(v);
+  Column t = c.Take({2, 0, 2});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.GetInt64(0), 30);
+  EXPECT_EQ(t.GetInt64(1), 10);
+  EXPECT_EQ(t.GetInt64(2), 30);
+}
+
+TEST(ColumnTest, TakeStringPreservesValues) {
+  Column c(DataType::kString);
+  for (const char* v : {"a", "b", "c"}) c.AppendString(v);
+  Column t = c.Take({1, 2});
+  EXPECT_EQ(t.GetString(0), "b");
+  EXPECT_EQ(t.GetString(1), "c");
+}
+
+// --------------------------------------------------------------- Table ----
+
+TEST(TableTest, AppendRowAndAccess) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.column(0).GetInt64(1), 5);
+  EXPECT_EQ(t.column(2).GetString(3), "c");
+}
+
+TEST(TableTest, TakeSubset) {
+  Table t = SmallTable();
+  Table sub = t.Take({3, 1});
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.column(0).GetInt64(0), 9);
+  EXPECT_EQ(sub.column(0).GetInt64(1), 5);
+  EXPECT_TRUE(sub.schema().Equals(t.schema()));
+}
+
+TEST(TableTest, SampleRowsWithoutReplacement) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  for (int64_t i = 0; i < 100; ++i) t.AppendRow({Value(i)});
+  Rng rng(3);
+  std::vector<uint32_t> ids;
+  Table s = t.SampleRows(30, &rng, &ids);
+  EXPECT_EQ(s.num_rows(), 30u);
+  std::set<uint32_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  // Sample table rows must match the reported row ids.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(s.column(0).GetInt64(i), static_cast<int64_t>(ids[i]));
+  }
+}
+
+TEST(TableTest, SampleMoreThanRowsReturnsAll) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  for (int64_t i = 0; i < 5; ++i) t.AppendRow({Value(i)});
+  Rng rng(3);
+  Table s = t.SampleRows(50, &rng);
+  EXPECT_EQ(s.num_rows(), 5u);
+}
+
+TEST(TableTest, MemoryBytesPositive) {
+  Table t = SmallTable();
+  EXPECT_GT(t.MemoryBytes(), 0u);
+}
+
+TEST(TableTest, AppendConcatenatesRows) {
+  Table a = SmallTable();
+  Table b = SmallTable();
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 8u);
+  // Second half mirrors the first.
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (uint32_t r = 0; r < 4; ++r) {
+      EXPECT_TRUE(a.column(c).GetValue(r) == a.column(c).GetValue(r + 4));
+    }
+  }
+}
+
+TEST(TableTest, AppendRemapsStringDictionaries) {
+  Table a(Schema({{"s", DataType::kString}}));
+  a.AppendRow({Value("x")});
+  Table b(Schema({{"s", DataType::kString}}));
+  b.AppendRow({Value("y")});
+  b.AppendRow({Value("x")});
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 3u);
+  EXPECT_EQ(a.column(0).GetString(0), "x");
+  EXPECT_EQ(a.column(0).GetString(1), "y");
+  EXPECT_EQ(a.column(0).GetString(2), "x");
+  EXPECT_EQ(a.column(0).GetCode(0), a.column(0).GetCode(2));
+}
+
+TEST(TableTest, AppendEmptyIsNoop) {
+  Table a = SmallTable();
+  Table b(TestSchema());
+  a.Append(b);
+  EXPECT_EQ(a.num_rows(), 4u);
+}
+
+// ------------------------------------------------------------- ZoneMap ----
+
+TEST(ZoneMapTest, NumericBounds) {
+  Table t = SmallTable();
+  ZoneMap zm = BuildZoneMap(t);
+  EXPECT_EQ(zm.num_rows, 4u);
+  EXPECT_EQ(zm.columns[0].int_min, 1);
+  EXPECT_EQ(zm.columns[0].int_max, 9);
+  EXPECT_DOUBLE_EQ(zm.columns[1].dbl_min, -2.0);
+  EXPECT_DOUBLE_EQ(zm.columns[1].dbl_max, 1.5);
+}
+
+TEST(ZoneMapTest, StringBoundsAndDistinct) {
+  Table t = SmallTable();
+  ZoneMap zm = BuildZoneMap(t);
+  const ColumnZone& z = zm.columns[2];
+  EXPECT_EQ(z.str_min, "a");
+  EXPECT_EQ(z.str_max, "c");
+  EXPECT_FALSE(z.distinct_overflow);
+  EXPECT_EQ(z.distinct.size(), 3u);
+  EXPECT_TRUE(z.distinct.count("b"));
+}
+
+TEST(ZoneMapTest, DistinctOverflow) {
+  Table t(Schema({{"s", DataType::kString}}));
+  for (int i = 0; i < 200; ++i) {
+    t.AppendRow({Value("val" + std::to_string(i))});
+  }
+  ZoneMap zm = BuildZoneMap(t);
+  EXPECT_TRUE(zm.columns[0].distinct_overflow);
+  EXPECT_TRUE(zm.columns[0].distinct.empty());
+  EXPECT_FALSE(zm.columns[0].empty);
+}
+
+TEST(ZoneMapTest, SubsetOfRows) {
+  Table t = SmallTable();
+  ZoneMap zm = BuildZoneMap(t, {0, 2});
+  EXPECT_EQ(zm.num_rows, 2u);
+  EXPECT_EQ(zm.columns[0].int_min, 1);
+  EXPECT_EQ(zm.columns[0].int_max, 3);
+}
+
+TEST(ZoneMapTest, EmptyZone) {
+  Table t = SmallTable();
+  ZoneMap zm = BuildZoneMap(t, {});
+  EXPECT_EQ(zm.num_rows, 0u);
+  EXPECT_TRUE(zm.columns[0].empty);
+}
+
+// -------------------------------------------------------- Partitioning ----
+
+TEST(PartitioningTest, BuildsAndValidates) {
+  Table t = SmallTable();
+  std::vector<uint32_t> assignment = {0, 1, 0, 1};
+  Partitioning p = BuildPartitioning(t, assignment, 2);
+  EXPECT_EQ(p.num_partitions(), 2u);
+  EXPECT_EQ(p.total_rows, 4u);
+  EXPECT_TRUE(ValidatePartitioning(p, 4));
+  EXPECT_EQ(p.zones[0].num_rows, 2u);
+}
+
+TEST(PartitioningTest, DropsEmptyPartitions) {
+  Table t = SmallTable();
+  std::vector<uint32_t> assignment = {3, 3, 3, 3};
+  Partitioning p = BuildPartitioning(t, assignment, 5);
+  EXPECT_EQ(p.num_partitions(), 1u);
+  EXPECT_TRUE(ValidatePartitioning(p, 4));
+}
+
+TEST(PartitioningTest, ZonesMatchPartitionContents) {
+  Table t = SmallTable();
+  std::vector<uint32_t> assignment = {0, 1, 0, 1};
+  Partitioning p = BuildPartitioning(t, assignment, 2);
+  // Partition 0 holds rows {0, 2}: ids {1, 3}.
+  EXPECT_EQ(p.zones[0].columns[0].int_min, 1);
+  EXPECT_EQ(p.zones[0].columns[0].int_max, 3);
+  // Partition 1 holds rows {1, 3}: ids {5, 9}.
+  EXPECT_EQ(p.zones[1].columns[0].int_min, 5);
+  EXPECT_EQ(p.zones[1].columns[0].int_max, 9);
+}
+
+TEST(PartitioningTest, ValidateCatchesMissingRow) {
+  Partitioning p;
+  p.partitions = {{0, 1}};  // row 2 missing
+  p.zones.resize(1);
+  p.zones[0].num_rows = 2;
+  EXPECT_FALSE(ValidatePartitioning(p, 3));
+}
+
+TEST(PartitioningTest, ValidateCatchesDuplicateRow) {
+  Partitioning p;
+  p.partitions = {{0, 1}, {1, 2}};
+  p.zones.resize(2);
+  p.zones[0].num_rows = 2;
+  p.zones[1].num_rows = 2;
+  EXPECT_FALSE(ValidatePartitioning(p, 3));
+}
+
+}  // namespace
+}  // namespace oreo

@@ -1,0 +1,146 @@
+// Tests for the Work Function Algorithm and the two-state asymmetric MTS
+// (Appendix C flavor): empirical competitive ratio <= 2n-1 (= 3 for n=2)
+// against the exact offline optimum with asymmetric movement costs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mts/offline.h"
+#include "mts/work_function.h"
+
+namespace oreo {
+namespace mts {
+namespace {
+
+TEST(WfaTest, StaysPutWhenCurrentIsFree) {
+  WorkFunctionAlgorithm wfa({{0, 1}, {1, 0}}, 0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(wfa.OnQuery({0.0, 0.5}), 0);
+  }
+  EXPECT_EQ(wfa.num_switches(), 0);
+}
+
+TEST(WfaTest, EventuallyMovesOffExpensiveState) {
+  WorkFunctionAlgorithm wfa({{0, 1}, {1, 0}}, 0);
+  int state = 0;
+  for (int i = 0; i < 20; ++i) state = wfa.OnQuery({1.0, 0.0});
+  EXPECT_EQ(state, 1);
+  EXPECT_EQ(wfa.num_switches(), 1);
+}
+
+TEST(WfaTest, DoesNotThrashUnderAlternatingCosts) {
+  // Alternating cheap state with movement cost 1: WFA should not switch on
+  // every query (that would be unbounded thrash).
+  WorkFunctionAlgorithm wfa({{0, 1}, {1, 0}}, 0);
+  int switches_before = wfa.num_switches();
+  for (int i = 0; i < 100; ++i) {
+    double c0 = (i % 2 == 0) ? 0.4 : 0.0;
+    double c1 = (i % 2 == 0) ? 0.0 : 0.4;
+    wfa.OnQuery({c0, c1});
+  }
+  EXPECT_LT(wfa.num_switches() - switches_before, 50);
+}
+
+TEST(TwoStateAsymmetricTest, RespectsAsymmetry) {
+  // Moving 0->1 is cheap but returning costs 50. Committing to state 1 is
+  // only safe (in the worst case) once ~d01 + d10 of regret has accumulated:
+  // an adversary could flip the costs right after the move and force the
+  // expensive return. So after 10 queries the algorithm must still hold at
+  // state 0, and only commit once the accumulated loss covers the round trip.
+  TwoStateAsymmetric alg(/*cost_01=*/1.0, /*cost_10=*/50.0, 0);
+  for (int i = 0; i < 10; ++i) alg.OnQuery(1.0, 0.0);
+  EXPECT_EQ(alg.current_state(), 0);
+  for (int i = 0; i < 60; ++i) alg.OnQuery(1.0, 0.0);
+  EXPECT_EQ(alg.current_state(), 1);
+  int switches = alg.num_switches();
+  // Mild pressure back toward 0 should not immediately trigger the expensive
+  // return move.
+  for (int i = 0; i < 20; ++i) alg.OnQuery(0.0, 1.0);
+  EXPECT_LE(alg.num_switches() - switches, 0);
+  // Sustained pressure eventually does.
+  for (int i = 0; i < 80; ++i) alg.OnQuery(0.0, 1.0);
+  EXPECT_EQ(alg.current_state(), 0);
+}
+
+// Empirical competitive ratio of WFA vs exact offline on random asymmetric
+// two-state instances: must stay within 3 (+ small additive slack for the
+// initial conditions).
+class TwoStateRatioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwoStateRatioTest, RatioAtMostThree) {
+  Rng rng(GetParam());
+  double d01 = rng.UniformDouble(0.5, 5.0);
+  double d10 = rng.UniformDouble(0.5, 5.0);
+  const size_t t_max = 500;
+  std::vector<std::vector<double>> costs(t_max, std::vector<double>(2));
+  // Piecewise-stationary costs: harder for online algorithms than iid noise.
+  size_t t = 0;
+  while (t < t_max) {
+    size_t seg = 10 + rng.Uniform(80);
+    int hot = static_cast<int>(rng.Uniform(2));
+    for (size_t i = 0; i < seg && t < t_max; ++i, ++t) {
+      costs[t][static_cast<size_t>(hot)] = rng.UniformDouble(0.5, 1.0);
+      costs[t][static_cast<size_t>(1 - hot)] = rng.UniformDouble(0.0, 0.1);
+    }
+  }
+  std::vector<std::vector<double>> dist = {{0.0, d01}, {d10, 0.0}};
+  OfflineResult opt = SolveOfflineMetric(costs, dist);
+
+  WorkFunctionAlgorithm wfa(dist, 0);
+  double alg_cost = 0.0;
+  int prev = 0;
+  for (size_t i = 0; i < t_max; ++i) {
+    int s = wfa.OnQuery(costs[i]);
+    if (s != prev) {
+      alg_cost += dist[static_cast<size_t>(prev)][static_cast<size_t>(s)];
+      prev = s;
+    }
+    alg_cost += costs[i][static_cast<size_t>(s)];
+  }
+  double slack = d01 + d10;  // initial-state disadvantage
+  EXPECT_LE(alg_cost, 3.0 * opt.total_cost + slack)
+      << "d01=" << d01 << " d10=" << d10 << " ALG=" << alg_cost
+      << " OPT=" << opt.total_cost;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoStateRatioTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15));
+
+// WFA on more states: ratio <= 2n-1 against offline (uniform metric case).
+class WfaRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WfaRatioTest, WithinTwoNMinusOne) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 104729);
+  const double alpha = 2.0;
+  const size_t t_max = 400;
+  std::vector<std::vector<double>> costs(t_max,
+                                         std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : costs) {
+    for (auto& c : row) c = rng.UniformDouble();
+  }
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), alpha));
+  for (int i = 0; i < n; ++i) dist[static_cast<size_t>(i)][static_cast<size_t>(i)] = 0.0;
+
+  OfflineResult opt = SolveOfflineMetric(costs, dist);
+  WorkFunctionAlgorithm wfa(dist, 0);
+  double alg_cost = 0.0;
+  int prev = 0;
+  for (size_t t = 0; t < t_max; ++t) {
+    int s = wfa.OnQuery(costs[t]);
+    if (s != prev) {
+      alg_cost += alpha;
+      prev = s;
+    }
+    alg_cost += costs[t][static_cast<size_t>(s)];
+  }
+  EXPECT_LE(alg_cost, (2.0 * n - 1.0) * opt.total_cost + alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(StateCounts, WfaRatioTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mts
+}  // namespace oreo

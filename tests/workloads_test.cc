@@ -1,0 +1,246 @@
+// Tests for src/workloads: dataset shapes and distributions, template
+// validity (every instantiated query references real columns with matching
+// types and selects a sane number of rows), and the workload state machine.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "query/query.h"
+#include "workloads/dataset.h"
+#include "workloads/workload_gen.h"
+
+namespace oreo {
+namespace workloads {
+namespace {
+
+// ------------------------------------------------------------ datasets ----
+
+class DatasetShapeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetShapeTest, RowCountAndSchema) {
+  WorkloadDataset ds = MakeDataset(GetParam(), 2000, 1);
+  EXPECT_EQ(ds.table.num_rows(), 2000u);
+  EXPECT_GT(ds.table.num_columns(), 8u);
+  EXPECT_EQ(ds.name, GetParam());
+  ASSERT_GE(ds.time_column, 0);
+  ASSERT_LT(static_cast<size_t>(ds.time_column), ds.table.num_columns());
+  EXPECT_EQ(ds.table.schema().field(static_cast<size_t>(ds.time_column)).type,
+            DataType::kInt64);
+}
+
+TEST_P(DatasetShapeTest, DeterministicForSeed) {
+  WorkloadDataset a = MakeDataset(GetParam(), 500, 42);
+  WorkloadDataset b = MakeDataset(GetParam(), 500, 42);
+  for (size_t c = 0; c < a.table.num_columns(); ++c) {
+    for (uint32_t r = 0; r < 500; r += 37) {
+      EXPECT_TRUE(a.table.column(c).GetValue(r) ==
+                  b.table.column(c).GetValue(r));
+    }
+  }
+}
+
+TEST_P(DatasetShapeTest, TemplatesProduceValidQueries) {
+  WorkloadDataset ds = MakeDataset(GetParam(), 3000, 2);
+  Rng rng(3);
+  for (const QueryTemplate& tpl : ds.templates) {
+    for (int i = 0; i < 5; ++i) {
+      Query q = tpl.instantiate(&rng);
+      ASSERT_FALSE(q.conjuncts.empty()) << tpl.name;
+      for (const Predicate& p : q.conjuncts) {
+        ASSERT_GE(p.column, 0) << tpl.name;
+        ASSERT_LT(static_cast<size_t>(p.column), ds.table.num_columns())
+            << tpl.name;
+        // Type compatibility: evaluating on row 0 must not CHECK-fail.
+        q.Matches(ds.table, 0);
+      }
+      // Every template must be satisfiable sometimes but never degenerate to
+      // selecting everything in expectation.
+      uint64_t matches = CountMatches(ds.table, q);
+      EXPECT_LE(matches, ds.table.num_rows()) << tpl.name;
+    }
+  }
+}
+
+TEST_P(DatasetShapeTest, TemplatesAreSelectiveOnAverage) {
+  WorkloadDataset ds = MakeDataset(GetParam(), 3000, 4);
+  Rng rng(5);
+  double total_sel = 0;
+  int count = 0;
+  for (const QueryTemplate& tpl : ds.templates) {
+    for (int i = 0; i < 3; ++i) {
+      Query q = tpl.instantiate(&rng);
+      total_sel += EstimateSelectivity(ds.table, q);
+      ++count;
+    }
+  }
+  // Mean selectivity across templates should be well below a full scan.
+  EXPECT_LT(total_sel / count, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetShapeTest,
+                         ::testing::Values("tpch", "tpcds", "telemetry"));
+
+TEST(DatasetTest, TemplateFamiliesMatchPaper) {
+  // 13 TPC-H templates, 17 TPC-DS templates (SVI-A2).
+  EXPECT_EQ(MakeTpchLike(100, 1).templates.size(), 13u);
+  EXPECT_EQ(MakeTpcdsLike(100, 1).templates.size(), 17u);
+  EXPECT_GE(MakeTelemetry(100, 1).templates.size(), 8u);
+}
+
+TEST(DatasetTest, TelemetryArrivalTimeIsMonotoneInRowOrder) {
+  WorkloadDataset ds = MakeTelemetry(2000, 6);
+  const Column& at = ds.table.column(0);
+  // Allow jitter, but the trend must be increasing.
+  EXPECT_LT(at.GetInt64(0), at.GetInt64(1999));
+  EXPECT_LT(at.GetInt64(100), at.GetInt64(1200));
+}
+
+TEST(DatasetTest, TpchRegionDerivedFromNation) {
+  WorkloadDataset ds = MakeTpchLike(2000, 7);
+  int nation_col = ds.table.schema().FieldIndex("c_nation");
+  int region_col = ds.table.schema().FieldIndex("c_region");
+  ASSERT_GE(nation_col, 0);
+  ASSERT_GE(region_col, 0);
+  // Same nation -> same region, checked across a few rows.
+  std::map<std::string, std::string> seen;
+  for (uint32_t r = 0; r < 2000; ++r) {
+    const std::string& n =
+        ds.table.column(static_cast<size_t>(nation_col)).GetString(r);
+    const std::string& g =
+        ds.table.column(static_cast<size_t>(region_col)).GetString(r);
+    auto it = seen.find(n);
+    if (it == seen.end()) {
+      seen[n] = g;
+    } else {
+      EXPECT_EQ(it->second, g);
+    }
+  }
+}
+
+// ------------------------------------------------------- workload gen ----
+
+TEST(WorkloadGenTest, ProducesRequestedShape) {
+  WorkloadDataset ds = MakeTelemetry(500, 8);
+  WorkloadOptions opts;
+  opts.num_queries = 2000;
+  opts.num_segments = 5;
+  opts.seed = 9;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  EXPECT_EQ(wl.queries.size(), 2000u);
+  EXPECT_EQ(wl.segment_starts.size(), 5u);
+  EXPECT_EQ(wl.segment_templates.size(), 5u);
+  EXPECT_EQ(wl.segment_starts.front(), 0u);
+  // Query ids are positions.
+  for (size_t i = 0; i < wl.queries.size(); ++i) {
+    EXPECT_EQ(wl.queries[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(WorkloadGenTest, SegmentsUseDeclaredTemplates) {
+  WorkloadDataset ds = MakeTpchLike(500, 10);
+  WorkloadOptions opts;
+  opts.num_queries = 1000;
+  opts.num_segments = 4;
+  opts.seed = 11;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  for (size_t seg = 0; seg < wl.segment_starts.size(); ++seg) {
+    size_t end = (seg + 1 < wl.segment_starts.size())
+                     ? wl.segment_starts[seg + 1]
+                     : wl.queries.size();
+    for (size_t i = wl.segment_starts[seg]; i < end; ++i) {
+      EXPECT_EQ(wl.queries[i].template_id, wl.segment_templates[seg]);
+    }
+  }
+}
+
+TEST(WorkloadGenTest, ConsecutiveSegmentsDiffer) {
+  WorkloadDataset ds = MakeTpcdsLike(500, 12);
+  WorkloadOptions opts;
+  opts.num_queries = 3000;
+  opts.num_segments = 10;
+  opts.seed = 13;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  for (size_t seg = 1; seg < wl.segment_templates.size(); ++seg) {
+    EXPECT_NE(wl.segment_templates[seg], wl.segment_templates[seg - 1]);
+  }
+}
+
+TEST(WorkloadGenTest, MinSegmentLengthHonored) {
+  WorkloadDataset ds = MakeTelemetry(500, 14);
+  WorkloadOptions opts;
+  opts.num_queries = 1000;
+  opts.num_segments = 8;
+  opts.min_segment_length = 60;
+  opts.seed = 15;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  for (size_t seg = 0; seg < wl.segment_starts.size(); ++seg) {
+    size_t end = (seg + 1 < wl.segment_starts.size())
+                     ? wl.segment_starts[seg + 1]
+                     : wl.queries.size();
+    EXPECT_GE(end - wl.segment_starts[seg], 60u);
+  }
+}
+
+TEST(WorkloadGenTest, DeterministicForSeed) {
+  WorkloadDataset ds = MakeTelemetry(500, 16);
+  WorkloadOptions opts;
+  opts.num_queries = 500;
+  opts.num_segments = 3;
+  opts.seed = 17;
+  Workload a = GenerateWorkload(ds.templates, opts);
+  Workload b = GenerateWorkload(ds.templates, opts);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].ToString(), b.queries[i].ToString());
+  }
+}
+
+TEST(WorkloadGenTest, SegmentPoolLimitsDistinctQueries) {
+  WorkloadDataset ds = MakeTpchLike(500, 20);
+  WorkloadOptions opts;
+  opts.num_queries = 1200;
+  opts.num_segments = 4;
+  opts.segment_pool_size = 5;
+  opts.seed = 21;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  for (size_t seg = 0; seg < wl.segment_starts.size(); ++seg) {
+    size_t end = (seg + 1 < wl.segment_starts.size())
+                     ? wl.segment_starts[seg + 1]
+                     : wl.queries.size();
+    std::set<std::string> distinct;
+    for (size_t i = wl.segment_starts[seg]; i < end; ++i) {
+      distinct.insert(wl.queries[i].ToString());
+    }
+    EXPECT_LE(distinct.size(), 5u);
+    EXPECT_GE(distinct.size(), 1u);
+  }
+}
+
+TEST(WorkloadGenTest, ZeroPoolDrawsFreshParameters) {
+  WorkloadDataset ds = MakeTelemetry(500, 22);
+  WorkloadOptions opts;
+  opts.num_queries = 400;
+  opts.num_segments = 2;
+  opts.segment_pool_size = 0;
+  opts.seed = 23;
+  Workload wl = GenerateWorkload(ds.templates, opts);
+  std::set<std::string> distinct;
+  for (const Query& q : wl.queries) distinct.insert(q.ToString());
+  // Continuous random parameters: nearly every query is unique.
+  EXPECT_GT(distinct.size(), wl.queries.size() / 2);
+}
+
+TEST(WorkloadGenTest, SingleTemplateWorkload) {
+  WorkloadDataset ds = MakeTelemetry(500, 18);
+  std::vector<QueryTemplate> one = {ds.templates[0]};
+  WorkloadOptions opts;
+  opts.num_queries = 300;
+  opts.num_segments = 3;
+  opts.min_segment_length = 10;
+  Workload wl = GenerateWorkload(one, opts);
+  for (const Query& q : wl.queries) EXPECT_EQ(q.template_id, 0);
+}
+
+}  // namespace
+}  // namespace workloads
+}  // namespace oreo
