@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/logging.h"
 
@@ -246,6 +247,10 @@ void PrintRow(const std::string& label, const core::SimResult& r) {
   std::printf("%-16s query=%10.1f  reorg=%9.1f  total=%10.1f  switches=%4lld\n",
               label.c_str(), r.query_cost, r.reorg_cost, r.total_cost(),
               static_cast<long long>(r.num_switches));
+}
+
+std::string DefaultScratchDir(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("oreo_" + name)).string();
 }
 
 }  // namespace bench

@@ -98,6 +98,11 @@ core::SimResult RunOfflineOptimal(const Fixture& f, const LayoutGenerator& gen,
 /// Pretty-prints a one-line summary row.
 void PrintRow(const std::string& label, const core::SimResult& r);
 
+/// Default working directory for a harness's physical output:
+/// <system temp>/oreo_<name>. Composes the path only; callers decide
+/// whether to wipe it.
+std::string DefaultScratchDir(const std::string& name);
+
 }  // namespace bench
 }  // namespace oreo
 

@@ -119,8 +119,7 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   Scale scale = Scale::FromFlags(flags);
   size_t stride = static_cast<size_t>(flags.GetInt("stride", 15));
-  std::string dir = flags.GetString(
-      "dir", (fs::temp_directory_path() / "oreo_fig3").string());
+  std::string dir = flags.GetString("dir", DefaultScratchDir("fig3"));
 
   std::printf("=== Figure 3: end-to-end query + reorganization time ===\n");
   std::printf("rows=%zu queries=%zu segments=%zu stride=%zu (query seconds "

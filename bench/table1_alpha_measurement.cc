@@ -58,7 +58,7 @@ int Main(int argc, char** argv) {
               "reorg (sec)", "alpha");
 
   double bpr = BytesPerRow();
-  std::string dir = (fs::temp_directory_path() / "oreo_table1").string();
+  std::string dir = DefaultScratchDir("table1");
   for (double mb : sizes_mb) {
     size_t rows = static_cast<size_t>(mb * 1024.0 * 1024.0 / bpr);
     workloads::WorkloadDataset ds = workloads::MakeTpchLike(rows, 7);

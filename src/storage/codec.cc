@@ -89,10 +89,14 @@ void EncodeInt64(const std::vector<int64_t>& values, Encoding enc,
       return;
     }
     case Encoding::kDeltaVarint: {
-      int64_t prev = 0;
+      // Deltas are computed with wrapping uint64 arithmetic: a signed
+      // difference overflows (UB) on extreme pairs like INT64_MIN ->
+      // INT64_MAX, while the two's-complement wrap round-trips exactly.
+      uint64_t prev = 0;
       for (int64_t v : values) {
-        PutVarint64(out, ZigZagEncode(v - prev));
-        prev = v;
+        uint64_t delta = static_cast<uint64_t>(v) - prev;
+        PutVarint64(out, ZigZagEncode(static_cast<int64_t>(delta)));
+        prev = static_cast<uint64_t>(v);
       }
       return;
     }
@@ -111,7 +115,7 @@ Status DecodeInt64(std::string_view data, Encoding enc, size_t n,
         return Status::Corruption("plain int64 chunk size mismatch");
       }
       out->resize(n);
-      std::memcpy(out->data(), data.data(), data.size());
+      if (n > 0) std::memcpy(out->data(), data.data(), data.size());
       return Status::OK();
     }
     case Encoding::kRle: {
@@ -134,14 +138,14 @@ Status DecodeInt64(std::string_view data, Encoding enc, size_t n,
     }
     case Encoding::kDeltaVarint: {
       size_t pos = 0;
-      int64_t prev = 0;
+      uint64_t prev = 0;  // wrapping accumulator, mirrors the encoder
       for (size_t i = 0; i < n; ++i) {
         uint64_t zz;
         if (!GetVarint64(data, &pos, &zz)) {
           return Status::Corruption("truncated delta-varint chunk");
         }
-        prev += ZigZagDecode(zz);
-        out->push_back(prev);
+        prev += static_cast<uint64_t>(ZigZagDecode(zz));
+        out->push_back(static_cast<int64_t>(prev));
       }
       if (pos != data.size()) {
         return Status::Corruption("trailing bytes in delta-varint chunk");
@@ -181,7 +185,7 @@ Status DecodeDouble(std::string_view data, size_t n,
     return Status::Corruption("double chunk size mismatch");
   }
   out->resize(n);
-  std::memcpy(out->data(), data.data(), data.size());
+  if (n > 0) std::memcpy(out->data(), data.data(), data.size());
   return Status::OK();
 }
 
@@ -218,7 +222,7 @@ Status DecodeStringDict(std::string_view data, size_t n,
   if (pos + n * sizeof(uint32_t) != data.size()) {
     return Status::Corruption("dictionary code array size mismatch");
   }
-  std::memcpy(codes->data(), data.data() + pos, n * sizeof(uint32_t));
+  if (n > 0) std::memcpy(codes->data(), data.data() + pos, n * sizeof(uint32_t));
   for (uint32_t c : *codes) {
     if (c >= dict_size) return Status::Corruption("dictionary code out of range");
   }

@@ -7,37 +7,17 @@
 
 #include "common/rng.h"
 #include "storage/block.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace {
 
 namespace fs = std::filesystem;
 
-Table MakeTable(size_t rows, uint64_t seed) {
-  Table t(Schema({{"id", DataType::kInt64},
-                  {"ts", DataType::kInt64},
-                  {"score", DataType::kDouble},
-                  {"tag", DataType::kString}}));
-  Rng rng(seed);
-  const char* tags[] = {"red", "green", "blue"};
-  for (size_t i = 0; i < rows; ++i) {
-    t.AppendRow({Value(static_cast<int64_t>(rng.UniformInt(-1000, 1000))),
-                 Value(static_cast<int64_t>(i)),  // sorted -> delta encoding
-                 Value(rng.UniformDouble(-1, 1)),
-                 Value(tags[rng.Uniform(3)])});
-  }
-  return t;
-}
+using testutil::ExpectTablesEqual;
 
-void ExpectTablesEqual(const Table& a, const Table& b) {
-  ASSERT_TRUE(a.schema().Equals(b.schema()));
-  ASSERT_EQ(a.num_rows(), b.num_rows());
-  for (size_t c = 0; c < a.num_columns(); ++c) {
-    for (uint32_t r = 0; r < a.num_rows(); ++r) {
-      EXPECT_TRUE(a.column(c).GetValue(r) == b.column(c).GetValue(r))
-          << "col " << c << " row " << r;
-    }
-  }
+Table MakeTable(size_t rows, uint64_t seed) {
+  return testutil::MakeBlockTable(rows, seed);
 }
 
 TEST(BlockTest, SerializeDeserializeRoundTrip) {

@@ -2,6 +2,7 @@
 // encodings, including parameterized roundtrips across data distributions.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <limits>
 
 #include "common/rng.h"
@@ -245,6 +246,90 @@ TEST(StringDictCodecTest, EmptyColumn) {
   ASSERT_TRUE(DecodeStringDict(buf, 0, &out_codes, &out_dict).ok());
   EXPECT_TRUE(out_codes.empty());
   EXPECT_TRUE(out_dict.empty());
+}
+
+// ------------------------------------------------------- edge values ------
+
+// Every int64 encoding must round-trip the numeric extremes, including
+// adjacent INT64_MIN/INT64_MAX pairs whose deltas only fit with wrapping
+// two's-complement arithmetic.
+TEST(Int64CodecEdgeTest, ExtremeValuesRoundTripAllEncodings) {
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const std::vector<int64_t> edge = {0,    -1,       1,        kMin,
+                                     kMax, kMin + 1, kMax - 1, kMin,
+                                     kMin, kMax,     0,        kMax};
+  for (Encoding enc :
+       {Encoding::kPlain, Encoding::kRle, Encoding::kDeltaVarint}) {
+    std::string buf;
+    EncodeInt64(edge, enc, &buf);
+    std::vector<int64_t> out;
+    ASSERT_TRUE(DecodeInt64(buf, enc, edge.size(), &out).ok())
+        << EncodingName(enc);
+    EXPECT_EQ(out, edge) << EncodingName(enc);
+  }
+}
+
+TEST(Int64CodecEdgeTest, ChosenEncodingHandlesExtremeSortedRuns) {
+  // ChooseInt64Encoding must never pick an encoding that corrupts the data
+  // it was chosen for, even at the extremes of the domain.
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  for (const std::vector<int64_t>& values :
+       {std::vector<int64_t>{kMin, kMin, kMin, kMax, kMax, kMax},
+        std::vector<int64_t>{kMin, -1, 0, 1, kMax},
+        std::vector<int64_t>{kMax, kMin, kMax, kMin}}) {
+    Encoding enc = ChooseInt64Encoding(values);
+    std::string buf;
+    EncodeInt64(values, enc, &buf);
+    std::vector<int64_t> out;
+    ASSERT_TRUE(DecodeInt64(buf, enc, values.size(), &out).ok())
+        << EncodingName(enc);
+    EXPECT_EQ(out, values) << EncodingName(enc);
+  }
+}
+
+TEST(DoubleCodecEdgeTest, NonFiniteAndDenormalRoundTripBitExactly) {
+  const std::vector<double> edge = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::epsilon()};
+  std::string buf;
+  EncodeDouble(edge, &buf);
+  std::vector<double> out;
+  ASSERT_TRUE(DecodeDouble(buf, edge.size(), &out).ok());
+  ASSERT_EQ(out.size(), edge.size());
+  for (size_t i = 0; i < edge.size(); ++i) {
+    // Bit-exact comparison: distinguishes -0.0 from 0.0 and keeps NaN
+    // comparable.
+    uint64_t a, b;
+    std::memcpy(&a, &edge[i], sizeof(a));
+    std::memcpy(&b, &out[i], sizeof(b));
+    EXPECT_EQ(a, b) << "index " << i;
+  }
+}
+
+TEST(StringDictCodecEdgeTest, EmptyLongAndBinaryStringsRoundTrip) {
+  std::vector<std::string> dict = {
+      "",                            // empty string
+      std::string(1 << 16, 'x'),     // 64 KiB value
+      std::string("nul\0middle", 10),  // embedded NUL
+      "\xff\xfe\x80 utf-8 caf\xc3\xa9"};
+  std::vector<uint32_t> codes = {0, 1, 2, 3, 3, 2, 1, 0, 0};
+  std::string buf;
+  EncodeStringDict(codes, dict, &buf);
+  std::vector<uint32_t> out_codes;
+  std::vector<std::string> out_dict;
+  ASSERT_TRUE(DecodeStringDict(buf, codes.size(), &out_codes, &out_dict).ok());
+  EXPECT_EQ(out_codes, codes);
+  EXPECT_EQ(out_dict, dict);
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// End-to-end competitive-ratio property test (Theorem IV.1 at the system
+// level): on randomized drifting query streams, the total cost of Oreo::Run
+// stays within the paper's worst-case factor 2*H(|S_max|) (plus the alpha
+// slack for the final unfinished phase) of the offline optimum over the same
+// dynamic state space, computed exactly by mts::SolveOfflineUniformDynamic.
+//
+// The offline adversary is reconstructed faithfully: a first Oreo instance
+// is driven query-by-query to record which states were live at every step;
+// the cost matrix is then filled from the registry (removed states stay
+// readable), and availability restricts the adversary to the states the
+// online algorithm could actually have used — the oblivious adversary of
+// paper SIII-A.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/oreo.h"
+#include "layout/qdtree_layout.h"
+#include "mts/offline.h"
+#include "test_util.h"
+
+namespace oreo {
+namespace core {
+namespace {
+
+using testutil::Harmonic;
+
+OreoOptions PropOpts(uint64_t seed, double alpha) {
+  OreoOptions o;
+  o.alpha = alpha;
+  o.window_size = 100;
+  o.generate_every = 100;
+  o.target_partitions = 16;
+  o.dataset_sample_rows = 600;
+  o.max_states = 6;
+  o.seed = seed;
+  return o;
+}
+
+// Three-segment drifting stream over the {ts, qty, cat} event table.
+std::vector<Query> DriftingStream(size_t rows, size_t n, uint64_t seed) {
+  const size_t third = n / 3;
+  std::vector<Query> a = testutil::MakeRangeWorkload(
+      /*column=*/1, /*domain=*/1000, /*width=*/50, third, seed);
+  std::vector<Query> b = testutil::MakeRangeWorkload(
+      /*column=*/0, /*domain=*/static_cast<int64_t>(rows), /*width=*/80,
+      third, seed + 1);
+  std::vector<Query> c = testutil::MakeRangeWorkload(
+      /*column=*/1, /*domain=*/1000, /*width=*/200, n - 2 * third, seed + 2);
+  std::vector<Query> out;
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  for (size_t i = 0; i < out.size(); ++i) out[i].id = static_cast<int64_t>(i);
+  return out;
+}
+
+class CompetitiveRatioPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompetitiveRatioPropertyTest, RunCostWithinPaperBoundOfOffline) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const double alpha = 25.0;
+  const size_t kRows = 3000;
+  const size_t kQueries = 900;
+
+  Table t = testutil::MakeEventTable(kRows, seed);
+  std::vector<Query> stream = DriftingStream(kRows, kQueries, seed * 31 + 1);
+  QdTreeGenerator gen;
+
+  // Pass 1: drive Step() to record per-query state availability.
+  Oreo recorder(&t, &gen, /*time_column=*/0, PropOpts(seed, alpha));
+  std::vector<std::vector<int>> live_at;
+  size_t max_live = 1;
+  live_at.reserve(stream.size());
+  for (const Query& q : stream) {
+    recorder.Step(q);
+    live_at.push_back(recorder.registry().live());
+    max_live = std::max(max_live, live_at.back().size());
+  }
+  const double alg_cost =
+      recorder.total_query_cost() + recorder.total_reorg_cost();
+
+  // Pass 2: the batch API on a fresh instance must reproduce pass 1 (the
+  // property below is therefore a statement about Oreo::Run).
+  Oreo runner(&t, &gen, 0, PropOpts(seed, alpha));
+  SimResult run = runner.Run(stream);
+  ASSERT_NEAR(run.total_cost(), alg_cost, 1e-9);
+
+  // Offline optimum over the same dynamic state space.
+  const size_t num_states = recorder.registry().num_total();
+  std::vector<std::vector<double>> costs(
+      stream.size(), std::vector<double>(num_states, 0.0));
+  std::vector<std::vector<bool>> avail(
+      stream.size(), std::vector<bool>(num_states, false));
+  for (size_t qi = 0; qi < stream.size(); ++qi) {
+    for (size_t s = 0; s < num_states; ++s) {
+      costs[qi][s] = recorder.registry().Cost(static_cast<int>(s), stream[qi]);
+    }
+    for (int s : live_at[qi]) avail[qi][static_cast<size_t>(s)] = true;
+  }
+  mts::OfflineResult opt =
+      mts::SolveOfflineUniformDynamic(costs, avail, alpha);
+
+  // The property must not hold vacuously: the drifting stream has to grow
+  // the state space and trigger at least one reorganization.
+  EXPECT_GT(max_live, 1u);
+  EXPECT_GE(recorder.num_switches(), 1);
+
+  // Online can never beat the exact offline optimum on its own trajectory...
+  EXPECT_GE(alg_cost, opt.total_cost - 1e-9);
+  // ...and must stay within the paper's worst-case factor of it.
+  const double bound = 2.0 * Harmonic(max_live) * (opt.total_cost + alpha);
+  EXPECT_LE(alg_cost, bound)
+      << "seed=" << seed << " ALG=" << alg_cost << " OPT=" << opt.total_cost
+      << " |S_max|=" << max_live << " switches=" << recorder.num_switches();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, CompetitiveRatioPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace core
+}  // namespace oreo

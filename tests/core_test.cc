@@ -10,48 +10,24 @@
 #include "core/strategy.h"
 #include "layout/qdtree_layout.h"
 #include "layout/sorted_layout.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace core {
 namespace {
 
-Schema TestSchema() {
-  return Schema({{"ts", DataType::kInt64},
-                 {"qty", DataType::kInt64},
-                 {"cat", DataType::kString}});
-}
-
 Table MakeTable(size_t rows, uint64_t seed) {
-  Table t(TestSchema());
-  Rng rng(seed);
-  const char* cats[] = {"a", "b", "c", "d"};
-  for (size_t i = 0; i < rows; ++i) {
-    t.AppendRow({Value(static_cast<int64_t>(i)),
-                 Value(rng.UniformInt(0, 1000)), Value(cats[rng.Uniform(4)])});
-  }
-  return t;
+  return testutil::MakeEventTable(rows, seed);
 }
 
 LayoutInstance MakeSortedInstance(const Table& t, int column, uint32_t k,
                                   const std::string& name) {
-  Rng rng(5);
-  Table sample = t.SampleRows(300, &rng);
-  SortLayoutGenerator gen(column);
-  return Materialize(
-      name, std::shared_ptr<const Layout>(gen.Generate(sample, {}, k)), t);
+  return testutil::MakeSortedInstance(t, column, k, name, /*sample_seed=*/5);
 }
 
 std::vector<Query> QtyRangeQueries(size_t n, int64_t width, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Query> out;
-  for (size_t i = 0; i < n; ++i) {
-    Query q;
-    q.id = static_cast<int64_t>(i);
-    int64_t lo = rng.UniformInt(0, 1000 - width);
-    q.conjuncts = {Predicate::Between(1, Value(lo), Value(lo + width))};
-    out.push_back(std::move(q));
-  }
-  return out;
+  return testutil::MakeRangeWorkload(/*column=*/1, /*domain=*/1000, width, n,
+                                     seed, /*assign_ids=*/true);
 }
 
 // ------------------------------------------------------ StateRegistry ----

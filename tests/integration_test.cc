@@ -14,6 +14,7 @@
 #include "core/simulator.h"
 #include "core/strategy.h"
 #include "layout/qdtree_layout.h"
+#include "test_util.h"
 #include "workloads/dataset.h"
 #include "workloads/workload_gen.h"
 
@@ -179,8 +180,7 @@ TEST(IntegrationTest, PhysicalReplayAgreesWithLogicalTrace) {
   Oreo oreo(&f.ds.table, &gen, f.ds.time_column, opts);
   SimResult sim = oreo.Run(f.wl.queries, /*record_trace=*/true);
 
-  std::string dir = (fs::temp_directory_path() / "oreo_integration_replay").string();
-  fs::remove_all(dir);
+  std::string dir = testutil::ScratchDir("integration_replay");
   auto replay = ReplayPhysical(f.ds.table, oreo.registry(), sim, f.wl.queries,
                                /*stride=*/50, dir);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
@@ -200,9 +200,7 @@ TEST(IntegrationTest, StreamingWithBackgroundPhysicalReorganization) {
   opts.max_states = 6;
   Oreo oreo(&f.ds.table, &gen, f.ds.time_column, opts);
 
-  std::string dir =
-      (fs::temp_directory_path() / "oreo_integration_bg").string();
-  fs::remove_all(dir);
+  std::string dir = testutil::ScratchDir("integration_bg");
   PhysicalStore store(dir);
   ASSERT_TRUE(store
                   .MaterializeLayout(f.ds.table,

@@ -10,41 +10,20 @@
 #include "layout/qdtree_layout.h"
 #include "layout/sorted_layout.h"
 #include "layout/zorder_layout.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace {
 
-Schema TestSchema() {
-  return Schema({{"ts", DataType::kInt64},
-                 {"qty", DataType::kInt64},
-                 {"price", DataType::kDouble},
-                 {"cat", DataType::kString}});
-}
+Schema TestSchema() { return testutil::WideEventSchema(); }
 
 Table MakeTable(size_t rows, uint64_t seed) {
-  Table t(TestSchema());
-  Rng rng(seed);
-  const char* cats[] = {"a", "b", "c", "d", "e", "f"};
-  for (size_t i = 0; i < rows; ++i) {
-    t.AppendRow({Value(static_cast<int64_t>(i)),  // ts: arrival order
-                 Value(rng.UniformInt(0, 1000)),
-                 Value(rng.UniformDouble(0, 100)),
-                 Value(cats[rng.Uniform(6)])});
-  }
-  return t;
+  return testutil::MakeWideEventTable(rows, seed);
 }
 
 std::vector<Query> RangeWorkload(int column, int64_t domain, int64_t width,
                                  size_t n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Query> out;
-  for (size_t i = 0; i < n; ++i) {
-    Query q;
-    int64_t lo = rng.UniformInt(0, domain - width);
-    q.conjuncts = {Predicate::Between(column, Value(lo), Value(lo + width))};
-    out.push_back(std::move(q));
-  }
-  return out;
+  return testutil::MakeRangeWorkload(column, domain, width, n, seed);
 }
 
 void CheckAssignmentBounds(const std::vector<uint32_t>& assignment,

@@ -9,17 +9,13 @@
 #include "common/rng.h"
 #include "mts/dumts.h"
 #include "mts/offline.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace mts {
 namespace {
 
-// Harmonic number H(n).
-double Harmonic(size_t n) {
-  double h = 0;
-  for (size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
-  return h;
-}
+using testutil::Harmonic;
 
 // ----------------------------------------------------------- offline -----
 

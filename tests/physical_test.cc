@@ -10,6 +10,7 @@
 #include "core/simulator.h"
 #include "core/strategy.h"
 #include "layout/sorted_layout.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace core {
@@ -17,36 +18,17 @@ namespace {
 
 namespace fs = std::filesystem;
 
-Schema TestSchema() {
-  return Schema({{"ts", DataType::kInt64},
-                 {"qty", DataType::kInt64},
-                 {"cat", DataType::kString}});
-}
-
 Table MakeTable(size_t rows, uint64_t seed) {
-  Table t(TestSchema());
-  Rng rng(seed);
-  const char* cats[] = {"a", "b", "c", "d"};
-  for (size_t i = 0; i < rows; ++i) {
-    t.AppendRow({Value(static_cast<int64_t>(i)),
-                 Value(rng.UniformInt(0, 1000)), Value(cats[rng.Uniform(4)])});
-  }
-  return t;
+  return testutil::MakeEventTable(rows, seed);
 }
 
 LayoutInstance SortedInstance(const Table& t, int col, uint32_t k,
                               const std::string& name) {
-  Rng rng(3);
-  Table sample = t.SampleRows(300, &rng);
-  SortLayoutGenerator gen(col);
-  return Materialize(
-      name, std::shared_ptr<const Layout>(gen.Generate(sample, {}, k)), t);
+  return testutil::MakeSortedInstance(t, col, k, name, /*sample_seed=*/3);
 }
 
 std::string TempDir(const std::string& tag) {
-  std::string dir = (fs::temp_directory_path() / ("oreo_phys_" + tag)).string();
-  fs::remove_all(dir);
-  return dir;
+  return testutil::ScratchDir("phys_" + tag);
 }
 
 TEST(PhysicalStoreTest, MaterializeWritesAllPartitions) {

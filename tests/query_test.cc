@@ -10,26 +10,15 @@
 #include "query/query.h"
 #include "storage/metadata_io.h"
 #include "storage/partitioning.h"
+#include "test_util.h"
 
 namespace oreo {
 namespace {
 
-Schema TestSchema() {
-  return Schema({{"qty", DataType::kInt64},
-                 {"price", DataType::kDouble},
-                 {"region", DataType::kString}});
-}
+Schema TestSchema() { return testutil::SalesSchema(); }
 
 Table MakeRandomTable(size_t rows, uint64_t seed) {
-  Table t(TestSchema());
-  Rng rng(seed);
-  const char* regions[] = {"asia", "europe", "america", "africa", "oceania"};
-  for (size_t i = 0; i < rows; ++i) {
-    t.AppendRow({Value(rng.UniformInt(0, 100)),
-                 Value(rng.UniformDouble(0.0, 50.0)),
-                 Value(regions[rng.Uniform(5)])});
-  }
-  return t;
+  return testutil::MakeSalesTable(rows, seed);
 }
 
 // ------------------------------------------------- predicate matching ----
@@ -399,8 +388,7 @@ TEST(MetadataTest, FileRoundTripAndCorruption) {
   std::vector<uint32_t> assignment(t.num_rows(), 0);
   Partitioning p = BuildPartitioning(t, assignment, 1);
   PartitionMetadata meta = MetadataFrom(t.schema(), p, "single");
-  std::string path =
-      (fs::temp_directory_path() / "oreo_meta_test.bin").string();
+  std::string path = testutil::ScratchDir("meta_test.bin");
   ASSERT_TRUE(WriteMetadataFile(path, meta).ok());
   Result<PartitionMetadata> back = ReadMetadataFile(path);
   ASSERT_TRUE(back.ok());

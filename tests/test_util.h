@@ -1,0 +1,185 @@
+// Shared test fixtures. The seed suites grew identical copies of
+// TestSchema()/MakeTable() and friends; the canonical versions live here.
+// The table-building helpers are seed-stable: identical (rows, seed) inputs
+// must keep producing bit-identical tables, because many suites pin
+// expectations to the data these generate.
+#ifndef OREO_TESTS_TEST_UTIL_H_
+#define OREO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "layout/layout.h"
+#include "layout/sorted_layout.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace oreo {
+namespace testutil {
+
+// {ts, qty, cat} — event stream used by the core / physical / integration
+// style suites: ts is arrival order, qty uniform in [0, 1000], 4 categories.
+inline Schema EventSchema() {
+  return Schema({{"ts", DataType::kInt64},
+                 {"qty", DataType::kInt64},
+                 {"cat", DataType::kString}});
+}
+
+inline Table MakeEventTable(size_t rows, uint64_t seed) {
+  Table t(EventSchema());
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),
+                 Value(rng.UniformInt(0, 1000)), Value(cats[rng.Uniform(4)])});
+  }
+  return t;
+}
+
+// {ts, qty, price, cat} — the wider variant the layout suite exercises
+// (adds a double column and six categories).
+inline Schema WideEventSchema() {
+  return Schema({{"ts", DataType::kInt64},
+                 {"qty", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"cat", DataType::kString}});
+}
+
+inline Table MakeWideEventTable(size_t rows, uint64_t seed) {
+  Table t(WideEventSchema());
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d", "e", "f"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),  // ts: arrival order
+                 Value(rng.UniformInt(0, 1000)),
+                 Value(rng.UniformDouble(0, 100)),
+                 Value(cats[rng.Uniform(6)])});
+  }
+  return t;
+}
+
+// {id, ts, score, tag} — block-format suite: ts is sorted so the serializer
+// picks delta encoding, id spans negatives, tag has a tiny dictionary.
+inline Schema BlockSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"ts", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"tag", DataType::kString}});
+}
+
+inline Table MakeBlockTable(size_t rows, uint64_t seed) {
+  Table t(BlockSchema());
+  Rng rng(seed);
+  const char* tags[] = {"red", "green", "blue"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(rng.UniformInt(-1000, 1000))),
+                 Value(static_cast<int64_t>(i)),  // sorted -> delta encoding
+                 Value(rng.UniformDouble(-1, 1)),
+                 Value(tags[rng.Uniform(3)])});
+  }
+  return t;
+}
+
+// {qty, price, region} — query suite's sales-style table.
+inline Schema SalesSchema() {
+  return Schema({{"qty", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"region", DataType::kString}});
+}
+
+inline Table MakeSalesTable(size_t rows, uint64_t seed) {
+  Table t(SalesSchema());
+  Rng rng(seed);
+  const char* regions[] = {"asia", "europe", "america", "africa", "oceania"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(rng.UniformInt(0, 100)),
+                 Value(rng.UniformDouble(0.0, 50.0)),
+                 Value(regions[rng.Uniform(5)])});
+  }
+  return t;
+}
+
+// {id, score, tag} — storage suite's hand-written 4-row table.
+inline Schema IdScoreTagSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"tag", DataType::kString}});
+}
+
+inline Table SmallIdScoreTagTable() {
+  Table t(IdScoreTagSchema());
+  t.AppendRow({Value(int64_t{1}), Value(0.5), Value("a")});
+  t.AppendRow({Value(int64_t{5}), Value(1.5), Value("b")});
+  t.AppendRow({Value(int64_t{3}), Value(-2.0), Value("a")});
+  t.AppendRow({Value(int64_t{9}), Value(0.0), Value("c")});
+  return t;
+}
+
+// Materializes a single-column sort layout generated from a 300-row sample.
+// `sample_seed` feeds the sampling Rng; suites pin different seeds, so it is
+// part of the fixture contract.
+inline LayoutInstance MakeSortedInstance(const Table& t, int column,
+                                         uint32_t k, const std::string& name,
+                                         uint64_t sample_seed) {
+  Rng rng(sample_seed);
+  Table sample = t.SampleRows(300, &rng);
+  SortLayoutGenerator gen(column);
+  return Materialize(
+      name, std::shared_ptr<const Layout>(gen.Generate(sample, {}, k)), t);
+}
+
+// n BETWEEN-range queries of fixed `width` over [0, domain) on `column`.
+// When `assign_ids` is set, query i gets id i (the core suite relies on it).
+inline std::vector<Query> MakeRangeWorkload(int column, int64_t domain,
+                                            int64_t width, size_t n,
+                                            uint64_t seed,
+                                            bool assign_ids = false) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    if (assign_ids) q.id = static_cast<int64_t>(i);
+    int64_t lo = rng.UniformInt(0, domain - width);
+    q.conjuncts = {Predicate::Between(column, Value(lo), Value(lo + width))};
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+inline void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_TRUE(a.schema().Equals(b.schema()));
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (uint32_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_TRUE(a.column(c).GetValue(r) == b.column(c).GetValue(r))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+// Fresh scratch directory under the system temp dir; removes any leftover
+// from a previous run so tests start clean.
+inline std::string ScratchDir(const std::string& tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("oreo_" + tag)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Harmonic number H(n) — the paper's competitive bounds are stated as
+// 2*H(|S_max|) (Theorem IV.1).
+inline double Harmonic(size_t n) {
+  double h = 0;
+  for (size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace testutil
+}  // namespace oreo
+
+#endif  // OREO_TESTS_TEST_UTIL_H_
