@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+// One ParallelFor call: workers (and the caller) claim indices with a
+// single fetch_add until `next` reaches `n`; the last finisher takes the
+// mutex and signals done. Claims stay lock-free so fine-grained tasks (one
+// QueryCost each in the layout manager) are not serialized on a lock.
+struct ThreadPool::Batch {
+  size_t n = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};       // first unclaimed index (may overshoot n)
+  std::atomic<size_t> completed{0};  // finished fn() calls
+  std::mutex mu;                     // guards the done_cv wait only
+  std::condition_variable done_cv;
+};
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {
+  // With one thread, ParallelFor runs inline on the caller; spawning a
+  // worker would only add wakeup latency.
+  if (num_threads_ < 2) return;
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    OREO_CHECK(queue_.empty()) << "ThreadPool destroyed with work in flight";
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  for (;;) {
+    size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch->n) return;
+    (*batch->fn)(index);
+    // Release pairs with the waiter's acquire load, so every task's writes
+    // are visible to the ParallelFor caller when it wakes.
+    size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == batch->n) {
+      // Take the mutex before notifying: the waiter checks the predicate
+      // under it, so this cannot slip between its check and its sleep.
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->done_cv.notify_all();
+      return;
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with no pending work
+      batch = queue_.front();
+      // Leave the batch queued so other idle workers can join it; it is
+      // retracted once fully claimed (below, or by the ParallelFor caller).
+    }
+    RunBatch(batch.get());
+    {
+      // No unclaimed indices remain (RunBatch returned), so the batch must
+      // not be handed to further workers.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = std::find(queue_.begin(), queue_.end(), batch);
+      if (it != queue_.end()) queue_.erase(it);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ < 2 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  // The caller works too: guarantees progress even if every worker is tied
+  // up in another caller's batch, and saves a context switch for small n.
+  RunBatch(batch.get());
+  {
+    // Retract the batch before waiting: all indices are claimed, so no new
+    // worker should pick it up.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = std::find(queue_.begin(), queue_.end(), batch);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] {
+    return batch->completed.load(std::memory_order_acquire) == batch->n;
+  });
+}
+
+}  // namespace oreo

@@ -1,0 +1,79 @@
+// Fixed-size worker pool shared by the physical engine and the layout
+// manager. The design goal is determinism, not just speed: every parallel
+// hot path in the engine follows the same recipe —
+//
+//   1. compute a work list serially (so the set and order of items is
+//      identical at any thread count),
+//   2. ParallelFor over the items, each task writing only into its own
+//      pre-sized output slot (no shared accumulators),
+//   3. reduce the staged outputs serially in item order (so floating-point
+//      sums and error selection see the exact same sequence as a serial run).
+//
+// Under this contract, results are bit-identical for any pool size,
+// including the degenerate single-thread pool (which runs tasks inline on
+// the calling thread, making `num_threads = 1` the serial baseline the
+// equivalence tests compare against).
+#ifndef OREO_COMMON_THREAD_POOL_H_
+#define OREO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oreo {
+
+/// A fixed set of worker threads executing queued tasks.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means one thread per hardware core; `1` creates no
+  /// workers at all (ParallelFor runs inline). See ResolveThreads.
+  explicit ThreadPool(size_t num_threads);
+  /// Drains the queue and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The resolved thread count (>= 1; 1 means inline execution).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs `fn(i)` for every i in [0, n) and blocks until all calls have
+  /// returned. Indices are claimed dynamically, so which thread runs which
+  /// index is nondeterministic — callers must stage results per index and
+  /// reduce in index order (see the determinism recipe above). The calling
+  /// thread participates, so the pool makes progress even when all workers
+  /// are busy with another caller's tasks. `fn` must not call ParallelFor
+  /// on the same pool (no nesting) and must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Maps the user-facing `num_threads` knob to a concrete count:
+  /// 0 -> std::thread::hardware_concurrency() (at least 1), else unchanged.
+  static size_t ResolveThreads(size_t requested);
+
+ private:
+  struct Batch;  // one ParallelFor invocation
+
+  // Runs claimed indices of `batch` until none remain; the last finisher
+  // signals the batch's done_cv. Shared by workers and the caller.
+  static void RunBatch(Batch* batch);
+
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes workers
+  // Batches that may still have unclaimed indices. Shared ownership keeps a
+  // batch alive for any worker that grabbed it moments before the caller
+  // retracted it.
+  std::vector<std::shared_ptr<Batch>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_COMMON_THREAD_POOL_H_

@@ -17,6 +17,7 @@ LayoutManager::LayoutManager(const Table* table,
       generator_(generator),
       registry_(registry),
       options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
       rng_(options.seed),
       window_(options.window_size),
       reservoir_(options.window_size, Rng(options.seed ^ 0x5bd1e995)),
@@ -42,14 +43,26 @@ int LayoutManager::InitDefaultState(int time_column) {
   return registry_->Add(std::move(instance));
 }
 
+std::vector<std::vector<double>> LayoutManager::CostVectors(
+    const std::vector<int>& ids, const std::vector<Query>& sample) const {
+  std::vector<std::vector<double>> out(ids.size());
+  for (auto& v : out) v.resize(sample.size());
+  const size_t n = sample.size();
+  pool_->ParallelFor(ids.size() * n, [&](size_t k) {
+    out[k / n][k % n] = registry_->Get(ids[k / n]).QueryCost(sample[k % n]);
+  });
+  return out;
+}
+
 bool LayoutManager::AdmitState(const LayoutInstance& candidate,
                                const std::vector<Query>& sample) const {
   if (sample.empty()) return false;
-  std::vector<double> cand_costs = candidate.CostVector(sample);
+  std::vector<double> cand_costs = candidate.CostVector(sample, pool_.get());
+  std::vector<int> live = registry_->live();
+  std::vector<std::vector<double>> costs = CostVectors(live, sample);
   double min_dist = std::numeric_limits<double>::infinity();
-  for (int id : registry_->live()) {
-    std::vector<double> costs = registry_->Get(id).CostVector(sample);
-    min_dist = std::min(min_dist, NormalizedL1(cand_costs, costs));
+  for (size_t i = 0; i < live.size(); ++i) {
+    min_dist = std::min(min_dist, NormalizedL1(cand_costs, costs[i]));
   }
   return min_dist > options_.epsilon;
 }
@@ -78,14 +91,18 @@ void LayoutManager::Generate(const std::vector<Query>& workload,
   // Keep the state space compact: evict the worst-performing live state on
   // the admission sample (never the current or the newcomer).
   if (options_.max_states > 0 && registry_->num_live() > options_.max_states) {
+    std::vector<int> live = registry_->live();
+    std::vector<std::vector<double>> costs = CostVectors(live, sample);
     int victim = -1;
     double worst = -1.0;
-    for (int live_id : registry_->live()) {
-      if (live_id == current_state || live_id == id) continue;
-      double mean = registry_->MeanCost(live_id, sample);
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (live[i] == current_state || live[i] == id) continue;
+      double mean = 0.0;
+      for (double c : costs[i]) mean += c;
+      mean /= static_cast<double>(sample.size());
       if (mean > worst) {
         worst = mean;
-        victim = live_id;
+        victim = live[i];
       }
     }
     if (victim >= 0) {
@@ -100,13 +117,12 @@ void LayoutManager::PruneSimilarStates(int current_state,
   std::vector<Query> sample = tbs_sample_.Items();
   if (sample.empty()) return;
   std::vector<int> live = registry_->live();
-  std::vector<std::vector<double>> vectors;
+  std::vector<std::vector<double>> vectors = CostVectors(live, sample);
   std::vector<double> means;
-  vectors.reserve(live.size());
-  for (int id : live) {
-    vectors.push_back(registry_->Get(id).CostVector(sample));
+  means.reserve(live.size());
+  for (const std::vector<double>& v : vectors) {
     double mean = 0.0;
-    for (double c : vectors.back()) mean += c;
+    for (double c : v) mean += c;
     means.push_back(mean / static_cast<double>(sample.size()));
   }
   std::vector<bool> removed(live.size(), false);

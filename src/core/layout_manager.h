@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/state_registry.h"
 #include "layout/layout.h"
 #include "sampling/reservoir.h"
@@ -43,6 +44,10 @@ struct LayoutManagerOptions {
   CandidateSource source = CandidateSource::kSlidingWindow;
   uint32_t target_partitions = 32;  ///< partitions per layout (k)
   size_t dataset_sample_rows = 2000;  ///< rows sampled for generate_layout
+  /// Worker threads for candidate cost evaluation (states × sample costs
+  /// computed in parallel, reduced in fixed order — results are bit-identical
+  /// at any count). 0 = one per hardware core, 1 = serial.
+  size_t num_threads = 0;
   uint64_t seed = 11;
 };
 
@@ -87,6 +92,13 @@ class LayoutManager {
   void Generate(const std::vector<Query>& workload, int current_state,
                 std::vector<ManagerEvent>* events);
 
+  /// Cost vectors of the given states over `sample`, computed as one flat
+  /// states × queries parallel loop. Every cost lands in its own slot and
+  /// per-state sums are taken serially in query order, so the results are
+  /// bit-identical to a serial evaluation for any pool size.
+  std::vector<std::vector<double>> CostVectors(
+      const std::vector<int>& ids, const std::vector<Query>& sample) const;
+
   /// SV-B periodic pruning: states whose cost vectors have drifted within
   /// epsilon of another live state under the *current* query sample are
   /// redundant — reorganizing between them burns alpha for no gain. Removes
@@ -98,6 +110,7 @@ class LayoutManager {
   const LayoutGenerator* generator_;
   StateRegistry* registry_;
   LayoutManagerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
   Table dataset_sample_;
   SlidingWindow<Query> window_;

@@ -18,6 +18,7 @@ LayoutManagerOptions ToManagerOptions(const OreoOptions& o) {
   m.target_partitions = o.target_partitions;
   m.dataset_sample_rows = o.dataset_sample_rows;
   m.prune_similar = o.prune_similar_states;
+  m.num_threads = o.num_threads;
   m.seed = o.seed ^ 0x9e3779b9;
   return m;
 }

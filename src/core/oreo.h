@@ -42,6 +42,11 @@ struct OreoOptions {
   bool prune_similar_states = true;
   /// SIV-A stay-in-place optimization at phase resets.
   bool stay_at_phase_start = true;
+  /// Worker threads for the parallel hot paths (candidate cost evaluation
+  /// here; scans and rewrites in PhysicalStore take the same knob). 0 = one
+  /// per hardware core, 1 = serial. Determinism contract: costs, switch
+  /// decisions and traces are bit-identical at any thread count.
+  size_t num_threads = 0;
   uint64_t seed = 42;
 };
 

@@ -12,7 +12,21 @@ namespace core {
 
 namespace fs = std::filesystem;
 
-PhysicalStore::PhysicalStore(std::string dir) : dir_(std::move(dir)) {
+namespace {
+
+// Returns the first (lowest-index) non-OK status of a parallel stage, so
+// the reported error does not depend on task scheduling.
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+PhysicalStore::PhysicalStore(std::string dir, size_t num_threads)
+    : dir_(std::move(dir)), pool_(std::make_unique<ThreadPool>(num_threads)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   OREO_CHECK(!ec) << "cannot create " << dir_ << ": " << ec.message();
@@ -42,16 +56,24 @@ Result<PhysicalStore::Timing> PhysicalStore::MaterializeLayout(
   Timing timing;
   Stopwatch sw;
   const Partitioning& parts = instance.partitioning();
-  std::vector<std::string> new_files(parts.num_partitions());
-  std::vector<uint64_t> new_bytes(parts.num_partitions());
-  for (size_t pid = 0; pid < parts.num_partitions(); ++pid) {
+  const size_t n = parts.num_partitions();
+  // Parallel fan-out: each partition compresses and writes its own file, so
+  // tasks touch disjoint outputs; the byte totals are reduced in pid order.
+  std::vector<std::string> new_files(n);
+  std::vector<uint64_t> new_bytes(n);
+  std::vector<Status> statuses(n);
+  const size_t epoch = epoch_;
+  pool_->ParallelFor(n, [&](size_t pid) {
     Table part = table.Take(parts.partitions[pid]);
-    std::string path = PartitionPath(epoch_, pid);
-    OREO_RETURN_NOT_OK(WriteBlockFile(path, part, /*sync=*/true));
-    uint64_t size = fs::file_size(path);
+    std::string path = PartitionPath(epoch, pid);
+    statuses[pid] = WriteBlockFile(path, part, /*sync=*/true);
+    if (!statuses[pid].ok()) return;
     new_files[pid] = path;
-    new_bytes[pid] = size;
-    timing.bytes += size;
+    new_bytes[pid] = fs::file_size(path);
+  });
+  OREO_RETURN_NOT_OK(FirstError(statuses));
+  for (size_t pid = 0; pid < n; ++pid) {
+    timing.bytes += new_bytes[pid];
     ++timing.partitions;
   }
   timing.seconds = sw.ElapsedSeconds();
@@ -115,20 +137,35 @@ Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQueryOnSnapshot(
   BlockReadOptions read_opts;
   if (!projected.conjuncts.empty()) read_opts.columns = &needed;
 
+  // Zone-map pruning stays serial (metadata only); the surviving partitions
+  // are scanned in parallel, each task staging its match count, and the
+  // counters are reduced in partition order.
+  std::vector<size_t> survivors;
   for (size_t pid = 0; pid < parts.num_partitions(); ++pid) {
-    if (query.CanSkipPartition(parts.zones[pid])) continue;
-    OREO_ASSIGN_OR_RETURN(Table part,
-                          ReadBlockFile(snapshot.files[pid], read_opts));
-    ++exec.partitions_read;
-    exec.bytes_read += snapshot.file_bytes[pid];
-    exec.rows_scanned += parts.zones[pid].num_rows;
+    if (!query.CanSkipPartition(parts.zones[pid])) survivors.push_back(pid);
+  }
+  std::vector<uint64_t> matches(survivors.size());
+  std::vector<Status> statuses(survivors.size());
+  pool_->ParallelFor(survivors.size(), [&](size_t i) {
+    Result<Table> part = ReadBlockFile(snapshot.files[survivors[i]], read_opts);
+    if (!part.ok()) {
+      statuses[i] = part.status();
+      return;
+    }
     if (projected.conjuncts.empty()) {
-      exec.matches += part.num_rows();
+      matches[i] = part->num_rows();
     } else {
-      for (uint32_t r = 0; r < part.num_rows(); ++r) {
-        if (projected.Matches(part, r)) ++exec.matches;
+      for (uint32_t r = 0; r < part->num_rows(); ++r) {
+        if (projected.Matches(*part, r)) ++matches[i];
       }
     }
+  });
+  OREO_RETURN_NOT_OK(FirstError(statuses));
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    ++exec.partitions_read;
+    exec.bytes_read += snapshot.file_bytes[survivors[i]];
+    exec.rows_scanned += parts.zones[survivors[i]].num_rows;
+    exec.matches += matches[i];
   }
   exec.seconds = sw.ElapsedSeconds();
   return exec;
@@ -157,68 +194,104 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
   Stopwatch sw;
 
   const uint32_t raw_partitions = to.layout().NumPartitionsUpperBound();
+  size_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_;
+  }
 
   // Pass 1 — shuffle: read and decompress every current partition, route its
   // rows through the new layout (the "update the BID column" step), and
   // spill one run file per (source, target) pair. Real systems repartition
   // out-of-core exactly like this; the table cannot be assumed to fit in
-  // memory.
-  uint64_t rows_read = 0;
-  std::vector<std::vector<std::string>> spills(raw_partitions);
-  for (size_t src = 0; src < source.files.size(); ++src) {
-    OREO_ASSIGN_OR_RETURN(Table part, ReadBlockFile(source.files[src]));
-    rows_read += part.num_rows();
-    std::vector<uint32_t> assignment = to.layout().Assign(part);
+  // memory. Sources shuffle in parallel: every task writes only spill files
+  // named after its own source id and its own result slot; the per-target
+  // run lists are then assembled serially in source order, so the merge pass
+  // concatenates runs in the exact order a serial shuffle would.
+  struct ShuffleResult {
+    uint64_t rows = 0;
+    std::vector<std::pair<uint32_t, std::string>> runs;  // (target, path)
+    Status status;
+  };
+  std::vector<ShuffleResult> shuffled(source.files.size());
+  pool_->ParallelFor(source.files.size(), [&](size_t src) {
+    ShuffleResult& out = shuffled[src];
+    Result<Table> part = ReadBlockFile(source.files[src]);
+    if (!part.ok()) {
+      out.status = part.status();
+      return;
+    }
+    out.rows = part->num_rows();
+    std::vector<uint32_t> assignment = to.layout().Assign(*part);
     std::vector<std::vector<uint32_t>> rows_per_target(raw_partitions);
     for (uint32_t r = 0; r < assignment.size(); ++r) {
       rows_per_target[assignment[r]].push_back(r);
     }
     for (uint32_t tgt = 0; tgt < raw_partitions; ++tgt) {
       if (rows_per_target[tgt].empty()) continue;
-      Table run = part.Take(rows_per_target[tgt]);
-      std::string path = dir_ + "/spill_e" + std::to_string(epoch_) + "_s" +
+      Table run = part->Take(rows_per_target[tgt]);
+      std::string path = dir_ + "/spill_e" + std::to_string(epoch) + "_s" +
                          std::to_string(src) + "_t" + std::to_string(tgt) +
                          ".blk";
-      OREO_RETURN_NOT_OK(WriteBlockFile(path, run, /*sync=*/false));
-      spills[tgt].push_back(std::move(path));
+      out.status = WriteBlockFile(path, run, /*sync=*/false);
+      if (!out.status.ok()) return;
+      out.runs.emplace_back(tgt, std::move(path));
     }
+  });
+  uint64_t rows_read = 0;
+  std::vector<std::vector<std::string>> spills(raw_partitions);
+  for (ShuffleResult& s : shuffled) {
+    OREO_RETURN_NOT_OK(s.status);
+    rows_read += s.rows;
+    for (auto& [tgt, path] : s.runs) spills[tgt].push_back(std::move(path));
   }
   OREO_CHECK_EQ(rows_read, table.num_rows());
 
   // Pass 2 — merge: per target partition, read its runs back, concatenate,
   // compress and durably write the final partition file. Raw target ids with
   // no rows are dropped, mirroring BuildPartitioning's compaction, so file
-  // order lines up with `to.partitioning()`'s zone maps.
-  size_t next_epoch = epoch_ + 1;
-  std::vector<std::string> new_files;
-  std::vector<uint64_t> new_bytes;
+  // order lines up with `to.partitioning()`'s zone maps. The dense pid of
+  // every surviving target is known up front, so the merges are independent
+  // and fan out across the pool.
+  size_t next_epoch = epoch + 1;
   const Partitioning& parts = to.partitioning();
+  std::vector<uint32_t> surviving;  // raw target ids with rows, ascending
   for (uint32_t tgt = 0; tgt < raw_partitions; ++tgt) {
-    if (spills[tgt].empty()) continue;
+    if (!spills[tgt].empty()) surviving.push_back(tgt);
+  }
+  OREO_CHECK_EQ(surviving.size(), parts.num_partitions())
+      << "shuffle partition count diverged from the canonical partitioning";
+  std::vector<std::string> new_files(surviving.size());
+  std::vector<uint64_t> new_bytes(surviving.size());
+  std::vector<Status> statuses(surviving.size());
+  pool_->ParallelFor(surviving.size(), [&](size_t pid) {
     Table merged(table.schema());
-    for (const std::string& path : spills[tgt]) {
-      OREO_ASSIGN_OR_RETURN(Table run, ReadBlockFile(path));
-      merged.Append(run);
+    for (const std::string& spill : spills[surviving[pid]]) {
+      Result<Table> run = ReadBlockFile(spill);
+      if (!run.ok()) {
+        statuses[pid] = run.status();
+        return;
+      }
+      merged.Append(*run);
     }
-    size_t pid = new_files.size();
-    OREO_CHECK_LT(pid, parts.num_partitions())
-        << "shuffle produced more partitions than the canonical partitioning";
     OREO_CHECK_EQ(merged.num_rows(), parts.zones[pid].num_rows)
         << "shuffle row count diverged from the canonical partitioning";
     std::string path = PartitionPath(next_epoch, pid);
     // Durable write: the swap must not expose a layout that could vanish.
-    OREO_RETURN_NOT_OK(WriteBlockFile(path, merged, /*sync=*/true));
-    uint64_t size = fs::file_size(path);
-    new_files.push_back(path);
-    new_bytes.push_back(size);
-    timing.bytes += size;
-    ++timing.partitions;
-    for (const std::string& spill : spills[tgt]) {
+    statuses[pid] = WriteBlockFile(path, merged, /*sync=*/true);
+    if (!statuses[pid].ok()) return;
+    new_files[pid] = path;
+    new_bytes[pid] = fs::file_size(path);
+    for (const std::string& spill : spills[surviving[pid]]) {
       std::error_code ec;
       fs::remove(spill, ec);
     }
+  });
+  OREO_RETURN_NOT_OK(FirstError(statuses));
+  for (size_t pid = 0; pid < new_files.size(); ++pid) {
+    timing.bytes += new_bytes[pid];
+    ++timing.partitions;
   }
-  OREO_CHECK_EQ(new_files.size(), parts.num_partitions());
   timing.seconds = sw.ElapsedSeconds();
 
   // Swap (brief, under the lock): outgoing files become garbage so snapshot
@@ -243,12 +316,13 @@ uint64_t PhysicalStore::MaterializedBytes() const {
 
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
-    const std::vector<Query>& queries, size_t stride, const std::string& dir) {
+    const std::vector<Query>& queries, size_t stride, const std::string& dir,
+    size_t num_threads) {
   OREO_CHECK_EQ(sim.serving_state.size(), queries.size())
       << "simulation must be run with record_trace=true";
   OREO_CHECK_GT(stride, 0u);
   PhysicalReplayResult result;
-  PhysicalStore store(dir);
+  PhysicalStore store(dir, num_threads);
 
   int current = sim.serving_state.empty() ? 0 : sim.serving_state.front();
   {

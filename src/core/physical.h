@@ -8,11 +8,13 @@
 #define OREO_CORE_PHYSICAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/simulator.h"
 #include "core/state_registry.h"
 #include "layout/layout.h"
@@ -23,10 +25,18 @@ namespace oreo {
 namespace core {
 
 /// On-disk partition store for one table under one layout at a time.
+///
+/// Threading model: the three physical hot paths (ExecuteQuery scans,
+/// MaterializeLayout writes, Reorganize shuffle+merge) fan out across an
+/// internal thread pool of `num_threads` workers (0 = one per hardware
+/// core, 1 = fully serial). Determinism contract: counts, bytes, statuses
+/// and on-disk file contents are bit-identical for any thread count — every
+/// parallel path stages per-partition outputs and reduces them in partition
+/// order. Only the wall-clock `seconds` fields vary with the pool size.
 class PhysicalStore {
  public:
   /// Files are created under `dir` (created if missing).
-  explicit PhysicalStore(std::string dir);
+  explicit PhysicalStore(std::string dir, size_t num_threads = 0);
 
   /// Wall-clock result of a physical operation.
   struct Timing {
@@ -86,11 +96,15 @@ class PhysicalStore {
   /// snapshot readers can still reference them.
   void Vacuum();
 
+  /// Resolved worker count of the internal pool (>= 1).
+  size_t num_threads() const { return pool_->num_threads(); }
+
  private:
   std::string PartitionPath(size_t epoch, size_t pid) const;
   void DeleteCurrentFiles();
 
   std::string dir_;
+  std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex mu_;  // guards the members below
   const LayoutInstance* instance_ = nullptr;  // not owned
   Schema schema_;                             // of the materialized table
@@ -115,7 +129,8 @@ struct PhysicalReplayResult {
 
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
-    const std::vector<Query>& queries, size_t stride, const std::string& dir);
+    const std::vector<Query>& queries, size_t stride, const std::string& dir,
+    size_t num_threads = 0);
 
 }  // namespace core
 }  // namespace oreo

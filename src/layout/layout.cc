@@ -4,11 +4,15 @@
 
 namespace oreo {
 
-std::vector<double> LayoutInstance::CostVector(
-    const std::vector<Query>& queries) const {
-  std::vector<double> out;
-  out.reserve(queries.size());
-  for (const Query& q : queries) out.push_back(QueryCost(q));
+std::vector<double> LayoutInstance::CostVector(const std::vector<Query>& queries,
+                                               ThreadPool* pool) const {
+  std::vector<double> out(queries.size());
+  if (pool != nullptr) {
+    pool->ParallelFor(queries.size(),
+                      [&](size_t i) { out[i] = QueryCost(queries[i]); });
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) out[i] = QueryCost(queries[i]);
+  }
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "query/query.h"
 #include "storage/partitioning.h"
 #include "storage/table.h"
@@ -56,7 +57,11 @@ class LayoutInstance {
   }
 
   /// eval_skipped over a workload: per-query cost vector (paper Algorithm 5).
-  std::vector<double> CostVector(const std::vector<Query>& queries) const;
+  /// With a non-null `pool`, per-query costs are computed in parallel; each
+  /// cost lands in its own slot, so the result is bit-identical to the
+  /// serial evaluation at any thread count.
+  std::vector<double> CostVector(const std::vector<Query>& queries,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Average fraction of data skipped over a workload = 1 - mean cost.
   /// This is the predictor weight w_s of §IV-C.
