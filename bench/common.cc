@@ -253,5 +253,17 @@ std::string DefaultScratchDir(const std::string& name) {
   return (std::filesystem::temp_directory_path() / ("oreo_" + name)).string();
 }
 
+void EmitBenchJson(const Flags& flags, const std::string& name,
+                   const std::string& json) {
+  std::fputs(json.c_str(), stdout);
+  const std::string out = flags.GetString("out", "BENCH_" + name + ".json");
+  if (out.empty()) return;
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  OREO_CHECK(f != nullptr) << "cannot open " << out;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+}
+
 }  // namespace bench
 }  // namespace oreo

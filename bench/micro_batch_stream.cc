@@ -1,0 +1,276 @@
+// Micro-benchmark for PR 3's two scale dials:
+//
+//   1. Batched physical execution: a stream of mixed-selectivity queries is
+//      executed one at a time vs in batches (ExecuteQueryBatch's flat
+//      (query × surviving partition) fan-out). Batching exposes cross-query
+//      parallelism, so selective queries stop leaving pool workers idle.
+//   2. Incremental layout generation: the same logical stream is run through
+//      the full framework with the per-(state, sample-chunk) cost cache off
+//      (from-scratch re-evaluation every cadence, the pre-PR3 behavior) and
+//      on; the JSON records how many cost evaluations each mode executed and
+//      checks the decisions stayed bit-identical.
+//
+// Emits a JSON document (schema documented in docs/BENCHMARKS.md) so the
+// perf trajectory can be recorded run over run.
+//
+// Flags: --rows=N --partitions=K --queries=N --batch_sizes=1,8,64
+//        --threads=N --seed=N --out=path.json (default:
+//        BENCH_micro_batch_stream.json in the working directory; run from
+//        the repo root to land it next to the other BENCH_*.json files)
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/oreo.h"
+#include "core/physical.h"
+#include "layout/qdtree_layout.h"
+#include "layout/sorted_layout.h"
+
+namespace oreo {
+namespace bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+Table MakeScanTable(size_t rows, uint64_t seed) {
+  Table t(Schema({{"ts", DataType::kInt64},
+                  {"qty", DataType::kInt64},
+                  {"val", DataType::kDouble},
+                  {"cat", DataType::kString}}));
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),
+                 Value(rng.UniformInt(0, 100000)),
+                 Value(rng.UniformDouble(0, 1000)),
+                 Value(cats[rng.Uniform(8)])});
+  }
+  return t;
+}
+
+// Mixed selectivity: mostly narrow ts ranges (few surviving partitions —
+// the case where per-query parallelism starves) plus some qty ranges that
+// fan out wide under a ts-sorted layout.
+std::vector<Query> MakeMixedWorkload(size_t n, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<int64_t>(i);
+    if (i % 4 != 0) {
+      int64_t width = static_cast<int64_t>(rows) / 20;
+      int64_t lo = rng.UniformInt(0, static_cast<int64_t>(rows) - width);
+      q.conjuncts = {Predicate::Between(0, Value(lo), Value(lo + width))};
+    } else {
+      int64_t lo = rng.UniformInt(0, 90000);
+      q.conjuncts = {Predicate::Between(1, Value(lo), Value(lo + 10000))};
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+struct BatchRun {
+  size_t batch_size = 0;
+  double seconds = 0.0;
+  uint64_t matches = 0;  // correctness fingerprint, batch-size invariant
+};
+
+BatchRun RunBatched(core::PhysicalStore* store,
+                    const std::vector<Query>& queries, size_t batch_size) {
+  BatchRun r;
+  r.batch_size = batch_size;
+  Stopwatch sw;
+  for (const QueryBatch& b : MakeBatches(queries, batch_size)) {
+    auto result = store->ExecuteQueryBatch(b.queries);
+    OREO_CHECK(result.ok()) << result.status().ToString();
+    for (const auto& exec : result->per_query) r.matches += exec.matches;
+  }
+  r.seconds = sw.ElapsedSeconds();
+  return r;
+}
+
+struct GenerationRun {
+  bool incremental = false;
+  double seconds = 0.0;
+  uint64_t cost_evals_computed = 0;
+  uint64_t cost_evals_reused = 0;
+  size_t cadences = 0;
+  // Decision fingerprint — must be identical across modes.
+  double query_cost = 0.0;
+  int64_t num_switches = 0;
+  size_t candidates_admitted = 0;
+};
+
+GenerationRun RunGeneration(const Table& t, const std::vector<Query>& stream,
+                            bool incremental, size_t threads, uint64_t seed) {
+  core::OreoOptions opts;
+  opts.seed = seed;
+  opts.num_threads = threads;
+  opts.window_size = 100;
+  opts.generate_every = 100;
+  opts.max_states = 8;
+  opts.target_partitions = 16;
+  opts.dataset_sample_rows = 1000;
+  opts.incremental_cost_cache = incremental;
+  QdTreeGenerator gen;
+  core::Oreo oreo(&t, &gen, /*time_column=*/0, opts);
+
+  GenerationRun r;
+  r.incremental = incremental;
+  Stopwatch sw;
+  for (const QueryBatch& b : MakeBatches(stream, 64)) oreo.RunBatch(b);
+  r.seconds = sw.ElapsedSeconds();
+  r.cost_evals_computed = oreo.manager().cost_evals_computed();
+  r.cost_evals_reused = oreo.manager().cost_evals_reused();
+  r.cadences = oreo.manager().generations_attempted();
+  r.query_cost = oreo.total_query_cost();
+  r.num_switches = oreo.num_switches();
+  r.candidates_admitted = oreo.manager().candidates_admitted();
+  return r;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 100000));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("partitions", 32));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 200));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::string dir =
+      flags.GetString("dir", DefaultScratchDir("micro_batch_stream"));
+
+  std::vector<size_t> batch_sizes;
+  {
+    const std::string spec = flags.GetString("batch_sizes", "1,8,64");
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      // Digits-only and short enough that stoul cannot throw; validate the
+      // parsed value so "0" and "00" both get the flag diagnostic.
+      OREO_CHECK(!item.empty() && item.size() <= 9 &&
+                 item.find_first_not_of("0123456789") == std::string::npos)
+          << "--batch_sizes must be positive integers, got '" << spec << "'";
+      const size_t value = std::stoul(item);
+      OREO_CHECK_GT(value, 0u)
+          << "--batch_sizes must be positive integers, got '" << spec << "'";
+      batch_sizes.push_back(value);
+    }
+    OREO_CHECK(!batch_sizes.empty()) << "--batch_sizes list is empty";
+  }
+
+  std::fprintf(stderr,
+               "micro_batch_stream: rows=%zu partitions=%u queries=%zu "
+               "threads=%zu (hardware: %u)\n",
+               rows, k, num_queries, ThreadPool::ResolveThreads(threads),
+               std::thread::hardware_concurrency());
+
+  // Part 1 — batched scans.
+  Table t = MakeScanTable(rows, seed);
+  std::vector<Query> workload = MakeMixedWorkload(num_queries, rows, seed + 1);
+  std::vector<BatchRun> scan_runs;
+  {
+    fs::remove_all(dir);
+    Rng rng(3);
+    Table sample = t.SampleRows(1000, &rng);
+    SortLayoutGenerator sorted(0);
+    LayoutInstance by_ts = Materialize(
+        "by_ts", std::shared_ptr<const Layout>(sorted.Generate(sample, {}, k)),
+        t);
+    core::PhysicalStore store(dir, threads);
+    auto mat = store.MaterializeLayout(t, by_ts);
+    OREO_CHECK(mat.ok()) << mat.status().ToString();
+    for (size_t batch_size : batch_sizes) {
+      scan_runs.push_back(RunBatched(&store, workload, batch_size));
+      const BatchRun& r = scan_runs.back();
+      OREO_CHECK_EQ(r.matches, scan_runs.front().matches)
+          << "batch determinism contract violated at batch_size "
+          << batch_size;
+      std::fprintf(stderr, "  scan batch_size=%zu seconds=%.3f\n",
+                   r.batch_size, r.seconds);
+    }
+    fs::remove_all(dir);
+  }
+
+  // Part 2 — incremental vs from-scratch layout generation.
+  std::vector<Query> stream = MakeMixedWorkload(
+      std::max<size_t>(num_queries, 600), rows, seed + 2);
+  GenerationRun scratch =
+      RunGeneration(t, stream, /*incremental=*/false, threads, seed);
+  GenerationRun cached =
+      RunGeneration(t, stream, /*incremental=*/true, threads, seed);
+  OREO_CHECK_EQ(scratch.query_cost, cached.query_cost)
+      << "incremental cache changed a cost";
+  OREO_CHECK_EQ(scratch.num_switches, cached.num_switches)
+      << "incremental cache changed a switch decision";
+  OREO_CHECK_EQ(scratch.candidates_admitted, cached.candidates_admitted)
+      << "incremental cache changed an admission";
+  std::fprintf(stderr,
+               "  generation: scratch evals=%llu cached evals=%llu "
+               "(reused %llu) over %zu cadences\n",
+               static_cast<unsigned long long>(scratch.cost_evals_computed),
+               static_cast<unsigned long long>(cached.cost_evals_computed),
+               static_cast<unsigned long long>(cached.cost_evals_reused),
+               cached.cadences);
+
+  // JSON emission (stable key order).
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"micro_batch_stream\",\n"
+       << "  \"rows\": " << rows << ",\n  \"partitions\": " << k << ",\n"
+       << "  \"queries\": " << workload.size() << ",\n"
+       << "  \"threads\": " << ThreadPool::ResolveThreads(threads) << ",\n"
+       << "  \"batched_scan\": [\n";
+  for (size_t i = 0; i < scan_runs.size(); ++i) {
+    const BatchRun& r = scan_runs[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"batch_size\": %zu, \"seconds\": %.6f, "
+                  "\"speedup_vs_batch1\": %.3f}%s\n",
+                  r.batch_size, r.seconds,
+                  r.seconds > 0 ? scan_runs.front().seconds / r.seconds : 0.0,
+                  i + 1 < scan_runs.size() ? "," : "");
+    json << buf;
+  }
+  const double work_ratio =
+      scratch.cost_evals_computed > 0
+          ? static_cast<double>(cached.cost_evals_computed) /
+                static_cast<double>(scratch.cost_evals_computed)
+          : 0.0;
+  char gen_buf[512];
+  std::snprintf(
+      gen_buf, sizeof(gen_buf),
+      "  ],\n  \"incremental_generation\": {\n"
+      "    \"cadences\": %zu,\n"
+      "    \"scratch_cost_evals\": %llu,\n"
+      "    \"cached_cost_evals\": %llu,\n"
+      "    \"cached_cost_reused\": %llu,\n"
+      "    \"work_ratio\": %.4f,\n"
+      "    \"scratch_seconds\": %.6f,\n"
+      "    \"cached_seconds\": %.6f,\n"
+      "    \"decisions_identical\": true\n  }\n}\n",
+      cached.cadences,
+      static_cast<unsigned long long>(scratch.cost_evals_computed),
+      static_cast<unsigned long long>(cached.cost_evals_computed),
+      static_cast<unsigned long long>(cached.cost_evals_reused), work_ratio,
+      scratch.seconds, cached.seconds);
+  json << gen_buf;
+
+  EmitBenchJson(flags, "micro_batch_stream", json.str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace oreo
+
+int main(int argc, char** argv) { return oreo::bench::Main(argc, argv); }

@@ -6,7 +6,9 @@
 // must match bit-for-bit).
 //
 // Flags: --rows=N --partitions=K --scan_reps=N --threads=1,2,4,8
-//        --seed=N --out=path.json (default: stdout only)
+//        --seed=N --out=path.json (default: BENCH_micro_parallel_scan.json
+//        in the working directory; run from the repo root to land it next
+//        to the other BENCH_*.json files; --out= empty disables the file)
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -165,15 +167,7 @@ int Main(int argc, char** argv) {
   }
   json << "  ]\n}\n";
 
-  std::fputs(json.str().c_str(), stdout);
-  const std::string out = flags.GetString("out", "");
-  if (!out.empty()) {
-    std::FILE* f = std::fopen(out.c_str(), "w");
-    OREO_CHECK(f != nullptr) << "cannot open " << out;
-    std::fputs(json.str().c_str(), f);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", out.c_str());
-  }
+  EmitBenchJson(flags, "micro_parallel_scan", json.str());
   return 0;
 }
 

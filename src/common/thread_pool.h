@@ -26,13 +26,16 @@
 
 namespace oreo {
 
-/// A fixed set of worker threads executing queued tasks.
+/// A fixed set of worker threads executing queued tasks. One pool instance
+/// may serve many concurrent ParallelFor callers (each caller participates
+/// in its own batch); the pool itself is thread-safe.
 class ThreadPool {
  public:
   /// `num_threads == 0` means one thread per hardware core; `1` creates no
   /// workers at all (ParallelFor runs inline). See ResolveThreads.
   explicit ThreadPool(size_t num_threads);
-  /// Drains the queue and joins the workers.
+  /// Drains the queue and joins the workers. Outstanding ParallelFor calls
+  /// must have returned before destruction.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

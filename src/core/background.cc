@@ -22,11 +22,17 @@ BackgroundReorganizer::~BackgroundReorganizer() {
 }
 
 bool BackgroundReorganizer::Submit(const LayoutInstance* target) {
+  return Submit(target, nullptr);
+}
+
+bool BackgroundReorganizer::Submit(
+    const LayoutInstance* target, std::function<void(const Status&)> on_done) {
   OREO_CHECK(target != nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (pending_ != nullptr || running_) return false;
     pending_ = target;
+    pending_callback_ = std::move(on_done);
   }
   cv_.notify_all();
   return true;
@@ -52,28 +58,39 @@ Status BackgroundReorganizer::last_status() const {
   return last_status_;
 }
 
+uint64_t BackgroundReorganizer::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
 void BackgroundReorganizer::WorkerLoop() {
   for (;;) {
     const LayoutInstance* target = nullptr;
+    std::function<void(const Status&)> on_done;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || pending_ != nullptr; });
       if (shutdown_ && pending_ == nullptr) return;
       target = pending_;
       pending_ = nullptr;
+      on_done = std::move(pending_callback_);
+      pending_callback_ = nullptr;
       running_ = true;
     }
     Result<PhysicalStore::Timing> timing = store_->Reorganize(*table_, *target);
+    Status status = timing.ok() ? Status::OK() : timing.status();
+    // The callback observes the post-swap store but a still-busy
+    // reorganizer, so a concurrent Submit cannot start before it returns.
+    if (on_done) on_done(status);
     {
       std::lock_guard<std::mutex> lock(mu_);
       running_ = false;
+      ++generation_;
       if (timing.ok()) {
         ++stats_.completed;
         stats_.total_seconds += timing->seconds;
-        last_status_ = Status::OK();
-      } else {
-        last_status_ = timing.status();
       }
+      last_status_ = status;
     }
     cv_.notify_all();
   }

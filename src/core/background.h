@@ -12,6 +12,7 @@
 #define OREO_CORE_BACKGROUND_H_
 
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -36,11 +37,24 @@ class BackgroundReorganizer {
   /// background process of the paper's setup.
   bool Submit(const LayoutInstance* target);
 
+  /// Submit with a completion hook: `on_done` runs on the worker thread
+  /// right after the layout swap (success or failure), before the
+  /// reorganizer reports idle. Batch drivers use it to learn the exact
+  /// point after which a fresh GetSnapshot() sees the new layout.
+  bool Submit(const LayoutInstance* target,
+              std::function<void(const Status&)> on_done);
+
   /// True while a reorganization is running or queued.
   bool busy() const;
 
   /// Blocks until the in-flight reorganization (if any) has completed.
   void Wait();
+
+  /// Monotonic count of completed reorganizations (successful or not).
+  /// A foreground batch loop polls this between batches: an unchanged value
+  /// proves its snapshot is still the store's current layout, a changed one
+  /// says re-snapshot (and Vacuum once no reader can hold old files).
+  uint64_t generation() const;
 
   struct Stats {
     int64_t completed = 0;
@@ -60,8 +74,10 @@ class BackgroundReorganizer {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   const LayoutInstance* pending_ = nullptr;  // queued target
+  std::function<void(const Status&)> pending_callback_;
   bool running_ = false;                     // a reorg is executing
   bool shutdown_ = false;
+  uint64_t generation_ = 0;  // completed reorganizations, success or not
   Stats stats_;
   Status last_status_;
   std::thread worker_;

@@ -1,5 +1,6 @@
 #include "core/layout_manager.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
@@ -8,6 +9,18 @@
 
 namespace oreo {
 namespace core {
+
+namespace {
+
+WorkloadStatistics::Options ToStatsOptions(const LayoutManagerOptions& o) {
+  WorkloadStatistics::Options s;
+  s.sample_capacity = o.admission_sample_size;
+  s.lambda = o.tbs_lambda;
+  s.chunk_size = o.cost_cache_chunk;
+  return s;
+}
+
+}  // namespace
 
 LayoutManager::LayoutManager(const Table* table,
                              const LayoutGenerator* generator,
@@ -21,8 +34,7 @@ LayoutManager::LayoutManager(const Table* table,
       rng_(options.seed),
       window_(options.window_size),
       reservoir_(options.window_size, Rng(options.seed ^ 0x5bd1e995)),
-      tbs_sample_(options.admission_sample_size, options.tbs_lambda,
-                  Rng(options.seed ^ 0x2545f491)) {
+      stats_(ToStatsOptions(options), Rng(options.seed ^ 0x2545f491)) {
   OREO_CHECK(table_ != nullptr && generator_ != nullptr &&
              registry_ != nullptr);
   OREO_CHECK_GT(options_.generate_every, 0u);
@@ -54,17 +66,97 @@ std::vector<std::vector<double>> LayoutManager::CostVectors(
   return out;
 }
 
+std::vector<std::vector<double>> LayoutManager::CachedCostVectors(
+    const std::vector<int>& ids) {
+  const std::vector<WorkloadStatistics::ChunkView> chunks =
+      stats_.SampleChunks();
+  const size_t n = stats_.sample_size();
+  std::vector<std::vector<double>> out(ids.size());
+  for (auto& v : out) v.resize(n);
+
+  // Serial pass: serve version-matching chunks from the cache, collect the
+  // stale (state, chunk) pairs as the parallel work list. The list and its
+  // order are a pure function of versions, so they do not depend on the
+  // thread count.
+  struct Miss {
+    size_t state_idx;
+    size_t chunk_idx;
+  };
+  std::vector<Miss> misses;
+  for (size_t si = 0; si < ids.size(); ++si) {
+    std::vector<CachedChunk>& entry = cost_cache_[ids[si]];
+    if (entry.size() < chunks.size()) entry.resize(chunks.size());
+    for (size_t ci = 0; ci < chunks.size(); ++ci) {
+      const WorkloadStatistics::ChunkView& chunk = chunks[ci];
+      if (entry[ci].version == chunk.version) {
+        std::copy(entry[ci].costs.begin(), entry[ci].costs.end(),
+                  out[si].begin() + static_cast<ptrdiff_t>(chunk.first_slot));
+        cost_evals_reused_ += chunk.queries.size();
+      } else {
+        misses.push_back(Miss{si, ci});
+      }
+    }
+  }
+
+  // Flat parallel loop over every missing cost; each lands in its own slot
+  // of `out`, exactly where the from-scratch evaluation would put it.
+  std::vector<size_t> offsets;  // miss -> first flat index
+  offsets.reserve(misses.size());
+  size_t total = 0;
+  for (const Miss& m : misses) {
+    offsets.push_back(total);
+    total += chunks[m.chunk_idx].queries.size();
+  }
+  pool_->ParallelFor(total, [&](size_t k) {
+    const size_t mi =
+        static_cast<size_t>(std::upper_bound(offsets.begin(), offsets.end(), k) -
+                            offsets.begin()) -
+        1;
+    const Miss& m = misses[mi];
+    const WorkloadStatistics::ChunkView& chunk = chunks[m.chunk_idx];
+    const size_t within = k - offsets[mi];
+    out[m.state_idx][chunk.first_slot + within] =
+        registry_->Get(ids[m.state_idx]).QueryCost(chunk.queries[within]);
+  });
+  cost_evals_computed_ += total;
+
+  // Write the freshly computed chunks back into the cache.
+  for (const Miss& m : misses) {
+    const WorkloadStatistics::ChunkView& chunk = chunks[m.chunk_idx];
+    CachedChunk& cached = cost_cache_[ids[m.state_idx]][m.chunk_idx];
+    cached.version = chunk.version;
+    cached.costs.assign(
+        out[m.state_idx].begin() + static_cast<ptrdiff_t>(chunk.first_slot),
+        out[m.state_idx].begin() +
+            static_cast<ptrdiff_t>(chunk.first_slot + chunk.queries.size()));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> LayoutManager::LiveCostVectors(
+    const std::vector<int>& ids) {
+  if (options_.incremental_cost_cache) return CachedCostVectors(ids);
+  std::vector<Query> sample = stats_.SampleItems();
+  cost_evals_computed_ += ids.size() * sample.size();
+  return CostVectors(ids, sample);
+}
+
+bool LayoutManager::AdmitDecision(
+    const std::vector<double>& cand_costs,
+    const std::vector<std::vector<double>>& live_costs) const {
+  double min_dist = std::numeric_limits<double>::infinity();
+  for (const std::vector<double>& costs : live_costs) {
+    min_dist = std::min(min_dist, NormalizedL1(cand_costs, costs));
+  }
+  return min_dist > options_.epsilon;
+}
+
 bool LayoutManager::AdmitState(const LayoutInstance& candidate,
                                const std::vector<Query>& sample) const {
   if (sample.empty()) return false;
   std::vector<double> cand_costs = candidate.CostVector(sample, pool_.get());
   std::vector<int> live = registry_->live();
-  std::vector<std::vector<double>> costs = CostVectors(live, sample);
-  double min_dist = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < live.size(); ++i) {
-    min_dist = std::min(min_dist, NormalizedL1(cand_costs, costs[i]));
-  }
-  return min_dist > options_.epsilon;
+  return AdmitDecision(cand_costs, CostVectors(live, sample));
 }
 
 void LayoutManager::Generate(const std::vector<Query>& workload,
@@ -79,8 +171,14 @@ void LayoutManager::Generate(const std::vector<Query>& workload,
       generator_->name() + "@q" + std::to_string(queries_seen_), shared,
       *table_);
 
-  std::vector<Query> sample = tbs_sample_.Items();
-  if (!AdmitState(candidate, sample)) {
+  std::vector<Query> sample = stats_.SampleItems();
+  bool admit = false;
+  if (!sample.empty()) {
+    std::vector<double> cand_costs = candidate.CostVector(sample, pool_.get());
+    cost_evals_computed_ += cand_costs.size();
+    admit = AdmitDecision(cand_costs, LiveCostVectors(registry_->live()));
+  }
+  if (!admit) {
     ++rejected_;
     return;
   }
@@ -92,7 +190,7 @@ void LayoutManager::Generate(const std::vector<Query>& workload,
   // the admission sample (never the current or the newcomer).
   if (options_.max_states > 0 && registry_->num_live() > options_.max_states) {
     std::vector<int> live = registry_->live();
-    std::vector<std::vector<double>> costs = CostVectors(live, sample);
+    std::vector<std::vector<double>> costs = LiveCostVectors(live);
     int victim = -1;
     double worst = -1.0;
     for (size_t i = 0; i < live.size(); ++i) {
@@ -107,6 +205,7 @@ void LayoutManager::Generate(const std::vector<Query>& workload,
     }
     if (victim >= 0) {
       registry_->Remove(victim);
+      ForgetState(victim);
       events->push_back(ManagerEvent{ManagerEvent::Kind::kRemoved, victim});
     }
   }
@@ -114,10 +213,10 @@ void LayoutManager::Generate(const std::vector<Query>& workload,
 
 void LayoutManager::PruneSimilarStates(int current_state,
                                        std::vector<ManagerEvent>* events) {
-  std::vector<Query> sample = tbs_sample_.Items();
+  std::vector<Query> sample = stats_.SampleItems();
   if (sample.empty()) return;
   std::vector<int> live = registry_->live();
-  std::vector<std::vector<double>> vectors = CostVectors(live, sample);
+  std::vector<std::vector<double>> vectors = LiveCostVectors(live);
   std::vector<double> means;
   means.reserve(live.size());
   for (const std::vector<double>& v : vectors) {
@@ -143,6 +242,7 @@ void LayoutManager::PruneSimilarStates(int current_state,
   for (size_t i = 0; i < live.size(); ++i) {
     if (removed[i]) {
       registry_->Remove(live[i]);
+      ForgetState(live[i]);
       events->push_back(ManagerEvent{ManagerEvent::Kind::kRemoved, live[i]});
     }
   }
@@ -171,7 +271,7 @@ std::vector<ManagerEvent> LayoutManager::Observe(const Query& query,
   }
   window_.Add(query);
   reservoir_.Add(query);
-  tbs_sample_.Add(query, static_cast<double>(queries_seen_));
+  stats_.Observe(query);
   ++queries_seen_;
   return events;
 }

@@ -1,6 +1,6 @@
-// The LAYOUT MANAGER (paper SV): produces the dynamic state space.
+// The LAYOUT MANAGER (paper §V): produces the dynamic state space.
 //
-// It watches the query stream through a sliding window (and, for the SVI-D4
+// It watches the query stream through a sliding window (and, for the §VI-D4
 // ablation, a uniform reservoir), periodically asks a layout-generation
 // mechanism for a candidate layout fitted to the recent workload, and admits
 // the candidate into the state space only if its query-cost vector over a
@@ -8,10 +8,22 @@
 // every incumbent (Algorithm 5, ADMIT STATE). It can also evict states to
 // keep the space compact, since the D-UMTS competitive ratio grows with
 // log |S_max|.
+//
+// Incremental cost maintenance: the admission sample changes only a few
+// slots between generation cadences, yet Algorithm 5 needs the full
+// states × sample cost matrix at every cadence (admission distance, eviction
+// means, §V-B similarity pruning). The manager therefore keeps the sample in
+// a chunk-versioned WorkloadStatistics object and caches per-(state, chunk)
+// cost contributions, recomputing only chunks whose version changed since
+// they were cached. Costs are pure functions of (partitioning, query), so
+// cached values are bit-identical to recomputed ones and every admission,
+// eviction and pruning decision is unchanged by the cache (pinned by
+// tests/batch_equivalence_test.cc).
 #ifndef OREO_CORE_LAYOUT_MANAGER_H_
 #define OREO_CORE_LAYOUT_MANAGER_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -19,18 +31,19 @@
 #include "layout/layout.h"
 #include "sampling/reservoir.h"
 #include "sampling/sliding_window.h"
-#include "sampling/time_biased.h"
+#include "sampling/workload_stats.h"
 
 namespace oreo {
 namespace core {
 
-/// Which query sample feeds candidate generation (SVI-D4 ablation).
+/// Which query sample feeds candidate generation (§VI-D4 ablation).
 enum class CandidateSource {
   kSlidingWindow,  ///< paper default (best overall)
   kReservoir,      ///< uniform reservoir over all history
   kBoth,           ///< one candidate from each
 };
 
+/// Tuning knobs of the Layout Manager (paper defaults unless noted).
 struct LayoutManagerOptions {
   size_t window_size = 200;      ///< sliding window W
   size_t generate_every = 200;   ///< queries between generation attempts
@@ -38,12 +51,19 @@ struct LayoutManagerOptions {
   size_t admission_sample_size = 50;  ///< time-biased query sample size
   double tbs_lambda = 0.02;      ///< decay rate of the time-biased sample
   size_t max_states = 16;        ///< state-space cap (0 = unbounded)
-  /// SV-B periodic pruning of states whose cost vectors have converged to
+  /// §V-B periodic pruning of states whose cost vectors have converged to
   /// within epsilon of another live state (off for ablation studies).
   bool prune_similar = true;
   CandidateSource source = CandidateSource::kSlidingWindow;
   uint32_t target_partitions = 32;  ///< partitions per layout (k)
   size_t dataset_sample_rows = 2000;  ///< rows sampled for generate_layout
+  /// Reuse cached per-(state, sample-chunk) cost contributions across
+  /// cadences, recomputing only chunks whose sample slots changed. Decisions
+  /// are bit-identical with the cache on or off; off recomputes everything
+  /// from scratch (the pre-cache behavior, kept for A/B measurement).
+  bool incremental_cost_cache = true;
+  /// Sample slots per cache-invalidation chunk.
+  size_t cost_cache_chunk = 8;
   /// Worker threads for candidate cost evaluation (states × sample costs
   /// computed in parallel, reduced in fixed order — results are bit-identical
   /// at any count). 0 = one per hardware core, 1 = serial.
@@ -55,13 +75,14 @@ struct LayoutManagerOptions {
 struct ManagerEvent {
   enum class Kind { kAdded, kRemoved };
   Kind kind;
-  int state;
+  int state;  ///< registry id of the added/removed state
 };
 
 /// Produces and curates the dynamic state space.
 class LayoutManager {
  public:
-  /// `table` must outlive the manager; `generator` builds candidates.
+  /// `table`, `generator` and `registry` must outlive the manager;
+  /// `generator` builds candidate layouts from workload samples.
   LayoutManager(const Table* table, const LayoutGenerator* generator,
                 StateRegistry* registry, LayoutManagerOptions options);
 
@@ -76,15 +97,26 @@ class LayoutManager {
   /// Recent queries (oldest to newest) — Greedy evaluates candidates here.
   std::vector<Query> WindowQueries() const { return window_.Items(); }
 
-  /// The time-biased admission sample (unordered).
-  std::vector<Query> AdmissionSample() const { return tbs_sample_.Items(); }
+  /// The time-biased admission sample, in stable slot order.
+  std::vector<Query> AdmissionSample() const { return stats_.SampleItems(); }
+
+  /// The incrementally maintained sample + stream aggregates.
+  const WorkloadStatistics& workload_stats() const { return stats_; }
 
   size_t generations_attempted() const { return generations_; }
   size_t candidates_admitted() const { return admitted_; }
   size_t candidates_rejected() const { return rejected_; }
 
+  /// QueryCost evaluations actually executed by the manager (candidate
+  /// vectors + cache misses). With the cache off this counts every
+  /// evaluation of every cadence.
+  uint64_t cost_evals_computed() const { return cost_evals_computed_; }
+  /// QueryCost evaluations answered from the chunk cache instead.
+  uint64_t cost_evals_reused() const { return cost_evals_reused_; }
+
   /// Runs Algorithm 5 for a candidate instance against the live states;
-  /// returns true if min normalized-L1 distance > epsilon. Exposed for tests.
+  /// returns true if min normalized-L1 distance > epsilon. Always evaluates
+  /// from scratch (no cache). Exposed for tests.
   bool AdmitState(const LayoutInstance& candidate,
                   const std::vector<Query>& sample) const;
 
@@ -92,14 +124,35 @@ class LayoutManager {
   void Generate(const std::vector<Query>& workload, int current_state,
                 std::vector<ManagerEvent>* events);
 
-  /// Cost vectors of the given states over `sample`, computed as one flat
-  /// states × queries parallel loop. Every cost lands in its own slot and
-  /// per-state sums are taken serially in query order, so the results are
+  /// Cost vectors of the given states over `sample`, computed from scratch
+  /// as one flat states × queries parallel loop. Every cost lands in its own
+  /// slot and reductions happen serially in query order, so the results are
   /// bit-identical to a serial evaluation for any pool size.
   std::vector<std::vector<double>> CostVectors(
       const std::vector<int>& ids, const std::vector<Query>& sample) const;
 
-  /// SV-B periodic pruning: states whose cost vectors have drifted within
+  /// Cost vectors of the given states over the *current* admission sample,
+  /// served from the per-(state, chunk) cache where chunk versions still
+  /// match; only stale chunks are recomputed (one flat parallel loop over
+  /// the missing (state, chunk, query) costs). Bit-identical to
+  /// CostVectors(ids, AdmissionSample()).
+  std::vector<std::vector<double>> CachedCostVectors(
+      const std::vector<int>& ids);
+
+  /// Cost vectors of the given states over the current admission sample,
+  /// dispatching to CachedCostVectors or from-scratch CostVectors per the
+  /// incremental_cost_cache option.
+  std::vector<std::vector<double>> LiveCostVectors(
+      const std::vector<int>& ids);
+
+  /// The Algorithm 5 admission predicate over precomputed cost vectors.
+  bool AdmitDecision(const std::vector<double>& cand_costs,
+                     const std::vector<std::vector<double>>& live_costs) const;
+
+  /// Drops a removed state's cached cost chunks.
+  void ForgetState(int id) { cost_cache_.erase(id); }
+
+  /// §V-B periodic pruning: states whose cost vectors have drifted within
   /// epsilon of another live state under the *current* query sample are
   /// redundant — reorganizing between them burns alpha for no gain. Removes
   /// the worse of each such pair (never `current_state`).
@@ -115,7 +168,18 @@ class LayoutManager {
   Table dataset_sample_;
   SlidingWindow<Query> window_;
   ReservoirSampler<Query> reservoir_;
-  TimeBiasedReservoir<Query> tbs_sample_;
+  WorkloadStatistics stats_;
+
+  /// One cached chunk of a state's cost vector over the admission sample.
+  /// version 0 never matches a populated chunk (versions start at 1).
+  struct CachedChunk {
+    uint64_t version = 0;
+    std::vector<double> costs;
+  };
+  std::unordered_map<int, std::vector<CachedChunk>> cost_cache_;
+  uint64_t cost_evals_computed_ = 0;
+  uint64_t cost_evals_reused_ = 0;
+
   size_t queries_seen_ = 0;
   size_t generations_ = 0;
   size_t admitted_ = 0;

@@ -18,6 +18,7 @@ LayoutManagerOptions ToManagerOptions(const OreoOptions& o) {
   m.target_partitions = o.target_partitions;
   m.dataset_sample_rows = o.dataset_sample_rows;
   m.prune_similar = o.prune_similar_states;
+  m.incremental_cost_cache = o.incremental_cost_cache;
   m.num_threads = o.num_threads;
   m.seed = o.seed ^ 0x9e3779b9;
   return m;
@@ -68,6 +69,21 @@ Oreo::StepResult Oreo::Step(const Query& query) {
   query_cost_ += cost;
   ++queries_seen_;
   return StepResult{physical_state_, switches_now > 0, cost};
+}
+
+Oreo::BatchResult Oreo::RunBatch(const QueryBatch& batch) {
+  BatchResult result;
+  result.steps.reserve(batch.size());
+  // Decisions are sequential by construction (see the header); routing every
+  // query through Step keeps the batched and one-at-a-time paths one code
+  // path, so they cannot diverge.
+  for (const Query& query : batch.queries) {
+    StepResult step = Step(query);
+    result.query_cost += step.query_cost;
+    if (step.reorganized) ++result.num_switches;
+    result.steps.push_back(step);
+  }
+  return result;
 }
 
 SimResult Oreo::Run(const std::vector<Query>& queries, bool record_trace) {

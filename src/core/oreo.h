@@ -11,6 +11,13 @@
 //     // serve q on layout `step.state`; if step.reorganized, kick off a
 //     // background rewrite into oreo.registry().Get(step.state)
 //   }
+// High-throughput clients that accumulate queries between reorganization
+// cadences feed whole batches instead:
+//   for (const QueryBatch& b : MakeBatches(stream, 64)) {
+//     auto batch = oreo.RunBatch(b);
+//     // execute the batch physically, e.g. grouped by step.state through
+//     // PhysicalStore::ExecuteQueryBatch
+//   }
 #ifndef OREO_CORE_OREO_H_
 #define OREO_CORE_OREO_H_
 
@@ -38,19 +45,27 @@ struct OreoOptions {
   size_t admission_sample_size = 50;  ///< time-biased query sample size
   CandidateSource source = CandidateSource::kSlidingWindow;
   MidPhasePolicy mid_phase_policy = MidPhasePolicy::kDefer;
-  /// SV-B periodic pruning of redundant (epsilon-similar) states.
+  /// §V-B periodic pruning of redundant (epsilon-similar) states.
   bool prune_similar_states = true;
-  /// SIV-A stay-in-place optimization at phase resets.
+  /// §IV-A stay-in-place optimization at phase resets.
   bool stay_at_phase_start = true;
+  /// Reuse cached per-(state, sample-chunk) cost contributions across
+  /// generation cadences (see LayoutManagerOptions::incremental_cost_cache).
+  /// Decisions are bit-identical with the cache on or off.
+  bool incremental_cost_cache = true;
   /// Worker threads for the parallel hot paths (candidate cost evaluation
   /// here; scans and rewrites in PhysicalStore take the same knob). 0 = one
   /// per hardware core, 1 = serial. Determinism contract: costs, switch
   /// decisions and traces are bit-identical at any thread count.
   size_t num_threads = 0;
-  uint64_t seed = 42;
+  uint64_t seed = 42;  ///< master seed; sub-components derive their own
 };
 
 /// Online data-layout reorganization with worst-case guarantees.
+///
+/// The facade is *logical*: it tracks layout states, costs and switch
+/// decisions. Pair it with PhysicalStore (+ BackgroundReorganizer) to
+/// execute the decisions against partition files on disk.
 class Oreo {
  public:
   /// `table` and `generator` must outlive this object. `time_column` defines
@@ -69,8 +84,26 @@ class Oreo {
   /// reorganization decision.
   StepResult Step(const Query& query);
 
-  /// Batch API: run a whole stream through the framework and return the
-  /// cost accounting. Resets nothing; intended for a fresh instance.
+  /// Outcome of one batched step: per-query results in stream order plus
+  /// the batch's cost/switch totals.
+  struct BatchResult {
+    std::vector<StepResult> steps;
+    double query_cost = 0.0;   ///< sum of per-query costs in this batch
+    int64_t num_switches = 0;  ///< queries that initiated a reorganization
+  };
+
+  /// Batched streaming API: admits a vector of queries in one step. The
+  /// online algorithm is inherently sequential (every arrival updates the
+  /// window, the samples and the D-UMTS counters), so decisions are made in
+  /// stream order through the exact Step code path — results are
+  /// bit-identical to calling Step per query. Batching buys amortized
+  /// dispatch and hands the caller per-batch switch points, so physical
+  /// execution can group each batch's queries by serving state and fan them
+  /// out through PhysicalStore::ExecuteQueryBatch.
+  BatchResult RunBatch(const QueryBatch& batch);
+
+  /// Convenience API: run a whole stream through the framework and return
+  /// the cost accounting. Resets nothing; intended for a fresh instance.
   SimResult Run(const std::vector<Query>& queries, bool record_trace = false);
 
   const StateRegistry& registry() const { return registry_; }

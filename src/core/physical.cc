@@ -102,73 +102,112 @@ Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQuery(
   return ExecuteQueryOnSnapshot(GetSnapshot(), query);
 }
 
+Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatch(
+    const std::vector<Query>& queries) {
+  return ExecuteQueryBatchOnSnapshot(GetSnapshot(), queries);
+}
+
 Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQueryOnSnapshot(
     const Snapshot& snapshot, const Query& query) const {
+  OREO_ASSIGN_OR_RETURN(BatchExec batch,
+                        ExecuteQueryBatchOnSnapshot(snapshot, {query}));
+  QueryExec exec = batch.per_query.front();
+  exec.seconds = batch.seconds;
+  return exec;
+}
+
+Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
+    const Snapshot& snapshot, const std::vector<Query>& queries) const {
   OREO_CHECK(snapshot.instance != nullptr) << "no layout materialized";
-  QueryExec exec;
+  BatchExec batch;
   Stopwatch sw;
   const Partitioning& parts = snapshot.instance->partitioning();
 
-  // Column projection: decode only the columns the query references, then
-  // evaluate a remapped copy of the query against the projected table.
-  // A conjunct-free full scan decodes every column (it represents e.g. the
-  // paper's full-table-scan measurement in Table I).
-  std::vector<std::string> needed;
-  Query projected = query;
-  {
-    // The block reader returns projected columns in block (schema) order, so
-    // predicates must be remapped to each column's rank among the referenced
-    // columns, sorted ascending.
+  // Serial per-query preparation, in stream order: column projection and
+  // zone-map pruning are metadata-only, so the work list of (query,
+  // surviving partition) pairs — and its order — never depends on the pool.
+  struct Prepared {
+    Query projected;                 // conjuncts remapped to projected ranks
+    std::vector<std::string> needed; // projected column names, schema order
+    std::vector<uint32_t> survivors; // partition ids that must be scanned
+  };
+  std::vector<Prepared> prepared(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    Prepared& prep = prepared[qi];
+    // Column projection: decode only the columns the query references, then
+    // evaluate a remapped copy of the query against the projected table.
+    // A conjunct-free full scan decodes every column (it represents e.g. the
+    // paper's full-table-scan measurement in Table I). The block reader
+    // returns projected columns in block (schema) order, so predicates are
+    // remapped to each column's rank among the referenced columns.
+    prep.projected = queries[qi];
     std::set<int> referenced;
-    for (const Predicate& p : projected.conjuncts) {
+    for (const Predicate& p : prep.projected.conjuncts) {
       OREO_CHECK(p.column >= 0 &&
                  static_cast<size_t>(p.column) < snapshot.schema.num_fields());
       referenced.insert(p.column);
     }
     std::vector<int> position(snapshot.schema.num_fields(), -1);
     for (int col : referenced) {  // std::set iterates ascending
-      position[static_cast<size_t>(col)] = static_cast<int>(needed.size());
-      needed.push_back(snapshot.schema.field(static_cast<size_t>(col)).name);
+      position[static_cast<size_t>(col)] = static_cast<int>(prep.needed.size());
+      prep.needed.push_back(snapshot.schema.field(static_cast<size_t>(col)).name);
     }
-    for (Predicate& p : projected.conjuncts) {
+    for (Predicate& p : prep.projected.conjuncts) {
       p.column = position[static_cast<size_t>(p.column)];
     }
+    prep.survivors = PartitionsToRead(parts, queries[qi]);
   }
-  BlockReadOptions read_opts;
-  if (!projected.conjuncts.empty()) read_opts.columns = &needed;
 
-  // Zone-map pruning stays serial (metadata only); the surviving partitions
-  // are scanned in parallel, each task staging its match count, and the
-  // counters are reduced in partition order.
-  std::vector<size_t> survivors;
-  for (size_t pid = 0; pid < parts.num_partitions(); ++pid) {
-    if (!query.CanSkipPartition(parts.zones[pid])) survivors.push_back(pid);
+  // One flat ParallelFor over every (query, surviving partition) pair: a
+  // selective query with one survivor no longer serializes the batch — its
+  // single scan interleaves with the other queries' work. Each task stages
+  // its match count in its own slot.
+  struct ScanItem {
+    size_t qi;   // query index in the batch
+    size_t pid;  // partition id to scan
+  };
+  std::vector<ScanItem> items;
+  for (size_t qi = 0; qi < prepared.size(); ++qi) {
+    for (size_t pid : prepared[qi].survivors) items.push_back({qi, pid});
   }
-  std::vector<uint64_t> matches(survivors.size());
-  std::vector<Status> statuses(survivors.size());
-  pool_->ParallelFor(survivors.size(), [&](size_t i) {
-    Result<Table> part = ReadBlockFile(snapshot.files[survivors[i]], read_opts);
+  std::vector<uint64_t> matches(items.size());
+  std::vector<Status> statuses(items.size());
+  pool_->ParallelFor(items.size(), [&](size_t i) {
+    const Prepared& prep = prepared[items[i].qi];
+    BlockReadOptions read_opts;
+    if (!prep.projected.conjuncts.empty()) read_opts.columns = &prep.needed;
+    Result<Table> part = ReadBlockFile(snapshot.files[items[i].pid], read_opts);
     if (!part.ok()) {
       statuses[i] = part.status();
       return;
     }
-    if (projected.conjuncts.empty()) {
+    if (prep.projected.conjuncts.empty()) {
       matches[i] = part->num_rows();
     } else {
       for (uint32_t r = 0; r < part->num_rows(); ++r) {
-        if (projected.Matches(*part, r)) ++matches[i];
+        if (prep.projected.Matches(*part, r)) ++matches[i];
       }
     }
   });
+  // Flat order is (stream order, partition order), so the first error
+  // reported equals the one the per-query path would have returned.
   OREO_RETURN_NOT_OK(FirstError(statuses));
-  for (size_t i = 0; i < survivors.size(); ++i) {
-    ++exec.partitions_read;
-    exec.bytes_read += snapshot.file_bytes[survivors[i]];
-    exec.rows_scanned += parts.zones[survivors[i]].num_rows;
-    exec.matches += matches[i];
+
+  // Serial reduction in stream order, partitions in pid order within each
+  // query — the exact sequence a one-at-a-time execution accumulates.
+  batch.per_query.resize(queries.size());
+  size_t item = 0;
+  for (size_t qi = 0; qi < prepared.size(); ++qi) {
+    QueryExec& exec = batch.per_query[qi];
+    for (size_t pid : prepared[qi].survivors) {
+      ++exec.partitions_read;
+      exec.bytes_read += snapshot.file_bytes[pid];
+      exec.rows_scanned += parts.zones[pid].num_rows;
+      exec.matches += matches[item++];
+    }
   }
-  exec.seconds = sw.ElapsedSeconds();
-  return exec;
+  batch.seconds = sw.ElapsedSeconds();
+  return batch;
 }
 
 void PhysicalStore::Vacuum() {
@@ -317,12 +356,32 @@ uint64_t PhysicalStore::MaterializedBytes() const {
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
     const std::vector<Query>& queries, size_t stride, const std::string& dir,
-    size_t num_threads) {
+    size_t num_threads, size_t batch_size) {
   OREO_CHECK_EQ(sim.serving_state.size(), queries.size())
       << "simulation must be run with record_trace=true";
   OREO_CHECK_GT(stride, 0u);
+  OREO_CHECK_GT(batch_size, 0u);
   PhysicalReplayResult result;
   PhysicalStore store(dir, num_threads);
+
+  // Sampled queries awaiting execution on the current layout; flushed when
+  // full and before every reorganization, so every query runs against the
+  // exact layout its trace entry recorded.
+  std::vector<Query> pending;
+  pending.reserve(batch_size);
+  auto flush = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    auto batch = store.ExecuteQueryBatch(pending);
+    if (!batch.ok()) return batch.status();
+    result.query_seconds += batch->seconds * static_cast<double>(stride);
+    for (const PhysicalStore::QueryExec& exec : batch->per_query) {
+      ++result.queries_executed;
+      result.partitions_read += exec.partitions_read;
+      result.matches += exec.matches;
+    }
+    pending.clear();
+    return Status::OK();
+  };
 
   int current = sim.serving_state.empty() ? 0 : sim.serving_state.front();
   {
@@ -334,6 +393,7 @@ Result<PhysicalReplayResult> ReplayPhysical(
   for (size_t t = 0; t < queries.size(); ++t) {
     int state = sim.serving_state[t];
     if (state != current) {
+      OREO_RETURN_NOT_OK(flush());
       OREO_ASSIGN_OR_RETURN(PhysicalStore::Timing timing,
                             store.Reorganize(table, registry.Get(state)));
       store.Vacuum();  // replay is single-threaded: no snapshot readers
@@ -342,14 +402,11 @@ Result<PhysicalReplayResult> ReplayPhysical(
       current = state;
     }
     if (t % stride == 0) {
-      OREO_ASSIGN_OR_RETURN(PhysicalStore::QueryExec exec,
-                            store.ExecuteQuery(queries[t]));
-      result.query_seconds += exec.seconds * static_cast<double>(stride);
-      ++result.queries_executed;
-      result.partitions_read += exec.partitions_read;
-      result.matches += exec.matches;
+      pending.push_back(queries[t]);
+      if (pending.size() >= batch_size) OREO_RETURN_NOT_OK(flush());
     }
   }
+  OREO_RETURN_NOT_OK(flush());
   return result;
 }
 

@@ -64,6 +64,24 @@ class PhysicalStore {
   /// then scan of the surviving partition files.
   Result<QueryExec> ExecuteQuery(const Query& query);
 
+  /// Result of one batched execution: per-query counters (stream order) and
+  /// the batch's wall clock. Per-query `seconds` fields are zero — scan work
+  /// from the whole batch interleaves on the pool, so only the batch total
+  /// is meaningful.
+  struct BatchExec {
+    double seconds = 0.0;
+    std::vector<QueryExec> per_query;
+  };
+
+  /// Executes a whole batch against one snapshot of the materialized layout:
+  /// per-query zone-map pruning runs serially (metadata only), then one
+  /// ParallelFor over every (query, surviving partition) pair scans the
+  /// files, and per-query counters are reduced serially in stream order.
+  /// Counters are bit-identical to executing the queries one at a time; the
+  /// batch simply exposes cross-query parallelism to the pool (a selective
+  /// query no longer leaves workers idle).
+  Result<BatchExec> ExecuteQueryBatch(const std::vector<Query>& queries);
+
   /// Full reorganization into `to`: reads every current partition file
   /// (decompression included), re-partitions `table` rows, writes the new
   /// files. The returned timing covers read + assign + compress + write.
@@ -89,8 +107,15 @@ class PhysicalStore {
   Snapshot GetSnapshot() const;
 
   /// Executes `query` against a snapshot (thread-safe, read-only).
+  /// Implemented as a single-element batch, so the per-query and batched
+  /// paths cannot diverge.
   Result<QueryExec> ExecuteQueryOnSnapshot(const Snapshot& snapshot,
                                            const Query& query) const;
+
+  /// Batch execution against an explicit snapshot (thread-safe, read-only);
+  /// see ExecuteQueryBatch for the determinism contract.
+  Result<BatchExec> ExecuteQueryBatchOnSnapshot(
+      const Snapshot& snapshot, const std::vector<Query>& queries) const;
 
   /// Deletes files superseded by completed reorganizations. Call when no
   /// snapshot readers can still reference them.
@@ -117,7 +142,7 @@ class PhysicalStore {
 /// Replays a simulated decision trace physically: materializes the initial
 /// layout, reorganizes whenever the trace switches layouts, and executes
 /// every `stride`-th query for real (the paper estimates total query time
-/// from a ~10% sample, SVI-A1). Query seconds are scaled by `stride`.
+/// from a ~10% sample, §VI-A1). Query seconds are scaled by `stride`.
 struct PhysicalReplayResult {
   double query_seconds = 0.0;       ///< scaled estimate over the full stream
   double reorg_seconds = 0.0;
@@ -127,10 +152,15 @@ struct PhysicalReplayResult {
   uint64_t matches = 0;
 };
 
+/// With `batch_size > 1`, consecutive sampled queries served by the same
+/// layout are executed as one ExecuteQueryBatch (flushed before every
+/// reorganization), modeling a high-throughput client that accumulates
+/// queries between layout changes. All counters are bit-identical to
+/// `batch_size = 1`; only wall-clock seconds differ.
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
     const std::vector<Query>& queries, size_t stride, const std::string& dir,
-    size_t num_threads = 0);
+    size_t num_threads = 0, size_t batch_size = 1);
 
 }  // namespace core
 }  // namespace oreo

@@ -1,5 +1,7 @@
 #include "query/query.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace oreo {
@@ -85,6 +87,19 @@ std::vector<uint32_t> PartitionsToRead(const Partitioning& partitioning,
     if (!query.CanSkipPartition(partitioning.zones[i])) {
       out.push_back(static_cast<uint32_t>(i));
     }
+  }
+  return out;
+}
+
+std::vector<QueryBatch> MakeBatches(const std::vector<Query>& stream,
+                                    size_t batch_size) {
+  OREO_CHECK_GT(batch_size, 0u);
+  std::vector<QueryBatch> out;
+  out.reserve((stream.size() + batch_size - 1) / batch_size);
+  for (size_t start = 0; start < stream.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, stream.size());
+    out.emplace_back(std::vector<Query>(stream.begin() + static_cast<ptrdiff_t>(start),
+                                        stream.begin() + static_cast<ptrdiff_t>(end)));
   }
   return out;
 }

@@ -54,6 +54,25 @@ double FractionAccessedFromMetadata(const PartitionMetadata& meta,
 std::vector<uint32_t> PartitionsToRead(const Partitioning& partitioning,
                                        const Query& query);
 
+/// A group of queries admitted to the framework in one step, in stream
+/// order. Batching changes *when* work is scheduled, never *what* is
+/// decided: consumers (Oreo::RunBatch, PhysicalStore::ExecuteQueryBatch)
+/// guarantee results bit-identical to feeding the queries one at a time.
+struct QueryBatch {
+  std::vector<Query> queries;
+
+  QueryBatch() = default;
+  explicit QueryBatch(std::vector<Query> qs) : queries(std::move(qs)) {}
+
+  size_t size() const { return queries.size(); }
+  bool empty() const { return queries.empty(); }
+};
+
+/// Splits a stream into consecutive batches of at most `batch_size` queries
+/// (the last batch may be short). Precondition: batch_size > 0.
+std::vector<QueryBatch> MakeBatches(const std::vector<Query>& stream,
+                                    size_t batch_size);
+
 }  // namespace oreo
 
 #endif  // OREO_QUERY_QUERY_H_

@@ -1,0 +1,91 @@
+#include "sampling/workload_stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+WorkloadStatistics::WorkloadStatistics(Options options, Rng rng)
+    : options_(options), rng_(rng) {
+  OREO_CHECK_GT(options_.sample_capacity, 0u);
+  OREO_CHECK_GT(options_.chunk_size, 0u);
+  OREO_CHECK_GE(options_.lambda, 0.0);
+  slots_.reserve(options_.sample_capacity);
+  chunk_versions_.assign(
+      (options_.sample_capacity + options_.chunk_size - 1) /
+          options_.chunk_size,
+      0);
+}
+
+void WorkloadStatistics::Observe(const Query& query) {
+  // Aggregates first: they cover every arrival, sampled or not.
+  ++template_counts_[query.template_id];
+  total_conjuncts_ += query.conjuncts.size();
+  for (const Predicate& p : query.conjuncts) {
+    if (p.column >= 0 &&
+        static_cast<size_t>(p.column) >= column_predicate_counts_.size()) {
+      column_predicate_counts_.resize(static_cast<size_t>(p.column) + 1, 0);
+    }
+    if (p.column >= 0) ++column_predicate_counts_[static_cast<size_t>(p.column)];
+  }
+
+  // A-Res priority in log space (see sampling/time_biased.h): one Exp(1)
+  // draw per arrival, whether or not the item is retained, so the Rng stream
+  // is consumed identically for every outcome.
+  const double t = static_cast<double>(seen_);
+  ++seen_;
+  const double e = rng_.Exponential(1.0);
+  const double priority = options_.lambda * t - std::log(e);
+
+  if (slots_.size() < options_.sample_capacity) {
+    const size_t slot = slots_.size();
+    slots_.push_back(Slot{priority, query});
+    ++chunk_versions_[slot / options_.chunk_size];
+    ++mutations_;
+    return;
+  }
+  // Evict the global minimum-priority slot iff the newcomer beats it. The
+  // linear argmin keeps every other slot in place, which is what makes
+  // chunk-level cache invalidation exact.
+  size_t victim = 0;
+  for (size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].priority < slots_[victim].priority) victim = i;
+  }
+  if (priority > slots_[victim].priority) {
+    slots_[victim] = Slot{priority, query};
+    ++chunk_versions_[victim / options_.chunk_size];
+    ++mutations_;
+  }
+}
+
+std::vector<Query> WorkloadStatistics::SampleItems() const {
+  std::vector<Query> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_) out.push_back(s.query);
+  return out;
+}
+
+std::vector<WorkloadStatistics::ChunkView> WorkloadStatistics::SampleChunks()
+    const {
+  std::vector<ChunkView> out;
+  for (size_t first = 0; first < slots_.size();
+       first += options_.chunk_size) {
+    ChunkView chunk;
+    chunk.index = first / options_.chunk_size;
+    chunk.version = chunk_versions_[chunk.index];
+    chunk.first_slot = first;
+    const size_t end = std::min(first + options_.chunk_size, slots_.size());
+    chunk.queries.reserve(end - first);
+    for (size_t i = first; i < end; ++i) chunk.queries.push_back(slots_[i].query);
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+double WorkloadStatistics::mean_conjuncts() const {
+  if (seen_ == 0) return 0.0;
+  return static_cast<double>(total_conjuncts_) / static_cast<double>(seen_);
+}
+
+}  // namespace oreo

@@ -1,0 +1,113 @@
+// Incrementally maintained workload statistics (the batching/incremental
+// counterpart of the one-shot samplers in this directory).
+//
+// The Layout Manager evaluates candidate layouts on a time-biased query
+// sample every generation cadence (Algorithm 5, ADMIT STATE). Re-deriving
+// the sample and every cost vector from scratch each cadence is O(states ×
+// sample) work even when almost nothing changed between cadences. This class
+// maintains the same time-biased sample *per query* with two extra
+// guarantees that make downstream caching exact:
+//
+//   1. Slot stability: each sampled query occupies a fixed slot; an eviction
+//      replaces exactly one slot and leaves every other slot untouched
+//      (unlike a heap-backed reservoir, whose internal order shuffles on
+//      every insertion).
+//   2. Chunk versioning: slots are grouped into fixed-size chunks, and every
+//      chunk carries a monotonic version that bumps exactly when one of its
+//      slots mutates. A cache keyed by (state, chunk index, chunk version)
+//      can therefore reuse per-chunk cost contributions bit-for-bit — a
+//      version match proves the chunk's queries are byte-identical to the
+//      ones the cached costs were computed from.
+//
+// The retained *set* is identical to TimeBiasedReservoir's for the same
+// seed: both draw one Exp(1) variate per arrival, keep the top-`capacity`
+// priorities `lambda * t - log(e)`, and evict the global minimum.
+//
+// On top of the sample, the class keeps cheap O(1)-per-query aggregates of
+// the whole stream (template histogram, per-column predicate counts, mean
+// conjunct count) that the batching benchmarks and diagnostics report.
+#ifndef OREO_SAMPLING_WORKLOAD_STATS_H_
+#define OREO_SAMPLING_WORKLOAD_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query.h"
+
+namespace oreo {
+
+/// Per-query-maintained admission sample + stream aggregates.
+class WorkloadStatistics {
+ public:
+  struct Options {
+    size_t sample_capacity = 50;  ///< time-biased sample size
+    double lambda = 0.02;         ///< exponential decay rate per arrival
+    size_t chunk_size = 8;        ///< slots per cache-invalidation chunk
+  };
+
+  WorkloadStatistics(Options options, Rng rng);
+
+  /// Folds one arriving query into the sample and the aggregates. The
+  /// arrival time used for the time bias is the running query count.
+  void Observe(const Query& query);
+
+  // ------------------------------------------------------------ sample ----
+
+  /// Queries currently retained, in slot order. Chunk `i` of SampleChunks()
+  /// covers exactly slots [i*chunk_size, (i+1)*chunk_size) of this vector.
+  std::vector<Query> SampleItems() const;
+
+  /// One cache-invalidation unit of the sample.
+  struct ChunkView {
+    size_t index;                ///< chunk position
+    uint64_t version;            ///< bumps when any slot in the chunk mutates
+    size_t first_slot;           ///< slot index of the chunk's first query
+    std::vector<Query> queries;  ///< slot-order contents
+  };
+
+  /// The current sample split into chunks with their versions.
+  std::vector<ChunkView> SampleChunks() const;
+
+  size_t sample_size() const { return slots_.size(); }
+  size_t sample_capacity() const { return options_.sample_capacity; }
+  /// Total slot mutations so far; unchanged value proves an unchanged sample.
+  uint64_t sample_version() const { return mutations_; }
+
+  // -------------------------------------------------------- aggregates ----
+
+  uint64_t queries_seen() const { return seen_; }
+  /// Arrivals per workload template id (-1 = unknown template).
+  const std::map<int, uint64_t>& template_counts() const {
+    return template_counts_;
+  }
+  /// Predicate occurrences per column index (grows to the widest column
+  /// referenced so far).
+  const std::vector<uint64_t>& column_predicate_counts() const {
+    return column_predicate_counts_;
+  }
+  /// Mean number of conjuncts per query over the whole stream.
+  double mean_conjuncts() const;
+
+ private:
+  struct Slot {
+    double priority;  ///< lambda * t - log(e), e ~ Exp(1)
+    Query query;
+  };
+
+  Options options_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  uint64_t mutations_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> chunk_versions_;  ///< indexed by slot / chunk_size
+
+  std::map<int, uint64_t> template_counts_;
+  std::vector<uint64_t> column_predicate_counts_;
+  uint64_t total_conjuncts_ = 0;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_SAMPLING_WORKLOAD_STATS_H_

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Scans the given markdown files (or the repo's default doc set) for inline
+links and images `[text](target)`, ignores external schemes (http, https,
+mailto) and pure in-page anchors, and verifies every relative target exists
+on disk relative to the file containing the link. Exits non-zero listing
+every broken link.
+
+Usage: tools/check_markdown_links.py [file.md ...]
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images. Markdown link destinations cannot contain unescaped
+# whitespace or ')' outside <>; this pattern covers the repo's usage.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+# SNIPPETS.md / PAPERS.md quote external material verbatim (including links
+# to assets that live in other repos), so only the repo's own docs are
+# checked by default.
+DEFAULT_FILES = ["README.md", "ROADMAP.md", "CHANGES.md"]
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def default_targets(root):
+    files = [f for f in DEFAULT_FILES if os.path.exists(os.path.join(root, f))]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                files.append(os.path.join("docs", name))
+    return [os.path.join(root, f) for f in files]
+
+
+def check_file(path):
+    broken = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if EXTERNAL_RE.match(target) or target.startswith("#"):
+                    continue
+                # Strip an in-page anchor from a file target.
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    root = repo_root()
+    targets = [os.path.abspath(a) for a in argv[1:]] or default_targets(root)
+    failures = 0
+    for path in targets:
+        for lineno, target in check_file(path):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(targets)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
