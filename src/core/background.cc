@@ -1,24 +1,148 @@
 #include "core/background.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace oreo {
 namespace core {
 
-BackgroundReorganizer::BackgroundReorganizer(PhysicalStore* store,
-                                             const Table* table)
-    : store_(store), table_(table) {
-  OREO_CHECK(store_ != nullptr && table_ != nullptr);
-  worker_ = std::thread([this] { WorkerLoop(); });
+ReorgPool::ReorgPool(size_t num_workers) {
+  size_t n = ThreadPool::ResolveThreads(num_workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
-BackgroundReorganizer::~BackgroundReorganizer() {
+ReorgPool::~ReorgPool() {
+  std::deque<Job> discarded;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    // Discard queued-but-unstarted jobs so no reorganization (and no
+    // completion callback) can begin while the owner is mid-destruction.
+    // The callbacks die unfired with the queue entries.
+    for (const Job& job : queue_) {
+      shards_[job.shard].queued = false;
+      ++stats_.discarded;
+    }
+    discarded.swap(queue_);
   }
   cv_.notify_all();
-  worker_.join();
+  idle_cv_.notify_all();
+  // Destroy the discarded jobs (and their callbacks) outside the lock: a
+  // callback capture's destructor may call back into the pool (stats(),
+  // Submit() — which now bounces), which would self-deadlock under mu_.
+  discarded.clear();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ReorgPool::Submit(Job job) {
+  OREO_CHECK(job.store != nullptr && job.table != nullptr &&
+             job.target != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;
+    ShardState& state = shards_[job.shard];
+    if (state.queued || state.running) return false;
+    state.queued = true;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ReorgPool::busy(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(shard);
+  return it != shards_.end() && (it->second.queued || it->second.running);
+}
+
+void ReorgPool::Wait(uint32_t shard) {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this, shard] {
+    auto it = shards_.find(shard);
+    return it == shards_.end() || (!it->second.queued && !it->second.running);
+  });
+}
+
+void ReorgPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    for (const auto& [shard, state] : shards_) {
+      if (state.queued || state.running) return false;
+    }
+    return true;
+  });
+}
+
+uint64_t ReorgPool::generation(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.generation;
+}
+
+Status ReorgPool::last_status(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? Status::OK() : it->second.last_status;
+}
+
+ReorgPool::Stats ReorgPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ReorgPool::max_concurrent_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_concurrent_;
+}
+
+void ReorgPool::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // On shutdown the queue has already been discarded by the destructor;
+      // anything running simply finishes below on its own worker.
+      if (shutdown_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ShardState& state = shards_[job.shard];
+      state.queued = false;
+      state.running = true;
+      ++running_now_;
+      max_concurrent_ = std::max(max_concurrent_, running_now_);
+    }
+    if (job.on_start) job.on_start();
+    Result<PhysicalStore::Timing> timing =
+        job.store->Reorganize(*job.table, *job.target);
+    Status status = timing.ok() ? Status::OK() : timing.status();
+    // The callback observes the post-swap store but a still-busy shard, so a
+    // concurrent Submit for this shard cannot start before it returns.
+    if (job.on_done) job.on_done(status);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ShardState& state = shards_[job.shard];
+      state.running = false;
+      ++state.generation;
+      state.last_status = status;
+      --running_now_;
+      if (timing.ok()) {
+        ++stats_.completed;
+        stats_.total_seconds += timing->seconds;
+      }
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+BackgroundReorganizer::BackgroundReorganizer(PhysicalStore* store,
+                                             const Table* table)
+    : store_(store), table_(table), pool_(1) {
+  OREO_CHECK(store_ != nullptr && table_ != nullptr);
 }
 
 bool BackgroundReorganizer::Submit(const LayoutInstance* target) {
@@ -28,72 +152,18 @@ bool BackgroundReorganizer::Submit(const LayoutInstance* target) {
 bool BackgroundReorganizer::Submit(
     const LayoutInstance* target, std::function<void(const Status&)> on_done) {
   OREO_CHECK(target != nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pending_ != nullptr || running_) return false;
-    pending_ = target;
-    pending_callback_ = std::move(on_done);
-  }
-  cv_.notify_all();
-  return true;
-}
-
-bool BackgroundReorganizer::busy() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_ != nullptr || running_;
-}
-
-void BackgroundReorganizer::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == nullptr && !running_; });
+  ReorgPool::Job job;
+  job.shard = 0;
+  job.store = store_;
+  job.table = table_;
+  job.target = target;
+  job.on_done = std::move(on_done);
+  return pool_.Submit(std::move(job));
 }
 
 BackgroundReorganizer::Stats BackgroundReorganizer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-Status BackgroundReorganizer::last_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return last_status_;
-}
-
-uint64_t BackgroundReorganizer::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return generation_;
-}
-
-void BackgroundReorganizer::WorkerLoop() {
-  for (;;) {
-    const LayoutInstance* target = nullptr;
-    std::function<void(const Status&)> on_done;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || pending_ != nullptr; });
-      if (shutdown_ && pending_ == nullptr) return;
-      target = pending_;
-      pending_ = nullptr;
-      on_done = std::move(pending_callback_);
-      pending_callback_ = nullptr;
-      running_ = true;
-    }
-    Result<PhysicalStore::Timing> timing = store_->Reorganize(*table_, *target);
-    Status status = timing.ok() ? Status::OK() : timing.status();
-    // The callback observes the post-swap store but a still-busy
-    // reorganizer, so a concurrent Submit cannot start before it returns.
-    if (on_done) on_done(status);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      running_ = false;
-      ++generation_;
-      if (timing.ok()) {
-        ++stats_.completed;
-        stats_.total_seconds += timing->seconds;
-      }
-      last_status_ = status;
-    }
-    cv_.notify_all();
-  }
+  ReorgPool::Stats pool_stats = pool_.stats();
+  return Stats{pool_stats.completed, pool_stats.total_seconds};
 }
 
 }  // namespace core

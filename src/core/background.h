@@ -4,33 +4,137 @@
 // reorganization is in progress. After reorganization is completed, the new
 // layout is swapped with the existing layout."
 //
-// BackgroundReorganizer owns a worker thread that runs PhysicalStore
-// reorganizations; the foreground keeps executing queries against a snapshot
-// of the outgoing layout (PhysicalStore::GetSnapshot /
-// ExecuteQueryOnSnapshot). One reorganization may be in flight at a time.
+// ReorgPool generalizes that single background process to a sharded store:
+// a fixed set of worker threads executes PhysicalStore reorganizations with
+// at most one in flight *per shard* — concurrent across shards, still
+// strictly serialized within a shard (each shard keeps the paper's
+// one-background-process contract for its own data). The foreground keeps
+// executing queries against per-shard snapshots (PhysicalStore::GetSnapshot
+// / ExecuteQueryOnSnapshot) and refreshes them at batch boundaries when a
+// shard's generation() advances.
+//
+// Shutdown ordering: destroying the pool *discards* jobs that are queued but
+// not yet started — their completion callbacks are destroyed unfired — and
+// joins the workers, so a running job's callback always fires before the
+// destructor returns and no callback can ever run after the pool is gone.
+// Owners must therefore destroy the pool before anything a callback touches
+// (declare it after the engines/stores it serves). Submit during or after
+// shutdown returns false instead of enqueueing work that could outlive the
+// owner.
+//
+// BackgroundReorganizer is the legacy single-store facade: a 1-worker,
+// 1-shard pool with the PR 3 API, kept so unsharded callers and the seed
+// tests keep working unchanged (and inherit the shutdown fix).
 #ifndef OREO_CORE_BACKGROUND_H_
 #define OREO_CORE_BACKGROUND_H_
 
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "core/physical.h"
 
 namespace oreo {
 namespace core {
 
-/// Asynchronous executor for layout rewrites.
+/// Shared asynchronous executor for per-shard layout rewrites.
+class ReorgPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 = one per hardware core).
+  /// Concurrent reorganizations are bounded by min(workers, shards with
+  /// submitted work).
+  explicit ReorgPool(size_t num_workers);
+  /// Discards queued-but-unstarted jobs, waits for running ones, joins.
+  ~ReorgPool();
+
+  ReorgPool(const ReorgPool&) = delete;
+  ReorgPool& operator=(const ReorgPool&) = delete;
+
+  /// One reorganization request. `store`, `table` and `target` must outlive
+  /// the run; `shard` only identifies the serialization domain (any id works,
+  /// ids need not be dense).
+  struct Job {
+    uint32_t shard = 0;
+    PhysicalStore* store = nullptr;
+    const Table* table = nullptr;
+    const LayoutInstance* target = nullptr;
+    /// Runs on the worker right after the layout swap (success or failure),
+    /// before the shard reports idle — a concurrent Submit for the same
+    /// shard cannot start until it returns. Discarded unfired if the job is
+    /// still queued when the pool shuts down.
+    std::function<void(const Status&)> on_done;
+    /// Test hook: runs on the worker right before the reorganization.
+    std::function<void()> on_start;
+  };
+
+  /// Requests a reorganization. Returns false — and does nothing — if the
+  /// job's shard already has a reorganization queued or running, or if the
+  /// pool is shutting down.
+  bool Submit(Job job);
+
+  /// True while `shard` has a reorganization queued or running.
+  bool busy(uint32_t shard) const;
+
+  /// Blocks until `shard` has no queued or running reorganization.
+  void Wait(uint32_t shard);
+
+  /// Blocks until no shard has queued or running work.
+  void WaitAll();
+
+  /// Monotonic count of completed reorganizations of `shard` (successful or
+  /// not). A foreground batch loop polls this between batches: an unchanged
+  /// value proves its snapshot is still that shard's current layout.
+  uint64_t generation(uint32_t shard) const;
+
+  /// Status of `shard`'s most recently completed reorganization.
+  Status last_status(uint32_t shard) const;
+
+  struct Stats {
+    int64_t completed = 0;       ///< successful reorganizations, all shards
+    int64_t discarded = 0;       ///< jobs dropped unstarted at shutdown
+    double total_seconds = 0.0;  ///< summed wall clock of successful runs
+  };
+  Stats stats() const;
+
+  /// High-water mark of simultaneously running reorganizations — the
+  /// stress/bench evidence that per-shard rewrites really overlap.
+  size_t max_concurrent_observed() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct ShardState {
+    bool queued = false;
+    bool running = false;
+    uint64_t generation = 0;
+    Status last_status;
+  };
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes workers on submit/shutdown
+  std::condition_variable idle_cv_;  // wakes Wait/WaitAll on completion
+  std::deque<Job> queue_;
+  std::unordered_map<uint32_t, ShardState> shards_;
+  bool shutdown_ = false;
+  size_t running_now_ = 0;
+  size_t max_concurrent_ = 0;
+  Stats stats_;
+  std::vector<std::thread> workers_;
+};
+
+/// Asynchronous executor for a single unsharded store (legacy facade over a
+/// one-worker ReorgPool).
 class BackgroundReorganizer {
  public:
   /// `store` and `table` must outlive this object.
   BackgroundReorganizer(PhysicalStore* store, const Table* table);
-  /// Joins the worker (waits for any in-flight reorganization).
-  ~BackgroundReorganizer();
-
-  BackgroundReorganizer(const BackgroundReorganizer&) = delete;
-  BackgroundReorganizer& operator=(const BackgroundReorganizer&) = delete;
 
   /// Requests a reorganization into `target` (which must outlive the run).
   /// Returns false if one is already in flight — mirroring the single
@@ -40,21 +144,20 @@ class BackgroundReorganizer {
   /// Submit with a completion hook: `on_done` runs on the worker thread
   /// right after the layout swap (success or failure), before the
   /// reorganizer reports idle. Batch drivers use it to learn the exact
-  /// point after which a fresh GetSnapshot() sees the new layout.
+  /// point after which a fresh GetSnapshot() sees the new layout. A job
+  /// still queued at destruction is discarded and its hook never fires
+  /// (see the ReorgPool shutdown contract).
   bool Submit(const LayoutInstance* target,
               std::function<void(const Status&)> on_done);
 
   /// True while a reorganization is running or queued.
-  bool busy() const;
+  bool busy() const { return pool_.busy(0); }
 
   /// Blocks until the in-flight reorganization (if any) has completed.
-  void Wait();
+  void Wait() { pool_.Wait(0); }
 
   /// Monotonic count of completed reorganizations (successful or not).
-  /// A foreground batch loop polls this between batches: an unchanged value
-  /// proves its snapshot is still the store's current layout, a changed one
-  /// says re-snapshot (and Vacuum once no reader can hold old files).
-  uint64_t generation() const;
+  uint64_t generation() const { return pool_.generation(0); }
 
   struct Stats {
     int64_t completed = 0;
@@ -63,24 +166,12 @@ class BackgroundReorganizer {
   Stats stats() const;
 
   /// Status of the most recently completed reorganization.
-  Status last_status() const;
+  Status last_status() const { return pool_.last_status(0); }
 
  private:
-  void WorkerLoop();
-
   PhysicalStore* store_;
   const Table* table_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  const LayoutInstance* pending_ = nullptr;  // queued target
-  std::function<void(const Status&)> pending_callback_;
-  bool running_ = false;                     // a reorg is executing
-  bool shutdown_ = false;
-  uint64_t generation_ = 0;  // completed reorganizations, success or not
-  Stats stats_;
-  Status last_status_;
-  std::thread worker_;
+  ReorgPool pool_;
 };
 
 }  // namespace core

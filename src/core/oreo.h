@@ -27,6 +27,7 @@
 #include "core/simulator.h"
 #include "core/state_registry.h"
 #include "core/strategy.h"
+#include "storage/shard_router.h"
 
 namespace oreo {
 namespace core {
@@ -58,6 +59,15 @@ struct OreoOptions {
   /// per hardware core, 1 = serial. Determinism contract: costs, switch
   /// decisions and traces are bit-identical at any thread count.
   size_t num_threads = 0;
+  /// --- sharding (consumed by ShardedOreo; a bare Oreo ignores them) ---
+  /// Number of horizontal shards; each shard runs its own independent
+  /// engine (LayoutManager + D-UMTS + PhysicalStore), preserving the
+  /// per-shard competitive guarantee. 1 = the unsharded engine.
+  size_t num_shards = 1;
+  /// Routing column for the shard split (-1 = the time column).
+  int shard_column = -1;
+  /// Row→shard routing function (see storage/shard_router.h).
+  ShardRouting shard_routing = ShardRouting::kHash;
   uint64_t seed = 42;  ///< master seed; sub-components derive their own
 };
 
@@ -111,6 +121,9 @@ class Oreo {
   const OreoStrategy& strategy() const { return *strategy_; }
   int current_state() const { return strategy_->current_state(); }
   int default_state() const { return default_state_; }
+  /// Layout that physically serves queries right now (trails current_state
+  /// by `reorg_delay` queries after a switch decision).
+  int physical_state() const { return physical_state_; }
 
   double total_query_cost() const { return query_cost_; }
   double total_reorg_cost() const { return reorg_cost_; }

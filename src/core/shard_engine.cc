@@ -1,0 +1,34 @@
+#include "core/shard_engine.h"
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace core {
+
+ShardEngine::ShardEngine(uint32_t shard_id, Table shard_table,
+                         const LayoutGenerator* generator, int time_column,
+                         const OreoOptions& options)
+    : shard_id_(shard_id), table_(std::move(shard_table)) {
+  oreo_ = std::make_unique<Oreo>(&table_, generator, time_column, options);
+}
+
+Status ShardEngine::AttachPhysical(const std::string& dir,
+                                   size_t num_threads) {
+  OREO_CHECK(store_ == nullptr) << "shard " << shard_id_
+                                << " already has a physical store";
+  store_ = std::make_unique<PhysicalStore>(dir, num_threads);
+  const int current = oreo_->physical_state();
+  Result<PhysicalStore::Timing> timing =
+      store_->MaterializeLayout(table_, oreo_->registry().Get(current));
+  if (!timing.ok()) {
+    store_.reset();
+    return timing.status();
+  }
+  materialized_state_ = current;
+  pending_target_.reset();
+  snapshot_ = store_->GetSnapshot();
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,313 @@
+#include "core/sharded_oreo.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace oreo {
+namespace core {
+
+namespace {
+
+// Per-shard seed derivation. Shard 0 keeps the master seed, so a 1-shard
+// facade drives an engine bit-identical to a bare Oreo.
+uint64_t ShardSeed(uint64_t master, uint32_t shard) {
+  return master + static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL;
+}
+
+// First (lowest-index) non-OK status of a parallel stage, so the reported
+// error does not depend on task scheduling.
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+ShardRouter BuildRouterFor(const Table* table, int time_column,
+                           const OreoOptions& options) {
+  OREO_CHECK(table != nullptr);
+  OREO_CHECK_GT(options.num_shards, 0u);
+  ShardRouterOptions router_opts;
+  router_opts.num_shards = options.num_shards;
+  router_opts.column =
+      options.shard_column < 0 ? time_column : options.shard_column;
+  router_opts.routing = options.shard_routing;
+  return ShardRouter::Build(*table, router_opts);
+}
+
+}  // namespace
+
+std::string ShardDirName(const std::string& base_dir, uint32_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/shard_%03u", shard);
+  return base_dir + buf;
+}
+
+ShardedOreo::ShardedOreo(const Table* table, const LayoutGenerator* generator,
+                         int time_column, const OreoOptions& options)
+    : router_(BuildRouterFor(table, time_column, options)) {
+  OREO_CHECK(generator != nullptr);
+  std::vector<std::vector<uint32_t>> shard_rows = router_.SplitRows(*table);
+  engines_.reserve(options.num_shards);
+  weights_.reserve(options.num_shards);
+  const double total_rows = static_cast<double>(table->num_rows());
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    // Empty shards cannot bootstrap a default layout; the routing column
+    // must spread values across every shard (pick a higher-cardinality
+    // column or fewer shards otherwise).
+    OREO_CHECK(!shard_rows[s].empty())
+        << "shard " << s << " is empty: routing column " << router_.column()
+        << " cannot fill " << options.num_shards << " shards";
+    OreoOptions shard_opts = options;
+    shard_opts.seed = ShardSeed(options.seed, s);
+    // With several shards, parallelism comes from the facade's fan-out
+    // *across* engines; per-engine internals run serial so N engines do not
+    // multiply persistent thread pools and oversubscribe the host. Results
+    // are unchanged either way (the determinism contract is thread-count
+    // invariant). A 1-shard facade passes the knob through, keeping its
+    // engine configured exactly like a bare Oreo.
+    if (options.num_shards > 1) shard_opts.num_threads = 1;
+    engines_.push_back(std::make_unique<ShardEngine>(
+        s, table->Take(shard_rows[s]), generator, time_column, shard_opts));
+    weights_.push_back(total_rows > 0
+                           ? static_cast<double>(shard_rows[s].size()) /
+                                 total_rows
+                           : 0.0);
+  }
+  pool_ = std::make_unique<ThreadPool>(options.num_threads);
+}
+
+ShardedOreo::StepResult ShardedOreo::Step(const Query& query) {
+  QueryBatch batch;
+  batch.queries.push_back(query);
+  BatchResult result = RunBatch(batch);
+  return std::move(result.steps.front());
+}
+
+ShardedOreo::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
+  const size_t n = engines_.size();
+  // Serial routing in stream order: the per-shard sub-streams (and their
+  // order) never depend on the pool.
+  std::vector<std::vector<uint32_t>> touched(batch.size());
+  std::vector<QueryBatch> sub(n);
+  for (size_t qi = 0; qi < batch.size(); ++qi) {
+    touched[qi] = router_.ShardsForQuery(batch.queries[qi]);
+    for (uint32_t s : touched[qi]) {
+      sub[s].queries.push_back(batch.queries[qi]);
+    }
+  }
+  // Shard fan-out: each engine makes its (inherently sequential) decisions
+  // over its own sub-stream, independent of every other shard.
+  std::vector<Oreo::BatchResult> results(n);
+  pool_->ParallelFor(n, [&](size_t s) {
+    results[s] = engines_[s]->oreo().RunBatch(sub[s]);
+  });
+  // Serial merge in stream order; within a query, shards ascend.
+  BatchResult out;
+  out.steps.reserve(batch.size());
+  std::vector<size_t> cursor(n, 0);
+  for (size_t qi = 0; qi < batch.size(); ++qi) {
+    StepResult step;
+    for (uint32_t s : touched[qi]) {
+      const Oreo::StepResult& shard_step = results[s].steps[cursor[s]++];
+      step.query_cost += weights_[s] * shard_step.query_cost;
+      step.reorganized = step.reorganized || shard_step.reorganized;
+      step.shard_steps.push_back(ShardStep{s, shard_step});
+    }
+    out.query_cost += step.query_cost;
+    if (step.reorganized) ++out.num_switches;
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+ShardedSimResult ShardedOreo::Run(const std::vector<Query>& queries,
+                                  bool record_trace) {
+  const size_t n = engines_.size();
+  ShardedSimResult result;
+  result.shard_streams.assign(n, {});
+  for (const Query& q : queries) {
+    for (uint32_t s : router_.ShardsForQuery(q)) {
+      result.shard_streams[s].push_back(q);
+    }
+  }
+  result.shards.resize(n);
+  pool_->ParallelFor(n, [&](size_t s) {
+    result.shards[s] =
+        engines_[s]->oreo().Run(result.shard_streams[s], record_trace);
+  });
+  for (size_t s = 0; s < n; ++s) {
+    result.query_cost += weights_[s] * result.shards[s].query_cost;
+    result.reorg_cost += weights_[s] * result.shards[s].reorg_cost;
+    result.num_switches += result.shards[s].num_switches;
+  }
+  return result;
+}
+
+Status ShardedOreo::AttachPhysical(const std::string& base_dir,
+                                   size_t store_threads,
+                                   size_t reorg_workers) {
+  OREO_CHECK(reorg_pool_ == nullptr) << "physical layer already attached";
+  for (auto& engine : engines_) {
+    OREO_RETURN_NOT_OK(engine->AttachPhysical(
+        ShardDirName(base_dir, engine->shard_id()), store_threads));
+  }
+  reorg_pool_ = std::make_unique<ReorgPool>(
+      reorg_workers == 0 ? engines_.size() : reorg_workers);
+  return Status::OK();
+}
+
+Result<PhysicalStore::BatchExec> ShardedOreo::ExecuteBatchPhysical(
+    const std::vector<Query>& queries) {
+  OREO_CHECK(reorg_pool_ != nullptr) << "call AttachPhysical first";
+  PhysicalStore::BatchExec batch;
+  Stopwatch sw;
+  // Serial routing in stream order, then one flat work list of
+  // (shard, query) items in (stream order, shard order).
+  struct Item {
+    uint32_t shard;
+    size_t qi;
+  };
+  std::vector<std::vector<uint32_t>> touched(queries.size());
+  std::vector<Item> items;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    touched[qi] = router_.ShardsForQuery(queries[qi]);
+    for (uint32_t s : touched[qi]) items.push_back(Item{s, qi});
+  }
+  // Flat fan-out: every item scans one shard's surviving partitions against
+  // that shard's pinned snapshot, staging counters in its own slot.
+  std::vector<PhysicalStore::QueryExec> execs(items.size());
+  std::vector<Status> statuses(items.size());
+  pool_->ParallelFor(items.size(), [&](size_t i) {
+    ShardEngine& engine = *engines_[items[i].shard];
+    Result<PhysicalStore::QueryExec> exec =
+        engine.store()->ExecuteQueryOnSnapshot(engine.snapshot(),
+                                               queries[items[i].qi]);
+    if (!exec.ok()) {
+      statuses[i] = exec.status();
+      return;
+    }
+    execs[i] = *exec;
+  });
+  OREO_RETURN_NOT_OK(FirstError(statuses));
+  // Serial reduction in stream order, shards ascending within a query.
+  batch.per_query.resize(queries.size());
+  size_t item = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    PhysicalStore::QueryExec& agg = batch.per_query[qi];
+    for (size_t t = 0; t < touched[qi].size(); ++t, ++item) {
+      agg.partitions_read += execs[item].partitions_read;
+      agg.rows_scanned += execs[item].rows_scanned;
+      agg.matches += execs[item].matches;
+      agg.bytes_read += execs[item].bytes_read;
+    }
+  }
+  batch.seconds = sw.ElapsedSeconds();
+  return batch;
+}
+
+size_t ShardedOreo::SyncPhysical() {
+  OREO_CHECK(reorg_pool_ != nullptr) << "call AttachPhysical first";
+  size_t submitted = 0;
+  for (auto& engine_ptr : engines_) {
+    ShardEngine& engine = *engine_ptr;
+    const uint32_t shard = engine.shard_id();
+    // A still-running rewrite keeps serving from the pinned snapshot.
+    if (reorg_pool_->busy(shard)) continue;
+    if (engine.pending_target().has_value()) {
+      // The rewrite finished since the last reconciliation: adopt it. The
+      // facade holds the only snapshots, so superseded files are
+      // reclaimable right here at the batch boundary.
+      if (reorg_pool_->last_status(shard).ok()) {
+        engine.set_materialized_state(*engine.pending_target());
+        engine.set_failed_target(std::nullopt);
+      } else {
+        // Remember the failed target: it is not resubmitted until the
+        // desired state moves on, so reconciliation always terminates and
+        // last_status(shard) keeps reporting the failure.
+        engine.set_failed_target(engine.pending_target());
+      }
+      engine.set_pending_target(std::nullopt);
+      engine.RefreshSnapshot();
+      engine.store()->Vacuum();
+    }
+    const int desired = engine.oreo().physical_state();
+    if (desired != engine.materialized_state() &&
+        engine.failed_target() != std::optional<int>(desired)) {
+      ReorgPool::Job job;
+      job.shard = shard;
+      job.store = engine.store();
+      job.table = &engine.table();
+      job.target = &engine.oreo().registry().Get(desired);
+      if (reorg_pool_->Submit(std::move(job))) {
+        engine.set_pending_target(desired);
+        ++submitted;
+      }
+    }
+  }
+  return submitted;
+}
+
+void ShardedOreo::WaitForReorgs() {
+  OREO_CHECK(reorg_pool_ != nullptr) << "call AttachPhysical first";
+  // Reconciliation can queue follow-up rewrites (the logical state may have
+  // moved again mid-rewrite); loop until the store is quiescent.
+  for (;;) {
+    reorg_pool_->WaitAll();
+    if (SyncPhysical() == 0) break;
+  }
+}
+
+double ShardedOreo::total_query_cost() const {
+  double total = 0.0;
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    total += weights_[s] * engines_[s]->oreo().total_query_cost();
+  }
+  return total;
+}
+
+double ShardedOreo::total_reorg_cost() const {
+  double total = 0.0;
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    total += weights_[s] * engines_[s]->oreo().total_reorg_cost();
+  }
+  return total;
+}
+
+int64_t ShardedOreo::num_switches() const {
+  int64_t total = 0;
+  for (const auto& engine : engines_) {
+    total += engine->oreo().num_switches();
+  }
+  return total;
+}
+
+Result<PhysicalReplayResult> ShardedReplayPhysical(
+    const ShardedOreo& oreo, const ShardedSimResult& sim, size_t stride,
+    const std::string& dir, size_t num_threads, size_t batch_size) {
+  OREO_CHECK_EQ(sim.shards.size(), oreo.num_shards())
+      << "sim does not match this ShardedOreo";
+  OREO_CHECK_EQ(sim.shard_streams.size(), oreo.num_shards());
+  PhysicalReplayResult total;
+  for (size_t s = 0; s < oreo.num_shards(); ++s) {
+    const ShardEngine& engine = oreo.engine(s);
+    OREO_ASSIGN_OR_RETURN(
+        PhysicalReplayResult shard,
+        ReplayPhysical(engine.table(), engine.oreo().registry(),
+                       sim.shards[s], sim.shard_streams[s], stride,
+                       ShardDirName(dir, static_cast<uint32_t>(s)),
+                       num_threads, batch_size));
+    total.query_seconds += shard.query_seconds;
+    total.reorg_seconds += shard.reorg_seconds;
+    total.num_switches += shard.num_switches;
+    total.queries_executed += shard.queries_executed;
+    total.partitions_read += shard.partitions_read;
+    total.matches += shard.matches;
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace oreo

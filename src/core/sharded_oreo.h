@@ -1,0 +1,176 @@
+// The sharded OREO facade: N independent per-shard engines behind one
+// router.
+//
+// A ShardedOreo splits the table into `OreoOptions::num_shards` horizontal
+// shards (ShardRouter over `shard_column`, hash or range routing), runs one
+// full engine per shard (its own LayoutManager, D-UMTS instance and state
+// registry — see ShardEngine), and routes every query to exactly the shards
+// its routing-column predicates can touch. Range routing prunes shards like
+// a coarse zone map, so a selective query often runs on a single shard.
+//
+// Determinism contract (extends PR 2/PR 3, pinned by
+// tests/sharded_equivalence_test.cc):
+//   - a 1-shard ShardedOreo is bit-identical to a bare Oreo — costs,
+//     switch decisions, decision traces, and replayed partition-file CRCs;
+//   - N-shard runs are bit-identical across thread counts: decisions inside
+//     a shard are sequential in sub-stream order, shards are independent,
+//     and every fan-out stages per-slot results reduced serially in stream
+//     order.
+//
+// Cost accounting: shard costs are row-weighted. c(s, q) is the *fraction*
+// of a table's rows a query must touch, so the merged per-query cost is
+//   sum over touched shards of (shard rows / total rows) * c_shard(q),
+// and each shard switch charges (shard rows / total rows) * alpha — pruned
+// shards contribute zero, exactly like partitions skipped by a zone map.
+// With one shard the weight is 1 and the accounting collapses to Oreo's.
+// Theorem IV.1 holds per shard in shard-local units; scaling a shard's ALG
+// and OPT by the same weight preserves every ratio, so the worst-case
+// guarantee survives sharding shard by shard.
+//
+// Physical mode: AttachPhysical gives every engine an on-disk store under
+// `base_dir/shard_NNN`. Batches execute against pinned per-shard snapshots
+// as one flat ParallelFor over (shard, query) work items; a shared
+// ReorgPool runs at most one background rewrite per shard (concurrent
+// across shards), and SyncPhysical reconciles snapshots and submits newly
+// needed rewrites at batch boundaries.
+#ifndef OREO_CORE_SHARDED_OREO_H_
+#define OREO_CORE_SHARDED_OREO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/background.h"
+#include "core/shard_engine.h"
+#include "storage/shard_router.h"
+
+namespace oreo {
+namespace core {
+
+/// Per-shard traces plus merged accounting from ShardedOreo::Run.
+struct ShardedSimResult {
+  /// Per-shard simulation results, in shard-local (unweighted) units —
+  /// feed these to the per-shard competitive-ratio machinery.
+  std::vector<SimResult> shards;
+  /// The sub-stream each shard observed, in stream order.
+  std::vector<std::vector<Query>> shard_streams;
+  /// Row-weighted merged accounting (1 shard: equals the SimResult totals).
+  double query_cost = 0.0;
+  double reorg_cost = 0.0;
+  int64_t num_switches = 0;
+  double total_cost() const { return query_cost + reorg_cost; }
+};
+
+/// Online data-layout reorganization over a horizontally sharded table.
+class ShardedOreo {
+ public:
+  /// `table` and `generator` must outlive this object. Shard engines are
+  /// configured from `options` with per-shard derived seeds (shard 0 keeps
+  /// the master seed). `options.shard_column == -1` routes on `time_column`.
+  ShardedOreo(const Table* table, const LayoutGenerator* generator,
+              int time_column, const OreoOptions& options);
+
+  /// One shard's step outcome for a routed query.
+  struct ShardStep {
+    uint32_t shard;
+    Oreo::StepResult step;  ///< shard-local (unweighted) cost
+  };
+
+  /// Merged outcome of one streamed query.
+  struct StepResult {
+    double query_cost = 0.0;  ///< row-weighted across touched shards
+    bool reorganized = false;  ///< some touched shard initiated a rewrite
+    std::vector<ShardStep> shard_steps;  ///< ascending shard id
+  };
+
+  /// Merged outcome of one batched step.
+  struct BatchResult {
+    std::vector<StepResult> steps;  ///< stream order
+    double query_cost = 0.0;        ///< row-weighted sum over the batch
+    int64_t num_switches = 0;       ///< queries that initiated a rewrite
+  };
+
+  /// Streaming API; routes the query and steps every touched shard.
+  StepResult Step(const Query& query);
+
+  /// Batched streaming API: routes each query in stream order, fans the
+  /// per-shard sub-batches out across the pool (decisions stay sequential
+  /// within a shard), and merges per-query results serially in stream order.
+  BatchResult RunBatch(const QueryBatch& batch);
+
+  /// Convenience API: routes the whole stream, runs every shard engine's
+  /// simulation, and returns per-shard traces plus merged accounting.
+  /// Intended for a fresh instance (mirrors Oreo::Run).
+  ShardedSimResult Run(const std::vector<Query>& queries,
+                       bool record_trace = false);
+
+  // --- physical execution -------------------------------------------------
+
+  /// Creates one PhysicalStore per shard under `base_dir/shard_NNN`,
+  /// materializes every engine's current layout, and starts the shared
+  /// reorganization pool (`reorg_workers` threads, 0 = one per shard).
+  Status AttachPhysical(const std::string& base_dir, size_t store_threads = 1,
+                        size_t reorg_workers = 0);
+
+  /// Executes a batch against the pinned per-shard snapshots: one flat
+  /// ParallelFor over (shard, query) work items, per-query counters summed
+  /// across touched shards and reduced serially in stream order. Counter
+  /// totals (matches above all) are layout- and thread-count-invariant.
+  Result<PhysicalStore::BatchExec> ExecuteBatchPhysical(
+      const std::vector<Query>& queries);
+
+  /// Batch-boundary reconciliation: adopts finished background rewrites
+  /// (refresh snapshot, vacuum superseded files, update the materialized
+  /// state) and submits a rewrite for every shard whose logical serving
+  /// layout moved ahead of its materialized one. At most one rewrite is in
+  /// flight per shard; shards rewrite concurrently on the pool. Returns the
+  /// number of rewrites submitted.
+  size_t SyncPhysical();
+
+  /// Blocks until no shard has a rewrite queued or running, then reconciles.
+  void WaitForReorgs();
+
+  ReorgPool* reorg_pool() { return reorg_pool_.get(); }
+
+  // --- introspection ------------------------------------------------------
+
+  const ShardRouter& router() const { return router_; }
+  size_t num_shards() const { return engines_.size(); }
+  ShardEngine& engine(size_t shard) { return *engines_[shard]; }
+  const ShardEngine& engine(size_t shard) const { return *engines_[shard]; }
+  /// Row weight of a shard: shard rows / total rows (0 for an empty table).
+  double shard_weight(size_t shard) const { return weights_[shard]; }
+
+  /// Row-weighted totals across shards (1 shard: identical to Oreo's).
+  double total_query_cost() const;
+  double total_reorg_cost() const;
+  /// Total shard switches across all engines.
+  int64_t num_switches() const;
+
+ private:
+  ShardRouter router_;
+  std::vector<std::unique_ptr<ShardEngine>> engines_;
+  std::vector<double> weights_;
+  std::unique_ptr<ThreadPool> pool_;  // batch fan-out across shards
+  // Declared after the engines so it is destroyed first: in-flight rewrite
+  // callbacks touch engines/stores and must never outlive them.
+  std::unique_ptr<ReorgPool> reorg_pool_;
+};
+
+/// Replays per-shard decision traces physically: every shard runs the
+/// legacy ReplayPhysical over its own sub-stream, trace and registry, into
+/// `dir/shard_NNN`; counters are summed across shards. `sim` must come from
+/// ShardedOreo::Run(..., record_trace=true) on `oreo`. A 1-shard replay
+/// leaves files bit-identical to ReplayPhysical of the unsharded trace.
+Result<PhysicalReplayResult> ShardedReplayPhysical(
+    const ShardedOreo& oreo, const ShardedSimResult& sim, size_t stride,
+    const std::string& dir, size_t num_threads = 0, size_t batch_size = 1);
+
+/// Shard subdirectory name used by AttachPhysical and ShardedReplayPhysical.
+std::string ShardDirName(const std::string& base_dir, uint32_t shard);
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_SHARDED_OREO_H_

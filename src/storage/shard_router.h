@@ -1,0 +1,112 @@
+// Horizontal sharding of a Table over one routing column.
+//
+// A ShardRouter is a pure, deterministic mapping from rows to shard ids —
+// the sharding analogue of a Layout's row→partition mapping, one level up.
+// Two routing functions are supported:
+//
+//   - kHash:  shard = H(value) mod N with a fixed, platform-independent hash
+//             (splitmix64 for numerics, FNV-1a for strings). Balances any
+//             value distribution; only point predicates (=, IN) on the
+//             routing column can prune shards.
+//   - kRange: shard boundaries are derived from routing-column quantiles of
+//             the table the router is built from, so shards are balanced on
+//             that table. Every comparison predicate on the routing column
+//             prunes shards like a coarse zone map.
+//
+// Routing is *complete by construction*: shard s holds exactly the rows the
+// routing function assigns to s, so ShardsForQuery — which keeps a shard
+// only if the query's routing-column conjuncts could match some value the
+// shard can hold — can never drop a matching row (pinned by the property
+// test in tests/sharded_equivalence_test.cc).
+//
+// Routers serialize to a single text line (Serialize/Deserialize round-trip
+// exactly), so a sharded deployment can persist its routing function next to
+// the partition metadata.
+#ifndef OREO_STORAGE_SHARD_ROUTER_H_
+#define OREO_STORAGE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace oreo {
+
+/// Which routing function maps rows to shards.
+enum class ShardRouting : uint8_t {
+  kHash = 0,
+  kRange,
+};
+
+const char* ShardRoutingName(ShardRouting routing);
+
+struct ShardRouterOptions {
+  size_t num_shards = 1;
+  int column = 0;  ///< routing column (field index in the table schema)
+  ShardRouting routing = ShardRouting::kHash;
+};
+
+/// Deterministic row→shard mapping plus query→shards pruning.
+class ShardRouter {
+ public:
+  /// Builds a router for tables shaped like `table`. Hash routing only
+  /// records the column type; range routing additionally derives
+  /// `num_shards - 1` ascending boundary values from the routing column's
+  /// quantiles (deterministic: ties are broken by value order).
+  static ShardRouter Build(const Table& table, const ShardRouterOptions& opts);
+
+  size_t num_shards() const { return num_shards_; }
+  int column() const { return column_; }
+  ShardRouting routing() const { return routing_; }
+
+  /// Shard id of row `row` of `table`.
+  uint32_t ShardOfRow(const Table& table, uint32_t row) const;
+
+  /// Shard id of a routing-column value.
+  uint32_t ShardOfValue(const Value& v) const;
+
+  /// Row-id lists per shard, each ascending (the split is order-stable, so a
+  /// 1-shard split reproduces the source row order exactly).
+  std::vector<std::vector<uint32_t>> SplitRows(const Table& table) const;
+
+  /// Materializes the shard tables (Take of each SplitRows list).
+  std::vector<Table> SplitTable(const Table& table) const;
+
+  /// Ids of shards whose rows could match `query`, ascending. A shard is
+  /// pruned only if some routing-column conjunct can match no value routed
+  /// to it; conjuncts on other columns and non-prunable operators keep every
+  /// shard (conservative, like zone-map pruning).
+  std::vector<uint32_t> ShardsForQuery(const Query& query) const;
+
+  /// One-line textual form, e.g. "shards=4 column=2 routing=range
+  /// bounds=[i:10,i:20,i:30]". Deserialize parses it back exactly.
+  std::string Serialize() const;
+  static Result<ShardRouter> Deserialize(const std::string& text);
+
+  /// Deterministic 64-bit value hash used by kHash routing (exposed so tests
+  /// can pin the routing function).
+  static uint64_t HashValue(const Value& v);
+
+ private:
+  ShardRouter() = default;
+
+  /// True if `pred` (on the routing column) can match some value in the
+  /// range-shard `shard`'s interval.
+  bool RangeShardCanMatch(uint32_t shard, const Predicate& pred) const;
+
+  size_t num_shards_ = 1;
+  int column_ = 0;
+  ShardRouting routing_ = ShardRouting::kHash;
+  /// Range mode: ascending boundary values, size num_shards_ - 1. Shard s
+  /// covers (bounds_[s-1], bounds_[s]]; shard 0 is unbounded below, the last
+  /// shard unbounded above. Values above the last boundary go to the last
+  /// shard.
+  std::vector<Value> bounds_;
+};
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_SHARD_ROUTER_H_

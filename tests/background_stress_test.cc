@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -134,6 +137,190 @@ TEST(BackgroundStressTest, ConcurrentSubmittersNeverDoubleBook) {
   auto exec = store.ExecuteQuery(full);
   ASSERT_TRUE(exec.ok());
   EXPECT_EQ(exec->matches, t.num_rows());
+}
+
+// ---------------------------------------------------- ReorgPool tests ----
+
+// Per-shard rewrites genuinely overlap: four shards submit together, and a
+// start gate holds every worker until at least two reorganizations are
+// running at once — then max_concurrent_observed() must prove the overlap.
+TEST(BackgroundStressTest, PerShardReorganizationsRunConcurrently) {
+  constexpr uint32_t kShards = 4;
+  std::vector<Table> tables;
+  std::vector<std::unique_ptr<PhysicalStore>> stores;
+  std::vector<LayoutInstance> from;
+  std::vector<LayoutInstance> to;
+  for (uint32_t s = 0; s < kShards; ++s) {
+    tables.push_back(testutil::MakeEventTable(1500, 50 + s));
+  }
+  for (uint32_t s = 0; s < kShards; ++s) {
+    from.push_back(
+        testutil::MakeSortedInstance(tables[s], 0, 8, "from", /*seed=*/3));
+    to.push_back(
+        testutil::MakeSortedInstance(tables[s], 1, 8, "to", /*seed=*/3));
+    stores.push_back(std::make_unique<PhysicalStore>(
+        testutil::ScratchDir("reorg_pool_" + std::to_string(s)),
+        /*num_threads=*/1));
+    ASSERT_TRUE(stores[s]->MaterializeLayout(tables[s], from[s]).ok());
+  }
+
+  ReorgPool pool(kShards);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  std::atomic<int> completions{0};
+  for (uint32_t s = 0; s < kShards; ++s) {
+    ReorgPool::Job job;
+    job.shard = s;
+    job.store = stores[s].get();
+    job.table = &tables[s];
+    job.target = &to[s];
+    job.on_start = [&] {
+      // Hold every rewrite until a second one has arrived, so >= 2 run
+      // simultaneously no matter how the workers are scheduled.
+      std::unique_lock<std::mutex> lock(mu);
+      ++started;
+      cv.notify_all();
+      cv.wait(lock, [&] { return started >= 2; });
+    };
+    job.on_done = [&](const Status& st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      ++completions;
+    };
+    ASSERT_TRUE(pool.Submit(std::move(job))) << "shard " << s;
+    // Within a shard, a second submission must bounce while one is queued
+    // or running.
+    ReorgPool::Job dup;
+    dup.shard = s;
+    dup.store = stores[s].get();
+    dup.table = &tables[s];
+    dup.target = &from[s];
+    EXPECT_FALSE(pool.Submit(std::move(dup)));
+  }
+  pool.WaitAll();
+  EXPECT_EQ(completions.load(), static_cast<int>(kShards));
+  EXPECT_GE(pool.max_concurrent_observed(), 2u)
+      << "per-shard reorganizations never overlapped";
+  EXPECT_EQ(pool.stats().completed, static_cast<int64_t>(kShards));
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(pool.generation(s), 1u);
+    EXPECT_TRUE(pool.last_status(s).ok());
+    EXPECT_EQ(stores[s]->current_instance(), &to[s]);
+    // Data survived the swap.
+    stores[s]->Vacuum();
+    auto exec = stores[s]->ExecuteQuery(Query{});
+    ASSERT_TRUE(exec.ok());
+    EXPECT_EQ(exec->matches, tables[s].num_rows());
+  }
+}
+
+// Shutdown-ordering regression (latent use-after-free found reviewing the
+// PR 3 callback Submit): a job still *queued* when the pool is destroyed
+// must be discarded — its reorganization never runs and its completion
+// callback never fires — because by the time the worker could run it, the
+// owning engine's other members may already be mid-destruction. The running
+// job's callback still fires before the destructor returns.
+TEST(BackgroundStressTest, DestructionDiscardsQueuedJobsWithoutFiringThem) {
+  Table t = testutil::MakeEventTable(1500, 61);
+  LayoutInstance a = testutil::MakeSortedInstance(t, 0, 8, "a", 3);
+  LayoutInstance b = testutil::MakeSortedInstance(t, 1, 8, "b", 3);
+  PhysicalStore store_a(testutil::ScratchDir("reorg_shutdown_a"), 1);
+  PhysicalStore store_b(testutil::ScratchDir("reorg_shutdown_b"), 1);
+  ASSERT_TRUE(store_a.MaterializeLayout(t, a).ok());
+  ASSERT_TRUE(store_b.MaterializeLayout(t, a).ok());
+
+  std::atomic<bool> running_done{false};
+  std::atomic<bool> queued_done{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool first_started = false;
+  bool queued_job_destroyed = false;
+  {
+    // One worker: the first job runs, the second stays queued behind it.
+    ReorgPool pool(1);
+    ReorgPool::Job first;
+    first.shard = 0;
+    first.store = &store_a;
+    first.table = &t;
+    first.target = &b;
+    first.on_start = [&] {
+      // Hold the running job until the destructor has provably discarded
+      // the queued one (its callback's sentinel has been destroyed), so the
+      // discard-vs-pickup order is deterministic.
+      std::unique_lock<std::mutex> lock(mu);
+      first_started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return queued_job_destroyed; });
+    };
+    first.on_done = [&](const Status&) { running_done = true; };
+    ASSERT_TRUE(pool.Submit(std::move(first)));
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return first_started; });
+    }
+    // The queued job's callback owns a sentinel; when the destructor
+    // discards the job, the callback — and with it the sentinel — is
+    // destroyed, which releases the gate above.
+    auto sentinel = std::shared_ptr<int>(new int(0), [&](int* p) {
+      delete p;
+      std::lock_guard<std::mutex> lock(mu);
+      queued_job_destroyed = true;
+      cv.notify_all();
+    });
+    ReorgPool::Job queued;
+    queued.shard = 1;
+    queued.store = &store_b;
+    queued.table = &t;
+    queued.target = &b;
+    queued.on_done = [&queued_done, sentinel](const Status&) {
+      queued_done = true;
+    };
+    sentinel.reset();  // the job's callback now holds the only reference
+    ASSERT_TRUE(pool.Submit(std::move(queued)));
+    EXPECT_EQ(pool.stats().discarded, 0);
+    // ~ReorgPool: discards `queued` (destroying its callback → sentinel →
+    // gate opens), then joins the worker, whose on_done fires on the way
+    // out. store_b is never rewritten.
+  }
+  EXPECT_TRUE(running_done.load())
+      << "the running job's callback must fire before the destructor returns";
+  EXPECT_FALSE(queued_done.load())
+      << "a queued job's callback fired during/after destruction";
+  EXPECT_EQ(store_a.current_instance(), &b);
+  EXPECT_EQ(store_b.current_instance(), &a) << "a discarded job ran anyway";
+}
+
+// The legacy facade inherits the shutdown contract: destroying it right
+// after an accepted Submit must be safe — the callback either fired on the
+// worker before the join or was discarded unfired, and it can never touch
+// freed state afterwards (ASan/TSan verify the "never after" half).
+TEST(BackgroundStressTest, ReorganizerDestructionAfterSubmitIsSafe) {
+  Table t = testutil::MakeEventTable(1500, 62);
+  LayoutInstance a = testutil::MakeSortedInstance(t, 0, 8, "a", 3);
+  LayoutInstance b = testutil::MakeSortedInstance(t, 1, 8, "b", 3);
+  for (int round = 0; round < 8; ++round) {
+    PhysicalStore store(testutil::ScratchDir("bg_dtor_race"), 1);
+    ASSERT_TRUE(store.MaterializeLayout(t, a).ok());
+    std::atomic<bool> fired{false};
+    bool accepted = false;
+    {
+      BackgroundReorganizer bg(&store, &t);
+      accepted = bg.Submit(&b, [&](const Status& st) {
+        EXPECT_TRUE(st.ok()) << st.ToString();
+        fired = true;
+      });
+      // Destructor races the worker's pickup of the queued job.
+    }
+    ASSERT_TRUE(accepted);
+    // Exactly two legal outcomes: the rewrite completed (callback fired,
+    // store swapped) or it was discarded unstarted (callback unfired,
+    // store untouched).
+    if (fired.load()) {
+      EXPECT_EQ(store.current_instance(), &b);
+    } else {
+      EXPECT_EQ(store.current_instance(), &a);
+    }
+  }
 }
 
 }  // namespace
