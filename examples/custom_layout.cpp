@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/engine.h"
 #include "core/oreo.h"
 #include "layout/qdtree_layout.h"
 #include "workloads/dataset.h"
@@ -113,23 +114,23 @@ int main() {
   core::OreoOptions opts;
   opts.target_partitions = 20;
   opts.generate_every = 100;  // alternation needs a faster cadence
-  core::Oreo oreo(&ds.table, &generator, ds.time_column, opts);
+  auto oreo = core::MakeEngine(&ds.table, &generator, ds.time_column, opts);
   for (const Query& q : wl.queries) {
-    core::Oreo::StepResult step = oreo.Step(q);
+    core::OreoEngine::StepResult step = oreo->Step(q);
     if (step.reorganized) {
       std::printf("query %5lld: switch to %-40s\n",
                   static_cast<long long>(q.id),
-                  oreo.registry().Get(step.state).name().c_str());
+                  oreo->core(0).registry().Get(step.state).name().c_str());
     }
   }
   std::printf("\nquery cost=%.1f reorg cost=%.1f switches=%lld\n",
-              oreo.total_query_cost(), oreo.total_reorg_cost(),
-              static_cast<long long>(oreo.num_switches()));
+              oreo->total_query_cost(), oreo->total_reorg_cost(),
+              static_cast<long long>(oreo->num_switches()));
   std::printf("\nLive state space at the end:\n");
-  for (int id : oreo.registry().live()) {
+  for (int id : oreo->core(0).registry().live()) {
     std::printf("  [%d] %s (%zu partitions)\n", id,
-                oreo.registry().Get(id).name().c_str(),
-                oreo.registry().Get(id).partitioning().num_partitions());
+                oreo->core(0).registry().Get(id).name().c_str(),
+                oreo->core(0).registry().Get(id).partitioning().num_partitions());
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 // Run: ./build/examples/multi_table
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/oreo.h"
 #include "layout/qdtree_layout.h"
 #include "workloads/dataset.h"
@@ -45,12 +46,12 @@ int main() {
   QdTreeGenerator gen_fact, gen_dim;
   core::OreoOptions opts;
   opts.target_partitions = 20;
-  core::Oreo oreo_fact(&fact.table, &gen_fact, fact.time_column, opts);
+  auto oreo_fact = core::MakeEngine(&fact.table, &gen_fact, fact.time_column, opts);
   core::OreoOptions dim_opts = opts;
   dim_opts.target_partitions = 8;
   dim_opts.alpha = 20.0;  // the dimension table is cheaper to rewrite
   // Default layout for the dimension table: sort by retention_days (col 2).
-  core::Oreo oreo_dim(&dim, &gen_dim, 2, dim_opts);
+  auto oreo_dim = core::MakeEngine(&dim, &gen_dim, 2, dim_opts);
 
   // Workload: joins "fact JOIN dim ON collector" filtered by time + team.
   // The team filter applies to dim; the collector filter it induces applies
@@ -69,7 +70,7 @@ int main() {
     Query dim_q;
     dim_q.id = i;
     dim_q.conjuncts = {Predicate::Eq(1, Value(team))};
-    if (oreo_dim.Step(dim_q).reorganized) ++dim_reorgs;
+    if (oreo_dim->Step(dim_q).reorganized) ++dim_reorgs;
 
     // Join-induced predicate: the collectors owned by the team — modeled as
     // an IN-list over a few collector names (what a data-induced predicate
@@ -85,17 +86,17 @@ int main() {
     fact_q.conjuncts = {
         Predicate::In(1, collectors),
         Predicate::Between(0, Value(t0), Value(t0 + 24 * 3600))};
-    if (oreo_fact.Step(fact_q).reorganized) ++fact_reorgs;
+    if (oreo_fact->Step(fact_q).reorganized) ++fact_reorgs;
   }
 
   std::printf("Fact table:      query cost=%8.1f reorg cost=%7.1f (%d reorgs, "
               "%zu live layouts)\n",
-              oreo_fact.total_query_cost(), oreo_fact.total_reorg_cost(),
-              fact_reorgs, oreo_fact.registry().num_live());
+              oreo_fact->total_query_cost(), oreo_fact->total_reorg_cost(),
+              fact_reorgs, oreo_fact->core(0).registry().num_live());
   std::printf("Dimension table: query cost=%8.1f reorg cost=%7.1f (%d reorgs, "
               "%zu live layouts)\n",
-              oreo_dim.total_query_cost(), oreo_dim.total_reorg_cost(),
-              dim_reorgs, oreo_dim.registry().num_live());
+              oreo_dim->total_query_cost(), oreo_dim->total_reorg_cost(),
+              dim_reorgs, oreo_dim->core(0).registry().num_live());
   std::printf("\nEach table adapts independently; the join-induced collector "
               "predicates let the\nfact table cluster by collector while the "
               "dimension table clusters by team\n(paper SVIII: multi-table "

@@ -6,6 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/oreo.h"
 #include "core/simulator.h"
 #include "layout/qdtree_layout.h"
@@ -25,20 +26,23 @@ int main() {
   wopts.seed = 3;
   workloads::Workload wl = workloads::GenerateWorkload(ds.templates, wopts);
 
-  // 3. OREO with Qd-tree as the layout-generation mechanism.
+  // 3. OREO with Qd-tree as the layout-generation mechanism, through the
+  //    unified engine factory. (This walkthrough reads per-step layout
+  //    names from the unsharded core's registry; see sharded_quickstart /
+  //    backend_quickstart for the num_shards and storage_backend knobs.)
   QdTreeGenerator generator;
   core::OreoOptions opts;
   opts.alpha = 80.0;
   opts.target_partitions = 24;
-  core::Oreo oreo(&ds.table, &generator, ds.time_column, opts);
+  auto oreo = core::MakeEngine(&ds.table, &generator, ds.time_column, opts);
 
   // Stream the queries through the framework.
   for (const Query& q : wl.queries) {
-    core::Oreo::StepResult step = oreo.Step(q);
+    core::OreoEngine::StepResult step = oreo->Step(q);
     if (step.reorganized) {
       std::printf("  query %5lld: reorganize -> %s\n",
                   static_cast<long long>(q.id),
-                  oreo.registry().Get(step.state).name().c_str());
+                  oreo->core(0).registry().Get(step.state).name().c_str());
     }
   }
 
@@ -62,12 +66,12 @@ int main() {
       &static_strategy, nullptr, &static_registry, wl.queries, sim);
 
   // 5. Report.
-  double oreo_total = oreo.total_query_cost() + oreo.total_reorg_cost();
+  double oreo_total = oreo->total_cost();
   std::printf("\n%-22s %12s %12s %12s %10s\n", "method", "query_cost",
               "reorg_cost", "total", "switches");
   std::printf("%-22s %12.1f %12.1f %12.1f %10lld\n", "oreo",
-              oreo.total_query_cost(), oreo.total_reorg_cost(), oreo_total,
-              static_cast<long long>(oreo.num_switches()));
+              oreo->total_query_cost(), oreo->total_reorg_cost(), oreo_total,
+              static_cast<long long>(oreo->num_switches()));
   std::printf("%-22s %12.1f %12.1f %12.1f %10d\n", "static (whole workload)",
               static_result.query_cost, static_result.reorg_cost,
               static_result.total_cost(), 0);

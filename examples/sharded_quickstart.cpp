@@ -12,7 +12,8 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/sharded_oreo.h"
+#include "core/engine.h"
+#include "core/oreo.h"
 #include "layout/qdtree_layout.h"
 #include "workloads/dataset.h"
 #include "workloads/workload_gen.h"
@@ -31,16 +32,17 @@ int main() {
   workloads::Workload wl = workloads::GenerateWorkload(ds.templates, wopts);
 
   // 3. OREO sharded 4 ways on the time column (range routing), one engine
-  //    per shard. The same OreoOptions knobs drive every shard; shard
-  //    engines derive their own seeds.
+  //    per shard, behind the unified MakeEngine handle. The same
+  //    OreoOptions knobs drive every shard; shard engines derive their own
+  //    seeds. (Set num_shards = 1 and this very code runs the unsharded
+  //    engine; set opts.storage_backend and the bytes move off disk.)
   QdTreeGenerator generator;
   core::OreoOptions opts;
   opts.alpha = 80.0;
   opts.target_partitions = 12;  // per shard
   opts.num_shards = 4;
   opts.shard_routing = ShardRouting::kRange;
-  core::ShardedOreo oreo(&ds.table, &generator, ds.time_column, opts);
-  std::printf("router: %s\n\n", oreo.router().Serialize().c_str());
+  auto oreo = core::MakeEngine(&ds.table, &generator, ds.time_column, opts);
 
   // 4. Physical stores, one directory per shard, plus a shared background
   //    pool that reorganizes shards concurrently (still at most one rewrite
@@ -49,7 +51,7 @@ int main() {
       (std::filesystem::temp_directory_path() / "oreo_sharded_quickstart")
           .string();
   std::filesystem::remove_all(dir);
-  Status attached = oreo.AttachPhysical(dir);
+  Status attached = oreo->AttachPhysical(dir);
   if (!attached.ok()) {
     std::printf("AttachPhysical failed: %s\n", attached.ToString().c_str());
     return 1;
@@ -61,36 +63,32 @@ int main() {
   uint64_t matches = 0;
   size_t rewrites = 0;
   for (const QueryBatch& batch : MakeBatches(wl.queries, /*batch_size=*/64)) {
-    oreo.RunBatch(batch);
-    auto exec = oreo.ExecuteBatchPhysical(batch.queries);
+    oreo->RunBatch(batch);
+    auto exec = oreo->ExecuteBatchPhysical(batch.queries);
     if (!exec.ok()) {
       std::printf("batch failed: %s\n", exec.status().ToString().c_str());
       return 1;
     }
     for (const auto& per_query : exec->per_query) matches += per_query.matches;
-    rewrites += oreo.SyncPhysical();
+    rewrites += oreo->SyncPhysical();
   }
-  oreo.WaitForReorgs();
+  oreo->WaitForReorgs();
 
-  // 6. Report per-shard engines and merged accounting.
-  std::printf("%-8s %10s %12s %12s %10s %12s\n", "shard", "rows",
-              "query_cost", "reorg_cost", "switches", "live_states");
-  for (size_t s = 0; s < oreo.num_shards(); ++s) {
-    const core::Oreo& engine = oreo.engine(s).oreo();
-    std::printf("%-8zu %10zu %12.1f %12.1f %10lld %12zu\n", s,
-                oreo.engine(s).table().num_rows(), engine.total_query_cost(),
-                engine.total_reorg_cost(),
-                static_cast<long long>(engine.num_switches()),
-                engine.registry().num_live());
+  // 6. Report per-shard cores and merged accounting.
+  std::printf("%-8s %12s %12s %10s %12s\n", "shard", "query_cost",
+              "reorg_cost", "switches", "live_states");
+  for (size_t s = 0; s < oreo->num_shards(); ++s) {
+    const core::Oreo& shard_core = oreo->core(s);
+    std::printf("%-8zu %12.1f %12.1f %10lld %12zu\n", s,
+                shard_core.total_query_cost(), shard_core.total_reorg_cost(),
+                static_cast<long long>(shard_core.num_switches()),
+                shard_core.registry().num_live());
   }
   std::printf("\nmerged (row-weighted): query_cost=%.1f reorg_cost=%.1f "
               "switches=%lld\n",
-              oreo.total_query_cost(), oreo.total_reorg_cost(),
-              static_cast<long long>(oreo.num_switches()));
-  std::printf("background rewrites: %zu submitted, max %zu concurrent, "
-              "%lld completed\n",
-              rewrites, oreo.reorg_pool()->max_concurrent_observed(),
-              static_cast<long long>(oreo.reorg_pool()->stats().completed));
+              oreo->total_query_cost(), oreo->total_reorg_cost(),
+              static_cast<long long>(oreo->num_switches()));
+  std::printf("background rewrites submitted: %zu\n", rewrites);
   std::printf("total matches streamed: %llu\n",
               static_cast<unsigned long long>(matches));
   std::filesystem::remove_all(dir);

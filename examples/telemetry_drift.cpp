@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "core/engine.h"
 #include "core/oreo.h"
 #include "layout/qdtree_layout.h"
 #include "workloads/dataset.h"
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
   QdTreeGenerator generator;
   core::OreoOptions opts;  // paper defaults: alpha=80, eps=0.08, gamma=1
   opts.target_partitions = 24;
-  core::Oreo oreo(&ds.table, &generator, ds.time_column, opts);
+  auto oreo = core::MakeEngine(&ds.table, &generator, ds.time_column, opts);
 
   std::printf("Streaming %zu queries through OREO (alpha=%.0f)...\n\n",
               wl.queries.size(), opts.alpha);
@@ -54,14 +55,14 @@ int main(int argc, char** argv) {
                       .name.c_str());
       ++next_segment;
     }
-    core::Oreo::StepResult step = oreo.Step(q);
+    core::OreoEngine::StepResult step = oreo->Step(q);
     window_cost += step.query_cost;
     ++window_n;
     if (step.reorganized) {
       std::printf("%-9lld %-18s now on '%s' (%zu live layouts)\n",
                   static_cast<long long>(q.id), "REORGANIZE",
-                  oreo.registry().Get(step.state).name().c_str(),
-                  oreo.registry().num_live());
+                  oreo->core(0).registry().Get(step.state).name().c_str(),
+                  oreo->core(0).registry().num_live());
     }
     if (window_n == 2000) {
       std::printf("%-9lld %-18s mean fraction scanned = %.3f\n",
@@ -74,12 +75,12 @@ int main(int argc, char** argv) {
 
   std::printf("\nTotals: query cost = %.1f, reorg cost = %.1f (%lld switches), "
               "combined = %.1f\n",
-              oreo.total_query_cost(), oreo.total_reorg_cost(),
-              static_cast<long long>(oreo.num_switches()),
-              oreo.total_query_cost() + oreo.total_reorg_cost());
+              oreo->total_query_cost(), oreo->total_reorg_cost(),
+              static_cast<long long>(oreo->num_switches()),
+              oreo->total_cost());
   std::printf("Candidate layouts generated: %zu admitted, %zu rejected by the "
               "epsilon-distance test\n",
-              oreo.manager().candidates_admitted(),
-              oreo.manager().candidates_rejected());
+              oreo->core(0).manager().candidates_admitted(),
+              oreo->core(0).manager().candidates_rejected());
   return 0;
 }

@@ -7,6 +7,7 @@
 // Run: ./build/examples/warehouse_comparison
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/oreo.h"
 #include "core/simulator.h"
 #include "core/strategy.h"
@@ -66,9 +67,9 @@ int main() {
   SimResult r_static = core::RunSimulation(&static_strategy, nullptr,
                                            &static_reg, wl.queries, sim);
 
-  // --- OREO. ---
-  core::Oreo oreo(&ds.table, &gen, ds.time_column, opts);
-  SimResult r_oreo = oreo.Run(wl.queries);
+  // --- OREO (through the unified engine factory). ---
+  auto oreo = core::MakeEngine(&ds.table, &gen, ds.time_column, opts);
+  SimResult r_oreo = oreo->RunTrace(wl.queries).shards.front();
 
   // --- Greedy & Regret (same candidate pipeline as OREO). ---
   auto with_manager = [&](auto make) {

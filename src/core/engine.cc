@@ -1,0 +1,20 @@
+#include "core/engine.h"
+
+#include "core/oreo.h"
+#include "core/sharded_oreo.h"
+
+namespace oreo {
+namespace core {
+
+std::unique_ptr<OreoEngine> MakeEngine(const Table* table,
+                                       const LayoutGenerator* generator,
+                                       int time_column,
+                                       const OreoOptions& options) {
+  if (options.num_shards <= 1) {
+    return std::make_unique<Oreo>(table, generator, time_column, options);
+  }
+  return std::make_unique<ShardedOreo>(table, generator, time_column, options);
+}
+
+}  // namespace core
+}  // namespace oreo

@@ -1,0 +1,152 @@
+// The unified client handle: one abstract interface over the unsharded
+// `Oreo` engine and the `ShardedOreo` routing facade, so tests, benches,
+// examples and replay drive any (sharding x storage backend) combination
+// through the same code.
+//
+//   core::OreoOptions opts;
+//   opts.num_shards = 4;                       // 1 = the unsharded engine
+//   opts.storage_backend = MakeInMemoryBackend();  // null = posix files
+//   auto engine = core::MakeEngine(&table, &generator, time_column, opts);
+//   engine->AttachPhysical(dir);
+//   for (const QueryBatch& b : MakeBatches(stream, 64)) {
+//     engine->RunBatch(b);                     // logical decisions
+//     engine->ExecuteBatchPhysical(b.queries); // scans against snapshots
+//     engine->SyncPhysical();                  // adopt/submit bg rewrites
+//   }
+//   engine->WaitForReorgs();
+//
+// Determinism contract (pinned by tests/backend_equivalence_test.cc): for a
+// fixed seed and workload, costs, switch decisions, decision traces, scan
+// counters and materialized partition bytes are identical across storage
+// backends, thread counts and batch sizes; only wall-clock seconds vary.
+#ifndef OREO_CORE_ENGINE_H_
+#define OREO_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/physical.h"
+#include "core/simulator.h"
+#include "query/query.h"
+
+namespace oreo {
+namespace core {
+
+class Oreo;
+struct OreoOptions;
+
+/// Per-engine traces plus merged accounting from OreoEngine::RunTrace.
+/// The unsharded engine fills exactly one slot (the whole stream).
+struct EngineSimResult {
+  /// Per-shard simulation results, in shard-local (unweighted) units —
+  /// feed these to the per-shard competitive-ratio machinery.
+  std::vector<SimResult> shards;
+  /// The sub-stream each shard observed, in stream order.
+  std::vector<std::vector<Query>> shard_streams;
+  /// Row-weighted merged accounting (1 shard: equals the SimResult totals).
+  double query_cost = 0.0;
+  double reorg_cost = 0.0;
+  int64_t num_switches = 0;
+  double total_cost() const { return query_cost + reorg_cost; }
+};
+
+/// Online data-layout reorganization behind one handle, logical and
+/// physical. Implemented by `Oreo` (num_shards == 1) and `ShardedOreo`.
+class OreoEngine {
+ public:
+  virtual ~OreoEngine() = default;
+
+  /// Outcome of one streamed query, merged across whatever served it.
+  struct StepResult {
+    int state;          ///< serving layout (single-engine step; the sharded
+                        ///< facade reports -1 when several shards served)
+    bool reorganized;   ///< a reorganization was initiated on this query
+    double query_cost;  ///< c(state, q), row-weighted when sharded
+  };
+
+  /// Outcome of one batched step: per-query results in stream order plus
+  /// the batch's cost/switch totals.
+  struct BatchResult {
+    std::vector<StepResult> steps;
+    double query_cost = 0.0;   ///< sum of per-query costs in this batch
+    int64_t num_switches = 0;  ///< queries that initiated a reorganization
+  };
+
+  /// Streaming API: observe one query, get the serving layout and any
+  /// reorganization decision.
+  virtual StepResult Step(const Query& query) = 0;
+
+  /// Batched streaming API; decisions are made in stream order, so results
+  /// are bit-identical to calling Step per query.
+  virtual BatchResult RunBatch(const QueryBatch& batch) = 0;
+
+  /// Convenience API: run a whole stream and return per-engine traces plus
+  /// merged accounting. Intended for a fresh instance.
+  virtual EngineSimResult RunTrace(const std::vector<Query>& queries,
+                                   bool record_trace = false) = 0;
+
+  // --- accounting ---------------------------------------------------------
+
+  virtual double total_query_cost() const = 0;
+  virtual double total_reorg_cost() const = 0;
+  virtual int64_t num_switches() const = 0;
+  double total_cost() const { return total_query_cost() + total_reorg_cost(); }
+
+  // --- trace / introspection ----------------------------------------------
+
+  /// Number of independent per-shard engines (1 for the unsharded engine).
+  virtual size_t num_shards() const = 0;
+
+  /// The shard's logical core — registry, manager, strategy and trace
+  /// accessors live there. `shard` must be < num_shards().
+  virtual Oreo& core(size_t shard) = 0;
+  virtual const Oreo& core(size_t shard) const = 0;
+
+  // --- physical execution -------------------------------------------------
+
+  /// Creates the engine's on-disk (or in-memory, per
+  /// OreoOptions::storage_backend) stores under `base_dir`, materializes the
+  /// current layout(s), and starts the background rewrite machinery.
+  virtual Status AttachPhysical(const std::string& base_dir,
+                                size_t store_threads = 1,
+                                size_t reorg_workers = 0) = 0;
+  virtual bool has_physical() const = 0;
+
+  /// The shard's store (nullptr before AttachPhysical).
+  virtual PhysicalStore* store(size_t shard) = 0;
+
+  /// Executes a batch against the pinned snapshot(s): per-query counters in
+  /// stream order, layout- and thread-count-invariant.
+  virtual Result<PhysicalStore::BatchExec> ExecuteBatchPhysical(
+      const std::vector<Query>& queries) = 0;
+
+  /// Batch-boundary reconciliation: adopts finished background rewrites and
+  /// submits newly needed ones. Returns the number of rewrites submitted.
+  virtual size_t SyncPhysical() = 0;
+
+  /// Blocks until no rewrite is queued or running, then reconciles.
+  virtual void WaitForReorgs() = 0;
+
+  /// Replays a recorded decision trace physically into `dir` (one
+  /// subdirectory per shard when sharded), through the engine's storage
+  /// backend. `sim` must come from RunTrace(..., record_trace=true) on this
+  /// engine. Counters are bit-identical at any `num_threads`/`batch_size`.
+  virtual Result<PhysicalReplayResult> ReplayTrace(
+      const EngineSimResult& sim, size_t stride, const std::string& dir,
+      size_t num_threads = 0, size_t batch_size = 1) const = 0;
+};
+
+/// Builds the engine `options` describe: `num_shards == 1` yields the plain
+/// `Oreo` core, anything larger the `ShardedOreo` routing facade. `table`
+/// and `generator` must outlive the returned engine.
+std::unique_ptr<OreoEngine> MakeEngine(const Table* table,
+                                       const LayoutGenerator* generator,
+                                       int time_column,
+                                       const OreoOptions& options);
+
+}  // namespace core
+}  // namespace oreo
+
+#endif  // OREO_CORE_ENGINE_H_

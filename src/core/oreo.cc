@@ -37,7 +37,7 @@ mts::DumtsOptions ToDumtsOptions(const OreoOptions& o) {
 
 Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
            int time_column, const OreoOptions& options)
-    : options_(options) {
+    : options_(options), table_(table) {
   manager_ = std::make_unique<LayoutManager>(table, generator, &registry_,
                                              ToManagerOptions(options));
   default_state_ = manager_->InitDefaultState(time_column);
@@ -46,6 +46,8 @@ Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
                                              options.mid_phase_policy);
   physical_state_ = default_state_;
 }
+
+Oreo::~Oreo() = default;
 
 Oreo::StepResult Oreo::Step(const Query& query) {
   std::vector<ManagerEvent> events =
@@ -97,6 +99,112 @@ SimResult Oreo::Run(const std::vector<Query>& queries, bool record_trace) {
   reorg_cost_ += result.reorg_cost;
   num_switches_ += result.num_switches;
   return result;
+}
+
+EngineSimResult Oreo::RunTrace(const std::vector<Query>& queries,
+                               bool record_trace) {
+  EngineSimResult result;
+  result.shards.push_back(Run(queries, record_trace));
+  // The stream copy only exists to feed ReplayTrace, which needs the
+  // recorded trace anyway; without one, skip duplicating the queries.
+  result.shard_streams.push_back(record_trace ? queries
+                                              : std::vector<Query>{});
+  result.query_cost = result.shards.front().query_cost;
+  result.reorg_cost = result.shards.front().reorg_cost;
+  result.num_switches = result.shards.front().num_switches;
+  return result;
+}
+
+Oreo& Oreo::core(size_t shard) {
+  OREO_CHECK_EQ(shard, 0u) << "the unsharded engine has exactly one core";
+  return *this;
+}
+
+const Oreo& Oreo::core(size_t shard) const {
+  OREO_CHECK_EQ(shard, 0u) << "the unsharded engine has exactly one core";
+  return *this;
+}
+
+PhysicalStore* Oreo::store(size_t shard) {
+  OREO_CHECK_EQ(shard, 0u) << "the unsharded engine has exactly one store";
+  return store_.get();
+}
+
+Status Oreo::AttachPhysical(const std::string& base_dir, size_t store_threads,
+                            size_t reorg_workers) {
+  OREO_CHECK(store_ == nullptr) << "physical layer already attached";
+  (void)reorg_workers;  // one store: a single rewriter is the ceiling anyway
+  store_ = std::make_unique<PhysicalStore>(base_dir, store_threads,
+                                           options_.storage_backend);
+  Result<PhysicalStore::Timing> timing =
+      store_->MaterializeLayout(*table_, registry_.Get(physical_state_));
+  if (!timing.ok()) {
+    store_.reset();
+    return timing.status();
+  }
+  materialized_state_ = physical_state_;
+  pending_target_.reset();
+  failed_target_.reset();
+  snapshot_ = store_->GetSnapshot();
+  reorganizer_ = std::make_unique<BackgroundReorganizer>(store_.get(), table_);
+  return Status::OK();
+}
+
+Result<PhysicalStore::BatchExec> Oreo::ExecuteBatchPhysical(
+    const std::vector<Query>& queries) {
+  OREO_CHECK(store_ != nullptr) << "call AttachPhysical first";
+  return store_->ExecuteQueryBatchOnSnapshot(snapshot_, queries);
+}
+
+size_t Oreo::SyncPhysical() {
+  OREO_CHECK(store_ != nullptr) << "call AttachPhysical first";
+  // Mirrors ShardedOreo::SyncPhysical for a single store: a still-running
+  // rewrite keeps serving from the pinned snapshot.
+  if (reorganizer_->busy()) return 0;
+  if (pending_target_.has_value()) {
+    if (reorganizer_->last_status().ok()) {
+      materialized_state_ = *pending_target_;
+      failed_target_.reset();
+    } else {
+      // Not resubmitted until the desired state moves on, so reconciliation
+      // terminates and last_status() keeps reporting the failure.
+      failed_target_ = pending_target_;
+    }
+    pending_target_.reset();
+    snapshot_ = store_->GetSnapshot();
+    store_->Vacuum();
+  }
+  const int desired = physical_state_;
+  if (desired != materialized_state_ &&
+      failed_target_ != std::optional<int>(desired)) {
+    if (reorganizer_->Submit(&registry_.Get(desired))) {
+      pending_target_ = desired;
+      return 1;
+    }
+  }
+  return 0;
+}
+
+void Oreo::WaitForReorgs() {
+  OREO_CHECK(store_ != nullptr) << "call AttachPhysical first";
+  // Reconciliation can queue a follow-up rewrite (the logical state may have
+  // moved again mid-rewrite); loop until the store is quiescent.
+  for (;;) {
+    reorganizer_->Wait();
+    if (SyncPhysical() == 0) break;
+  }
+}
+
+Result<PhysicalReplayResult> Oreo::ReplayTrace(const EngineSimResult& sim,
+                                               size_t stride,
+                                               const std::string& dir,
+                                               size_t num_threads,
+                                               size_t batch_size) const {
+  OREO_CHECK_EQ(sim.shards.size(), 1u) << "sim does not match this engine";
+  OREO_CHECK_EQ(sim.shard_streams.size(), 1u);
+  return ReplayPhysical(*table_, registry_, sim.shards.front(),
+                        sim.shard_streams.front(), stride, dir, num_threads,
+                        batch_size, options_.storage_backend);
 }
 
 }  // namespace core

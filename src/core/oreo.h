@@ -22,11 +22,15 @@
 #define OREO_CORE_OREO_H_
 
 #include <memory>
+#include <optional>
 
+#include "core/background.h"
+#include "core/engine.h"
 #include "core/layout_manager.h"
 #include "core/simulator.h"
 #include "core/state_registry.h"
 #include "core/strategy.h"
+#include "storage/backend.h"
 #include "storage/shard_router.h"
 
 namespace oreo {
@@ -68,39 +72,34 @@ struct OreoOptions {
   int shard_column = -1;
   /// Row→shard routing function (see storage/shard_router.h).
   ShardRouting shard_routing = ShardRouting::kHash;
+  /// Physical byte store for AttachPhysical / replay (see
+  /// storage/backend.h): nullptr = local posix files; MakeInMemoryBackend()
+  /// serves disklessly; MakeCachedBackend(...) adds a bounded block cache
+  /// with read coalescing. The determinism contract extends to backends:
+  /// costs, switches, traces and partition bytes are backend-invariant.
+  std::shared_ptr<StorageBackend> storage_backend;
   uint64_t seed = 42;  ///< master seed; sub-components derive their own
 };
 
-/// Online data-layout reorganization with worst-case guarantees.
+/// Online data-layout reorganization with worst-case guarantees — the
+/// unsharded engine behind the OreoEngine interface.
 ///
-/// The facade is *logical*: it tracks layout states, costs and switch
-/// decisions. Pair it with PhysicalStore (+ BackgroundReorganizer) to
-/// execute the decisions against partition files on disk.
-class Oreo {
+/// The logical layer tracks layout states, costs and switch decisions.
+/// AttachPhysical adds a PhysicalStore (through
+/// OreoOptions::storage_backend) plus a single background rewriter, so
+/// ExecuteBatchPhysical / SyncPhysical / WaitForReorgs mirror the sharded
+/// facade's batch loop on one store.
+class Oreo : public OreoEngine {
  public:
   /// `table` and `generator` must outlive this object. `time_column` defines
   /// the initial default layout (sort by arrival time).
   Oreo(const Table* table, const LayoutGenerator* generator, int time_column,
        const OreoOptions& options);
-
-  /// Outcome of one streamed query.
-  struct StepResult {
-    int state;              ///< layout that (physically) serves this query
-    bool reorganized;       ///< a reorganization was initiated on this query
-    double query_cost;      ///< c(state, q)
-  };
+  ~Oreo() override;
 
   /// Streaming API: observe one query, get the serving layout and any
   /// reorganization decision.
-  StepResult Step(const Query& query);
-
-  /// Outcome of one batched step: per-query results in stream order plus
-  /// the batch's cost/switch totals.
-  struct BatchResult {
-    std::vector<StepResult> steps;
-    double query_cost = 0.0;   ///< sum of per-query costs in this batch
-    int64_t num_switches = 0;  ///< queries that initiated a reorganization
-  };
+  StepResult Step(const Query& query) override;
 
   /// Batched streaming API: admits a vector of queries in one step. The
   /// online algorithm is inherently sequential (every arrival updates the
@@ -110,11 +109,52 @@ class Oreo {
   /// dispatch and hands the caller per-batch switch points, so physical
   /// execution can group each batch's queries by serving state and fan them
   /// out through PhysicalStore::ExecuteQueryBatch.
-  BatchResult RunBatch(const QueryBatch& batch);
+  BatchResult RunBatch(const QueryBatch& batch) override;
 
   /// Convenience API: run a whole stream through the framework and return
   /// the cost accounting. Resets nothing; intended for a fresh instance.
   SimResult Run(const std::vector<Query>& queries, bool record_trace = false);
+
+  /// OreoEngine trace API: Run wrapped into the one-shard result shape.
+  EngineSimResult RunTrace(const std::vector<Query>& queries,
+                           bool record_trace = false) override;
+
+  // --- physical execution (see OreoEngine) --------------------------------
+
+  /// Creates the store under `base_dir`, materializes the current layout and
+  /// starts one background rewriter. `reorg_workers` is accepted for
+  /// interface parity; a single store keeps the paper's one-background-
+  /// process contract regardless.
+  Status AttachPhysical(const std::string& base_dir, size_t store_threads = 1,
+                        size_t reorg_workers = 0) override;
+  bool has_physical() const override { return store_ != nullptr; }
+  PhysicalStore* store(size_t shard = 0) override;
+
+  /// Executes a batch against the pinned snapshot (refreshed only at
+  /// SyncPhysical, never mid-batch, so in-flight rewrites cannot tear it).
+  Result<PhysicalStore::BatchExec> ExecuteBatchPhysical(
+      const std::vector<Query>& queries) override;
+
+  /// Batch-boundary reconciliation: adopts a finished background rewrite
+  /// (refresh snapshot, vacuum superseded files) and submits one when the
+  /// logical serving layout moved ahead of the materialized one. A target
+  /// that failed is not resubmitted until the desired state moves on.
+  size_t SyncPhysical() override;
+  void WaitForReorgs() override;
+
+  Result<PhysicalReplayResult> ReplayTrace(const EngineSimResult& sim,
+                                           size_t stride,
+                                           const std::string& dir,
+                                           size_t num_threads = 0,
+                                           size_t batch_size = 1)
+      const override;
+
+  // --- introspection ------------------------------------------------------
+
+  size_t num_shards() const override { return 1; }
+  Oreo& core(size_t shard = 0) override;
+  const Oreo& core(size_t shard = 0) const override;
+  const OreoOptions& options() const { return options_; }
 
   const StateRegistry& registry() const { return registry_; }
   const LayoutManager& manager() const { return *manager_; }
@@ -125,12 +165,13 @@ class Oreo {
   /// by `reorg_delay` queries after a switch decision).
   int physical_state() const { return physical_state_; }
 
-  double total_query_cost() const { return query_cost_; }
-  double total_reorg_cost() const { return reorg_cost_; }
-  int64_t num_switches() const { return num_switches_; }
+  double total_query_cost() const override { return query_cost_; }
+  double total_reorg_cost() const override { return reorg_cost_; }
+  int64_t num_switches() const override { return num_switches_; }
 
  private:
   OreoOptions options_;
+  const Table* table_;  // not owned
   StateRegistry registry_;
   std::unique_ptr<LayoutManager> manager_;
   std::unique_ptr<OreoStrategy> strategy_;
@@ -141,6 +182,16 @@ class Oreo {
   double query_cost_ = 0.0;
   double reorg_cost_ = 0.0;
   int64_t num_switches_ = 0;
+
+  // Physical mode (null until AttachPhysical). The reorganizer is declared
+  // after the store: its in-flight callback touches the store and must be
+  // destroyed (joined) first.
+  std::unique_ptr<PhysicalStore> store_;
+  PhysicalStore::Snapshot snapshot_;
+  int materialized_state_ = -1;
+  std::optional<int> pending_target_;
+  std::optional<int> failed_target_;
+  std::unique_ptr<BackgroundReorganizer> reorganizer_;
 };
 
 }  // namespace core

@@ -1,6 +1,5 @@
 #include "core/physical.h"
 
-#include <filesystem>
 #include <set>
 
 #include "common/logging.h"
@@ -9,8 +8,6 @@
 
 namespace oreo {
 namespace core {
-
-namespace fs = std::filesystem;
 
 namespace {
 
@@ -25,11 +22,13 @@ Status FirstError(const std::vector<Status>& statuses) {
 
 }  // namespace
 
-PhysicalStore::PhysicalStore(std::string dir, size_t num_threads)
-    : dir_(std::move(dir)), pool_(std::make_unique<ThreadPool>(num_threads)) {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  OREO_CHECK(!ec) << "cannot create " << dir_ << ": " << ec.message();
+PhysicalStore::PhysicalStore(std::string dir, size_t num_threads,
+                             std::shared_ptr<StorageBackend> backend)
+    : dir_(std::move(dir)),
+      backend_(backend != nullptr ? std::move(backend) : MakePosixBackend()),
+      pool_(std::make_unique<ThreadPool>(num_threads)) {
+  Status st = backend_->CreateDir(dir_);
+  OREO_CHECK(st.ok()) << st.ToString();
 }
 
 std::string PhysicalStore::PartitionPath(size_t epoch, size_t pid) const {
@@ -39,8 +38,7 @@ std::string PhysicalStore::PartitionPath(size_t epoch, size_t pid) const {
 
 void PhysicalStore::DeleteCurrentFiles() {
   for (const std::string& f : files_) {
-    std::error_code ec;
-    fs::remove(f, ec);
+    backend_->Remove(f);  // best-effort
   }
   files_.clear();
   file_bytes_.clear();
@@ -66,12 +64,26 @@ Result<PhysicalStore::Timing> PhysicalStore::MaterializeLayout(
   pool_->ParallelFor(n, [&](size_t pid) {
     Table part = table.Take(parts.partitions[pid]);
     std::string path = PartitionPath(epoch, pid);
-    statuses[pid] = WriteBlockFile(path, part, /*sync=*/true);
-    if (!statuses[pid].ok()) return;
+    Result<uint64_t> bytes =
+        WriteBlockTo(backend_.get(), path, part, /*sync=*/true);
+    if (!bytes.ok()) {
+      statuses[pid] = bytes.status();
+      return;
+    }
     new_files[pid] = path;
-    new_bytes[pid] = fs::file_size(path);
+    new_bytes[pid] = *bytes;
   });
-  OREO_RETURN_NOT_OK(FirstError(statuses));
+  {
+    // Partial-write cleanup: a failed materialization must not leave the
+    // successfully written sibling partitions behind as orphans.
+    Status first = FirstError(statuses);
+    if (!first.ok()) {
+      for (const std::string& f : new_files) {
+        if (!f.empty()) backend_->Remove(f);
+      }
+      return first;
+    }
+  }
   for (size_t pid = 0; pid < n; ++pid) {
     timing.bytes += new_bytes[pid];
     ++timing.partitions;
@@ -176,7 +188,8 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
     const Prepared& prep = prepared[items[i].qi];
     BlockReadOptions read_opts;
     if (!prep.projected.conjuncts.empty()) read_opts.columns = &prep.needed;
-    Result<Table> part = ReadBlockFile(snapshot.files[items[i].pid], read_opts);
+    Result<Table> part =
+        ReadBlockFrom(backend_.get(), snapshot.files[items[i].pid], read_opts);
     if (!part.ok()) {
       statuses[i] = part.status();
       return;
@@ -218,8 +231,7 @@ void PhysicalStore::Vacuum() {
     garbage_.clear();
   }
   for (const std::string& f : victims) {
-    std::error_code ec;
-    fs::remove(f, ec);
+    backend_->Remove(f);  // best-effort
   }
 }
 
@@ -255,7 +267,7 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
   std::vector<ShuffleResult> shuffled(source.files.size());
   pool_->ParallelFor(source.files.size(), [&](size_t src) {
     ShuffleResult& out = shuffled[src];
-    Result<Table> part = ReadBlockFile(source.files[src]);
+    Result<Table> part = ReadBlockFrom(backend_.get(), source.files[src]);
     if (!part.ok()) {
       out.status = part.status();
       return;
@@ -272,17 +284,29 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
       std::string path = dir_ + "/spill_e" + std::to_string(epoch) + "_s" +
                          std::to_string(src) + "_t" + std::to_string(tgt) +
                          ".blk";
-      out.status = WriteBlockFile(path, run, /*sync=*/false);
+      out.status =
+          WriteBlockTo(backend_.get(), path, run, /*sync=*/false).status();
       if (!out.status.ok()) return;
       out.runs.emplace_back(tgt, std::move(path));
     }
   });
+  // Partial-write cleanup on shuffle failure: drop every spill run written
+  // so far; the source layout is untouched and keeps serving.
   uint64_t rows_read = 0;
   std::vector<std::vector<std::string>> spills(raw_partitions);
-  for (ShuffleResult& s : shuffled) {
-    OREO_RETURN_NOT_OK(s.status);
-    rows_read += s.rows;
-    for (auto& [tgt, path] : s.runs) spills[tgt].push_back(std::move(path));
+  {
+    Status first;
+    for (ShuffleResult& s : shuffled) {
+      if (!s.status.ok() && first.ok()) first = s.status;
+      rows_read += s.rows;
+      for (auto& [tgt, path] : s.runs) spills[tgt].push_back(std::move(path));
+    }
+    if (!first.ok()) {
+      for (const auto& per_target : spills) {
+        for (const std::string& spill : per_target) backend_->Remove(spill);
+      }
+      return first;
+    }
   }
   OREO_CHECK_EQ(rows_read, table.num_rows());
 
@@ -306,7 +330,7 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
   pool_->ParallelFor(surviving.size(), [&](size_t pid) {
     Table merged(table.schema());
     for (const std::string& spill : spills[surviving[pid]]) {
-      Result<Table> run = ReadBlockFile(spill);
+      Result<Table> run = ReadBlockFrom(backend_.get(), spill);
       if (!run.ok()) {
         statuses[pid] = run.status();
         return;
@@ -317,16 +341,36 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
         << "shuffle row count diverged from the canonical partitioning";
     std::string path = PartitionPath(next_epoch, pid);
     // Durable write: the swap must not expose a layout that could vanish.
-    statuses[pid] = WriteBlockFile(path, merged, /*sync=*/true);
-    if (!statuses[pid].ok()) return;
+    Result<uint64_t> bytes =
+        WriteBlockTo(backend_.get(), path, merged, /*sync=*/true);
+    if (!bytes.ok()) {
+      statuses[pid] = bytes.status();
+      return;
+    }
     new_files[pid] = path;
-    new_bytes[pid] = fs::file_size(path);
+    new_bytes[pid] = *bytes;
     for (const std::string& spill : spills[surviving[pid]]) {
-      std::error_code ec;
-      fs::remove(spill, ec);
+      backend_->Remove(spill);
     }
   });
-  OREO_RETURN_NOT_OK(FirstError(statuses));
+  {
+    // Partial-write cleanup on merge failure: remove the new-epoch files and
+    // every spill run that was not yet reclaimed; the source layout keeps
+    // serving untouched.
+    Status first = FirstError(statuses);
+    if (!first.ok()) {
+      for (size_t pid = 0; pid < surviving.size(); ++pid) {
+        if (!new_files[pid].empty()) {
+          backend_->Remove(new_files[pid]);
+        } else {
+          for (const std::string& spill : spills[surviving[pid]]) {
+            backend_->Remove(spill);
+          }
+        }
+      }
+      return first;
+    }
+  }
   for (size_t pid = 0; pid < new_files.size(); ++pid) {
     timing.bytes += new_bytes[pid];
     ++timing.partitions;
@@ -356,13 +400,14 @@ uint64_t PhysicalStore::MaterializedBytes() const {
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
     const std::vector<Query>& queries, size_t stride, const std::string& dir,
-    size_t num_threads, size_t batch_size) {
+    size_t num_threads, size_t batch_size,
+    std::shared_ptr<StorageBackend> backend) {
   OREO_CHECK_EQ(sim.serving_state.size(), queries.size())
       << "simulation must be run with record_trace=true";
   OREO_CHECK_GT(stride, 0u);
   OREO_CHECK_GT(batch_size, 0u);
   PhysicalReplayResult result;
-  PhysicalStore store(dir, num_threads);
+  PhysicalStore store(dir, num_threads, std::move(backend));
 
   // Sampled queries awaiting execution on the current layout; flushed when
   // full and before every reorganization, so every query runs against the

@@ -19,6 +19,7 @@
 #include "core/state_registry.h"
 #include "layout/layout.h"
 #include "query/query.h"
+#include "storage/backend.h"
 #include "storage/table.h"
 
 namespace oreo {
@@ -35,8 +36,13 @@ namespace core {
 /// order. Only the wall-clock `seconds` fields vary with the pool size.
 class PhysicalStore {
  public:
-  /// Files are created under `dir` (created if missing).
-  explicit PhysicalStore(std::string dir, size_t num_threads = 0);
+  /// Files are created under `dir` (created if missing) through `backend`
+  /// (nullptr = the process-wide posix backend). Failure contract: a
+  /// MaterializeLayout or Reorganize that returns non-OK has removed every
+  /// object it wrote (no torn or orphaned partition files) and left the
+  /// previously materialized layout fully readable.
+  explicit PhysicalStore(std::string dir, size_t num_threads = 0,
+                         std::shared_ptr<StorageBackend> backend = nullptr);
 
   /// Wall-clock result of a physical operation.
   struct Timing {
@@ -124,11 +130,16 @@ class PhysicalStore {
   /// Resolved worker count of the internal pool (>= 1).
   size_t num_threads() const { return pool_->num_threads(); }
 
+  /// The byte store partitions live in (never null).
+  StorageBackend* backend() const { return backend_.get(); }
+  const std::string& dir() const { return dir_; }
+
  private:
   std::string PartitionPath(size_t epoch, size_t pid) const;
   void DeleteCurrentFiles();
 
   std::string dir_;
+  std::shared_ptr<StorageBackend> backend_;
   std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex mu_;  // guards the members below
   const LayoutInstance* instance_ = nullptr;  // not owned
@@ -160,7 +171,8 @@ struct PhysicalReplayResult {
 Result<PhysicalReplayResult> ReplayPhysical(
     const Table& table, const StateRegistry& registry, const SimResult& sim,
     const std::vector<Query>& queries, size_t stride, const std::string& dir,
-    size_t num_threads = 0, size_t batch_size = 1);
+    size_t num_threads = 0, size_t batch_size = 1,
+    std::shared_ptr<StorageBackend> backend = nullptr);
 
 }  // namespace core
 }  // namespace oreo

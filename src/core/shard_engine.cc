@@ -16,7 +16,8 @@ Status ShardEngine::AttachPhysical(const std::string& dir,
                                    size_t num_threads) {
   OREO_CHECK(store_ == nullptr) << "shard " << shard_id_
                                 << " already has a physical store";
-  store_ = std::make_unique<PhysicalStore>(dir, num_threads);
+  store_ = std::make_unique<PhysicalStore>(dir, num_threads,
+                                           oreo_->options().storage_backend);
   const int current = oreo_->physical_state();
   Result<PhysicalStore::Timing> timing =
       store_->MaterializeLayout(table_, oreo_->registry().Get(current));

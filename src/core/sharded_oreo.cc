@@ -79,14 +79,15 @@ ShardedOreo::ShardedOreo(const Table* table, const LayoutGenerator* generator,
   pool_ = std::make_unique<ThreadPool>(options.num_threads);
 }
 
-ShardedOreo::StepResult ShardedOreo::Step(const Query& query) {
+ShardedOreo::ShardedStepResult ShardedOreo::StepSharded(const Query& query) {
   QueryBatch batch;
   batch.queries.push_back(query);
-  BatchResult result = RunBatch(batch);
+  ShardedBatchResult result = RunBatchSharded(batch);
   return std::move(result.steps.front());
 }
 
-ShardedOreo::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
+ShardedOreo::ShardedBatchResult ShardedOreo::RunBatchSharded(
+    const QueryBatch& batch) {
   const size_t n = engines_.size();
   // Serial routing in stream order: the per-shard sub-streams (and their
   // order) never depend on the pool.
@@ -105,11 +106,11 @@ ShardedOreo::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
     results[s] = engines_[s]->oreo().RunBatch(sub[s]);
   });
   // Serial merge in stream order; within a query, shards ascend.
-  BatchResult out;
+  ShardedBatchResult out;
   out.steps.reserve(batch.size());
   std::vector<size_t> cursor(n, 0);
   for (size_t qi = 0; qi < batch.size(); ++qi) {
-    StepResult step;
+    ShardedStepResult step;
     for (uint32_t s : touched[qi]) {
       const Oreo::StepResult& shard_step = results[s].steps[cursor[s]++];
       step.query_cost += weights_[s] * shard_step.query_cost;
@@ -119,6 +120,35 @@ ShardedOreo::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
     out.query_cost += step.query_cost;
     if (step.reorganized) ++out.num_switches;
     out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+namespace {
+
+// Flattens a detailed sharded step into the engine-level shape: the serving
+// state is only meaningful when exactly one shard served the query.
+OreoEngine::StepResult FlattenStep(
+    const ShardedOreo::ShardedStepResult& step) {
+  return OreoEngine::StepResult{
+      step.shard_steps.size() == 1 ? step.shard_steps.front().step.state : -1,
+      step.reorganized, step.query_cost};
+}
+
+}  // namespace
+
+OreoEngine::StepResult ShardedOreo::Step(const Query& query) {
+  return FlattenStep(StepSharded(query));
+}
+
+OreoEngine::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
+  ShardedBatchResult detailed = RunBatchSharded(batch);
+  BatchResult out;
+  out.query_cost = detailed.query_cost;
+  out.num_switches = detailed.num_switches;
+  out.steps.reserve(detailed.steps.size());
+  for (const ShardedStepResult& step : detailed.steps) {
+    out.steps.push_back(FlattenStep(step));
   }
   return out;
 }
@@ -284,9 +314,20 @@ int64_t ShardedOreo::num_switches() const {
   return total;
 }
 
+Result<PhysicalReplayResult> ShardedOreo::ReplayTrace(
+    const EngineSimResult& sim, size_t stride, const std::string& dir,
+    size_t num_threads, size_t batch_size) const {
+  // Every engine was built from the same options; shard 0's backend is the
+  // facade's backend.
+  return ShardedReplayPhysical(*this, sim, stride, dir, num_threads,
+                               batch_size,
+                               engine(0).oreo().options().storage_backend);
+}
+
 Result<PhysicalReplayResult> ShardedReplayPhysical(
     const ShardedOreo& oreo, const ShardedSimResult& sim, size_t stride,
-    const std::string& dir, size_t num_threads, size_t batch_size) {
+    const std::string& dir, size_t num_threads, size_t batch_size,
+    std::shared_ptr<StorageBackend> backend) {
   OREO_CHECK_EQ(sim.shards.size(), oreo.num_shards())
       << "sim does not match this ShardedOreo";
   OREO_CHECK_EQ(sim.shard_streams.size(), oreo.num_shards());
@@ -298,7 +339,7 @@ Result<PhysicalReplayResult> ShardedReplayPhysical(
         ReplayPhysical(engine.table(), engine.oreo().registry(),
                        sim.shards[s], sim.shard_streams[s], stride,
                        ShardDirName(dir, static_cast<uint32_t>(s)),
-                       num_threads, batch_size));
+                       num_threads, batch_size, backend));
     total.query_seconds += shard.query_seconds;
     total.reorg_seconds += shard.reorg_seconds;
     total.num_switches += shard.num_switches;

@@ -42,28 +42,20 @@
 
 #include "common/thread_pool.h"
 #include "core/background.h"
+#include "core/engine.h"
 #include "core/shard_engine.h"
 #include "storage/shard_router.h"
 
 namespace oreo {
 namespace core {
 
-/// Per-shard traces plus merged accounting from ShardedOreo::Run.
-struct ShardedSimResult {
-  /// Per-shard simulation results, in shard-local (unweighted) units —
-  /// feed these to the per-shard competitive-ratio machinery.
-  std::vector<SimResult> shards;
-  /// The sub-stream each shard observed, in stream order.
-  std::vector<std::vector<Query>> shard_streams;
-  /// Row-weighted merged accounting (1 shard: equals the SimResult totals).
-  double query_cost = 0.0;
-  double reorg_cost = 0.0;
-  int64_t num_switches = 0;
-  double total_cost() const { return query_cost + reorg_cost; }
-};
+/// Per-shard traces plus merged accounting from ShardedOreo::Run — the
+/// engine-level result shape (the unsharded engine fills one slot).
+using ShardedSimResult = EngineSimResult;
 
-/// Online data-layout reorganization over a horizontally sharded table.
-class ShardedOreo {
+/// Online data-layout reorganization over a horizontally sharded table,
+/// behind the OreoEngine interface.
+class ShardedOreo : public OreoEngine {
  public:
   /// `table` and `generator` must outlive this object. Shard engines are
   /// configured from `options` with per-shard derived seeds (shard 0 keeps
@@ -77,27 +69,33 @@ class ShardedOreo {
     Oreo::StepResult step;  ///< shard-local (unweighted) cost
   };
 
-  /// Merged outcome of one streamed query.
-  struct StepResult {
+  /// Merged outcome of one streamed query, with per-shard detail.
+  struct ShardedStepResult {
     double query_cost = 0.0;  ///< row-weighted across touched shards
     bool reorganized = false;  ///< some touched shard initiated a rewrite
     std::vector<ShardStep> shard_steps;  ///< ascending shard id
   };
 
-  /// Merged outcome of one batched step.
-  struct BatchResult {
-    std::vector<StepResult> steps;  ///< stream order
-    double query_cost = 0.0;        ///< row-weighted sum over the batch
-    int64_t num_switches = 0;       ///< queries that initiated a rewrite
+  /// Merged outcome of one batched step, with per-shard detail.
+  struct ShardedBatchResult {
+    std::vector<ShardedStepResult> steps;  ///< stream order
+    double query_cost = 0.0;  ///< row-weighted sum over the batch
+    int64_t num_switches = 0;  ///< queries that initiated a rewrite
   };
 
   /// Streaming API; routes the query and steps every touched shard.
-  StepResult Step(const Query& query);
+  ShardedStepResult StepSharded(const Query& query);
 
   /// Batched streaming API: routes each query in stream order, fans the
   /// per-shard sub-batches out across the pool (decisions stay sequential
   /// within a shard), and merges per-query results serially in stream order.
-  BatchResult RunBatch(const QueryBatch& batch);
+  ShardedBatchResult RunBatchSharded(const QueryBatch& batch);
+
+  /// OreoEngine flat views of StepSharded / RunBatchSharded: `state` is the
+  /// serving layout when exactly one shard served the query, -1 otherwise
+  /// (per-shard states live in the detailed results / core(s)).
+  StepResult Step(const Query& query) override;
+  BatchResult RunBatch(const QueryBatch& batch) override;
 
   /// Convenience API: routes the whole stream, runs every shard engine's
   /// simulation, and returns per-shard traces plus merged accounting.
@@ -105,20 +103,27 @@ class ShardedOreo {
   ShardedSimResult Run(const std::vector<Query>& queries,
                        bool record_trace = false);
 
+  EngineSimResult RunTrace(const std::vector<Query>& queries,
+                           bool record_trace = false) override {
+    return Run(queries, record_trace);
+  }
+
   // --- physical execution -------------------------------------------------
 
-  /// Creates one PhysicalStore per shard under `base_dir/shard_NNN`,
-  /// materializes every engine's current layout, and starts the shared
-  /// reorganization pool (`reorg_workers` threads, 0 = one per shard).
+  /// Creates one PhysicalStore per shard under `base_dir/shard_NNN` (through
+  /// OreoOptions::storage_backend), materializes every engine's current
+  /// layout, and starts the shared reorganization pool (`reorg_workers`
+  /// threads, 0 = one per shard).
   Status AttachPhysical(const std::string& base_dir, size_t store_threads = 1,
-                        size_t reorg_workers = 0);
+                        size_t reorg_workers = 0) override;
+  bool has_physical() const override { return reorg_pool_ != nullptr; }
 
   /// Executes a batch against the pinned per-shard snapshots: one flat
   /// ParallelFor over (shard, query) work items, per-query counters summed
   /// across touched shards and reduced serially in stream order. Counter
   /// totals (matches above all) are layout- and thread-count-invariant.
   Result<PhysicalStore::BatchExec> ExecuteBatchPhysical(
-      const std::vector<Query>& queries);
+      const std::vector<Query>& queries) override;
 
   /// Batch-boundary reconciliation: adopts finished background rewrites
   /// (refresh snapshot, vacuum superseded files, update the materialized
@@ -126,27 +131,41 @@ class ShardedOreo {
   /// layout moved ahead of its materialized one. At most one rewrite is in
   /// flight per shard; shards rewrite concurrently on the pool. Returns the
   /// number of rewrites submitted.
-  size_t SyncPhysical();
+  size_t SyncPhysical() override;
 
   /// Blocks until no shard has a rewrite queued or running, then reconciles.
-  void WaitForReorgs();
+  void WaitForReorgs() override;
+
+  Result<PhysicalReplayResult> ReplayTrace(const EngineSimResult& sim,
+                                           size_t stride,
+                                           const std::string& dir,
+                                           size_t num_threads = 0,
+                                           size_t batch_size = 1)
+      const override;
 
   ReorgPool* reorg_pool() { return reorg_pool_.get(); }
 
   // --- introspection ------------------------------------------------------
 
   const ShardRouter& router() const { return router_; }
-  size_t num_shards() const { return engines_.size(); }
+  size_t num_shards() const override { return engines_.size(); }
   ShardEngine& engine(size_t shard) { return *engines_[shard]; }
   const ShardEngine& engine(size_t shard) const { return *engines_[shard]; }
+  Oreo& core(size_t shard) override { return engines_[shard]->oreo(); }
+  const Oreo& core(size_t shard) const override {
+    return engines_[shard]->oreo();
+  }
+  PhysicalStore* store(size_t shard) override {
+    return engines_[shard]->store();
+  }
   /// Row weight of a shard: shard rows / total rows (0 for an empty table).
   double shard_weight(size_t shard) const { return weights_[shard]; }
 
   /// Row-weighted totals across shards (1 shard: identical to Oreo's).
-  double total_query_cost() const;
-  double total_reorg_cost() const;
+  double total_query_cost() const override;
+  double total_reorg_cost() const override;
   /// Total shard switches across all engines.
-  int64_t num_switches() const;
+  int64_t num_switches() const override;
 
  private:
   ShardRouter router_;
@@ -165,7 +184,8 @@ class ShardedOreo {
 /// leaves files bit-identical to ReplayPhysical of the unsharded trace.
 Result<PhysicalReplayResult> ShardedReplayPhysical(
     const ShardedOreo& oreo, const ShardedSimResult& sim, size_t stride,
-    const std::string& dir, size_t num_threads = 0, size_t batch_size = 1);
+    const std::string& dir, size_t num_threads = 0, size_t batch_size = 1,
+    std::shared_ptr<StorageBackend> backend = nullptr);
 
 /// Shard subdirectory name used by AttachPhysical and ShardedReplayPhysical.
 std::string ShardDirName(const std::string& base_dir, uint32_t shard);

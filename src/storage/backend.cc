@@ -1,0 +1,366 @@
+#include "storage/backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <utility>
+
+namespace oreo {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- posix -------
+
+Result<std::string> PosixFileBackend::ReadBlock(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string data(static_cast<size_t>(size), '\0');
+  in.read(data.data(), size);
+  if (!in) return Status::IoError("read failed: " + path);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reads;
+    stats_.read_bytes += data.size();
+  }
+  return data;
+}
+
+Status PosixFileBackend::AtomicWriteBlock(const std::string& path,
+                                          const std::string& data,
+                                          bool sync) {
+  // Write-to-temp then rename: a reader of `path` sees the old bytes or the
+  // complete new bytes, never a torn prefix (same publish protocol the
+  // metadata writer has always used). The temp name is unique per call so
+  // the contract's last-wins concurrent same-path writers cannot interleave
+  // inside one temp file.
+  static std::atomic<uint64_t> temp_counter{0};
+  const std::string tmp = path + ".oreotmp" +
+                          std::to_string(temp_counter.fetch_add(1));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError("cannot open for write: " + tmp);
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync && ::fdatasync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IoError("fdatasync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.writes;
+    stats_.write_bytes += data.size();
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixFileBackend::List(
+    const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(dir, ec), end;
+  if (ec) return paths;  // a missing directory holds no objects
+  for (; it != end; it.increment(ec)) {
+    if (ec) return Status::IoError("list failed: " + dir + ": " + ec.message());
+    if (!it->is_regular_file(ec) || ec) continue;
+    std::string path = it->path().string();
+    // Unpublished temp files are not objects.
+    if (path.find(".oreotmp") != std::string::npos) continue;
+    paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Status PosixFileBackend::Remove(const std::string& path) {
+  std::error_code ec;
+  bool removed = fs::remove(path, ec);
+  if (ec) return Status::IoError("remove failed: " + path + ": " + ec.message());
+  if (!removed) return Status::NotFound("no such object: " + path);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.removes;
+  return Status::OK();
+}
+
+Status PosixFileBackend::CreateDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+BackendStats PosixFileBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ----------------------------------------------------------- in-memory ---
+
+InMemoryBackend::Shard& InMemoryBackend::ShardFor(const std::string& path) {
+  return shards_[std::hash<std::string>{}(path) % kNumShards];
+}
+
+const InMemoryBackend::Shard& InMemoryBackend::ShardFor(
+    const std::string& path) const {
+  return shards_[std::hash<std::string>{}(path) % kNumShards];
+}
+
+Result<std::string> InMemoryBackend::ReadBlock(const std::string& path) {
+  std::shared_ptr<const std::string> data;
+  {
+    Shard& shard = ShardFor(path);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.objects.find(path);
+    if (it == shard.objects.end()) {
+      return Status::IoError("cannot open for read: " + path);
+    }
+    data = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.reads;
+    stats_.read_bytes += data->size();
+  }
+  return std::string(*data);
+}
+
+Status InMemoryBackend::AtomicWriteBlock(const std::string& path,
+                                         const std::string& data,
+                                         bool /*sync*/) {
+  auto obj = std::make_shared<const std::string>(data);
+  {
+    Shard& shard = ShardFor(path);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.objects[path] = std::move(obj);  // whole-object swap: atomic
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.writes;
+  stats_.write_bytes += data.size();
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> InMemoryBackend::List(
+    const std::string& dir) {
+  const std::string prefix = dir + "/";
+  std::vector<std::string> paths;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [path, data] : shard.objects) {
+      if (path.compare(0, prefix.size(), prefix) == 0) paths.push_back(path);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Status InMemoryBackend::Remove(const std::string& path) {
+  {
+    Shard& shard = ShardFor(path);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.objects.erase(path) == 0) {
+      return Status::NotFound("no such object: " + path);
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.removes;
+  return Status::OK();
+}
+
+BackendStats InMemoryBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t InMemoryBackend::num_objects() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.objects.size();
+  }
+  return total;
+}
+
+// ----------------------------------------------------------- cached ------
+
+CachedBackend::CachedBackend(std::shared_ptr<StorageBackend> base,
+                             CachedBackendOptions options)
+    : base_(std::move(base)), options_(options) {}
+
+CachedBackend::~CachedBackend() = default;
+
+void CachedBackend::EraseLocked(const std::string& path, uint64_t* counter) {
+  auto it = cache_.find(path);
+  if (it == cache_.end()) return;
+  cache_stats_.resident_bytes -= it->second.data->size();
+  --cache_stats_.resident_objects;
+  if (counter != nullptr) ++*counter;
+  lru_.erase(it->second.lru_it);
+  cache_.erase(it);
+}
+
+void CachedBackend::InsertLocked(const std::string& path,
+                                 std::shared_ptr<const std::string> data) {
+  if (data->size() > options_.capacity_bytes) return;  // never cacheable
+  EraseLocked(path, nullptr);  // replace, keeping the accounting exact
+  while (!lru_.empty() &&
+         cache_stats_.resident_bytes + data->size() >
+             options_.capacity_bytes) {
+    EraseLocked(lru_.back(), &cache_stats_.evictions);
+  }
+  lru_.push_front(path);
+  cache_stats_.resident_bytes += data->size();
+  ++cache_stats_.resident_objects;
+  cache_.emplace(path, Entry{std::move(data), lru_.begin()});
+}
+
+Result<std::string> CachedBackend::ReadBlock(const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.reads;
+  for (;;) {
+    auto hit = cache_.find(path);
+    if (hit != cache_.end()) {
+      // Touch: move to the LRU front.
+      lru_.erase(hit->second.lru_it);
+      lru_.push_front(path);
+      hit->second.lru_it = lru_.begin();
+      ++cache_stats_.hits;
+      cache_stats_.hit_bytes += hit->second.data->size();
+      stats_.read_bytes += hit->second.data->size();
+      std::shared_ptr<const std::string> data = hit->second.data;
+      lock.unlock();
+      return std::string(*data);
+    }
+    auto flight = inflight_.find(path);
+    if (flight == inflight_.end()) break;  // nobody fetching: we fetch
+    // Coalesce: wait for the in-flight base fetch instead of issuing our
+    // own. A fetch doomed by a concurrent write/remove holds bytes from
+    // before that write — returning them here would violate the staleness
+    // contract, so loop around and fetch fresh instead.
+    std::shared_ptr<Fetch> fetch = flight->second;
+    cv_.wait(lock, [&] { return fetch->done; });
+    if (fetch->doomed) continue;
+    if (!fetch->status.ok()) return fetch->status;
+    ++cache_stats_.hits;
+    ++cache_stats_.coalesced;
+    cache_stats_.hit_bytes += fetch->data->size();
+    stats_.read_bytes += fetch->data->size();
+    std::shared_ptr<const std::string> data = fetch->data;
+    lock.unlock();
+    return std::string(*data);
+  }
+  // Miss: fetch from the base without holding the lock.
+  auto fetch = std::make_shared<Fetch>();
+  inflight_.emplace(path, fetch);
+  ++cache_stats_.misses;
+  lock.unlock();
+  Result<std::string> result = base_->ReadBlock(path);
+  lock.lock();
+  fetch->done = true;
+  inflight_.erase(path);
+  if (!result.ok()) {
+    fetch->status = result.status();
+    cv_.notify_all();
+    return fetch->status;
+  }
+  fetch->data =
+      std::make_shared<const std::string>(std::move(result).value());
+  cache_stats_.miss_bytes += fetch->data->size();
+  stats_.read_bytes += fetch->data->size();
+  if (!fetch->doomed) InsertLocked(path, fetch->data);
+  std::shared_ptr<const std::string> data = fetch->data;
+  cv_.notify_all();
+  lock.unlock();
+  return std::string(*data);
+}
+
+Status CachedBackend::AtomicWriteBlock(const std::string& path,
+                                       const std::string& data, bool sync) {
+  // Write-through: the base stays authoritative. Invalidate before the base
+  // write so no reader can re-cache the old bytes afterwards, and doom any
+  // in-flight fetch so its (possibly stale) result is never inserted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.writes;
+    stats_.write_bytes += data.size();
+    EraseLocked(path, &cache_stats_.invalidations);
+    auto flight = inflight_.find(path);
+    if (flight != inflight_.end()) flight->second->doomed = true;
+  }
+  return base_->AtomicWriteBlock(path, data, sync);
+}
+
+Result<std::vector<std::string>> CachedBackend::List(const std::string& dir) {
+  return base_->List(dir);
+}
+
+Status CachedBackend::Remove(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.removes;
+    EraseLocked(path, &cache_stats_.invalidations);
+    auto flight = inflight_.find(path);
+    if (flight != inflight_.end()) flight->second->doomed = true;
+  }
+  return base_->Remove(path);
+}
+
+Status CachedBackend::CreateDir(const std::string& dir) {
+  return base_->CreateDir(dir);
+}
+
+BackendStats CachedBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+CachedBackend::CacheStats CachedBackend::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_stats_;
+}
+
+// ----------------------------------------------------------- factories ---
+
+std::shared_ptr<StorageBackend> MakePosixBackend() {
+  return std::make_shared<PosixFileBackend>();
+}
+
+std::shared_ptr<StorageBackend> MakeInMemoryBackend() {
+  return std::make_shared<InMemoryBackend>();
+}
+
+std::shared_ptr<CachedBackend> MakeCachedBackend(
+    std::shared_ptr<StorageBackend> base, CachedBackendOptions options) {
+  return std::make_shared<CachedBackend>(std::move(base), options);
+}
+
+StorageBackend* DefaultPosixBackend() {
+  static PosixFileBackend* backend = new PosixFileBackend();
+  return backend;
+}
+
+}  // namespace oreo

@@ -1,0 +1,226 @@
+// Pluggable physical byte storage. The paper's guarantee (Theorem IV.1) is
+// about *when* to reorganize, not *where* bytes live; this interface
+// separates the logical layout decision from the physical representation so
+// the same engine can serve from local files, RAM, or a caching tier.
+//
+// Contract every implementation must honor:
+//   - AtomicWriteBlock publishes a whole object atomically: a concurrent or
+//     subsequent ReadBlock of `path` sees either the previous bytes (or a
+//     read error if none existed) or the complete new bytes, never a torn
+//     prefix. With `sync=true` the bytes are durable (as durable as the
+//     medium allows) before the call returns.
+//   - ReadBlock returns the complete object or a non-OK Status (IoError,
+//     absent objects included); it never returns partial data.
+//   - List returns every object whose path starts with `dir` + "/", sorted
+//     lexicographically (deterministic across backends and platforms).
+//   - Remove of a missing path returns NotFound; all other errors are
+//     IoError. Callers that treat removal as best-effort ignore the status.
+//   - All methods are thread-safe; concurrent writers to *different* paths
+//     never interfere. Concurrent writers to the same path are last-wins.
+//   - Stats counters are monotonic and thread-safe.
+#ifndef OREO_STORAGE_BACKEND_H_
+#define OREO_STORAGE_BACKEND_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oreo {
+
+/// Operation counters kept by every backend.
+struct BackendStats {
+  uint64_t reads = 0;
+  uint64_t read_bytes = 0;
+  uint64_t writes = 0;
+  uint64_t write_bytes = 0;
+  uint64_t removes = 0;
+};
+
+/// Abstract byte-object store keyed by slash-separated paths.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Implementation name ("posix", "inmem", "cached(<base>)", ...).
+  virtual std::string name() const = 0;
+
+  /// Reads the complete object at `path`.
+  virtual Result<std::string> ReadBlock(const std::string& path) = 0;
+
+  /// Atomically publishes `data` at `path` (see the header contract).
+  virtual Status AtomicWriteBlock(const std::string& path,
+                                  const std::string& data, bool sync) = 0;
+
+  /// Sorted paths of every object under `dir` (empty if none).
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  /// Removes the object at `path` (NotFound if absent).
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Ensures `dir` exists (no-op where directories have no physical form).
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  /// Flushes any buffered state not yet covered by per-write `sync` flags.
+  virtual Status Sync() = 0;
+
+  virtual BackendStats stats() const = 0;
+};
+
+/// Local-filesystem backend; writes go to a temp file then rename, reads
+/// are whole-file. Partition files it produces are bit-identical to the
+/// pre-backend writer.
+class PosixFileBackend : public StorageBackend {
+ public:
+  std::string name() const override { return "posix"; }
+  Result<std::string> ReadBlock(const std::string& path) override;
+  Status AtomicWriteBlock(const std::string& path, const std::string& data,
+                          bool sync) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status Sync() override { return Status::OK(); }
+  BackendStats stats() const override;
+
+ private:
+  mutable std::mutex stats_mu_;
+  BackendStats stats_;
+};
+
+/// Diskless backend: a lock-sharded path -> bytes map. Enables serving
+/// entirely from RAM and much faster test walls; object contents are
+/// byte-identical to what posix would have written.
+class InMemoryBackend : public StorageBackend {
+ public:
+  std::string name() const override { return "inmem"; }
+  Result<std::string> ReadBlock(const std::string& path) override;
+  Status AtomicWriteBlock(const std::string& path, const std::string& data,
+                          bool sync) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& /*dir*/) override {
+    return Status::OK();
+  }
+  Status Sync() override { return Status::OK(); }
+  BackendStats stats() const override;
+
+  /// Objects currently stored (tests).
+  size_t num_objects() const;
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const std::string>>
+        objects;
+  };
+  Shard& ShardFor(const std::string& path);
+  const Shard& ShardFor(const std::string& path) const;
+
+  std::array<Shard, kNumShards> shards_;
+  mutable std::mutex stats_mu_;
+  BackendStats stats_;
+};
+
+struct CachedBackendOptions {
+  /// Total bytes of cached objects; least-recently-used objects are evicted
+  /// when an insertion would exceed it. Objects larger than the capacity are
+  /// served but never cached.
+  size_t capacity_bytes = size_t{64} << 20;
+};
+
+/// Write-through caching decorator: a bounded block cache with strict-LRU
+/// eviction plus single-flight read coalescing (concurrent reads of the same
+/// path share one base fetch, attacking the decompress-whole-partition-
+/// per-batch read amplification).
+///
+/// Determinism: for a fixed multiset of reads with no evictions, hit/miss
+/// totals are thread-count invariant — each distinct path is fetched from
+/// the base exactly once (the miss); every other read of it is a hit,
+/// whether it waited on the in-flight fetch or found the cached bytes.
+/// Eviction order is strict LRU over the mutex-serialized access sequence.
+///
+/// Staleness: AtomicWriteBlock and Remove invalidate the cached object and
+/// doom any in-flight fetch of the same path (its result is returned to
+/// waiters but never inserted), so a read after a write always observes the
+/// new bytes.
+class CachedBackend : public StorageBackend {
+ public:
+  explicit CachedBackend(std::shared_ptr<StorageBackend> base,
+                         CachedBackendOptions options = {});
+  ~CachedBackend() override;
+
+  std::string name() const override { return "cached(" + base_->name() + ")"; }
+  Result<std::string> ReadBlock(const std::string& path) override;
+  Status AtomicWriteBlock(const std::string& path, const std::string& data,
+                          bool sync) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDir(const std::string& dir) override;
+  Status Sync() override { return base_->Sync(); }
+  BackendStats stats() const override;
+
+  struct CacheStats {
+    uint64_t hits = 0;        ///< reads served without a base fetch of their own
+    uint64_t misses = 0;      ///< reads that fetched from the base backend
+    uint64_t coalesced = 0;   ///< hits that waited on an in-flight fetch
+    uint64_t evictions = 0;   ///< objects dropped by the LRU bound
+    uint64_t invalidations = 0;  ///< objects dropped by writes/removes
+    uint64_t hit_bytes = 0;   ///< bytes served from cache (base reads avoided)
+    uint64_t miss_bytes = 0;  ///< bytes fetched from the base
+    uint64_t resident_bytes = 0;
+    uint64_t resident_objects = 0;
+  };
+  CacheStats cache_stats() const;
+
+  StorageBackend* base() const { return base_.get(); }
+  size_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  struct Fetch {
+    bool done = false;
+    bool doomed = false;  // written/removed while in flight: do not cache
+    std::shared_ptr<const std::string> data;
+    Status status;
+  };
+  struct Entry {
+    std::shared_ptr<const std::string> data;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  // All Locked helpers require mu_ held.
+  void EraseLocked(const std::string& path, uint64_t* counter);
+  void InsertLocked(const std::string& path,
+                    std::shared_ptr<const std::string> data);
+
+  std::shared_ptr<StorageBackend> base_;
+  CachedBackendOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes readers waiting on an in-flight fetch
+  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<std::string, Entry> cache_;
+  std::unordered_map<std::string, std::shared_ptr<Fetch>> inflight_;
+  CacheStats cache_stats_;
+  BackendStats stats_;
+};
+
+std::shared_ptr<StorageBackend> MakePosixBackend();
+std::shared_ptr<StorageBackend> MakeInMemoryBackend();
+std::shared_ptr<CachedBackend> MakeCachedBackend(
+    std::shared_ptr<StorageBackend> base, CachedBackendOptions options = {});
+
+/// Process-wide PosixFileBackend used by the legacy path-based helpers
+/// (WriteBlockFile / ReadMetadataFile / ...) and by components constructed
+/// without an explicit backend.
+StorageBackend* DefaultPosixBackend();
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_BACKEND_H_

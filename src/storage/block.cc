@@ -1,10 +1,6 @@
 #include "storage/block.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstring>
-#include <fstream>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -189,38 +185,29 @@ Result<Table> DeserializeBlock(const std::string& data,
   return table;
 }
 
+Result<uint64_t> WriteBlockTo(StorageBackend* backend, const std::string& path,
+                              const Table& table, bool sync) {
+  OREO_CHECK(backend != nullptr);
+  std::string data = SerializeBlock(table);
+  OREO_RETURN_NOT_OK(backend->AtomicWriteBlock(path, data, sync));
+  return static_cast<uint64_t>(data.size());
+}
+
+Result<Table> ReadBlockFrom(StorageBackend* backend, const std::string& path,
+                            const BlockReadOptions& options) {
+  OREO_CHECK(backend != nullptr);
+  OREO_ASSIGN_OR_RETURN(std::string data, backend->ReadBlock(path));
+  return DeserializeBlock(data, options);
+}
+
 Status WriteBlockFile(const std::string& path, const Table& table,
                       bool sync) {
-  std::string data = SerializeBlock(table);
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IoError("cannot open for write: " + path);
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      ::close(fd);
-      return Status::IoError("write failed: " + path);
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (sync && ::fdatasync(fd) != 0) {
-    ::close(fd);
-    return Status::IoError("fdatasync failed: " + path);
-  }
-  if (::close(fd) != 0) return Status::IoError("close failed: " + path);
-  return Status::OK();
+  return WriteBlockTo(DefaultPosixBackend(), path, table, sync).status();
 }
 
 Result<Table> ReadBlockFile(const std::string& path,
                             const BlockReadOptions& options) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string data(static_cast<size_t>(size), '\0');
-  in.read(data.data(), size);
-  if (!in) return Status::IoError("read failed: " + path);
-  return DeserializeBlock(data, options);
+  return ReadBlockFrom(DefaultPosixBackend(), path, options);
 }
 
 size_t SerializedBlockSize(const Table& table) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/backend.h"
 #include "storage/table.h"
 
 namespace oreo {
@@ -36,13 +37,22 @@ std::string SerializeBlock(const Table& table);
 Result<Table> DeserializeBlock(const std::string& data,
                                const BlockReadOptions& options = {});
 
-/// Writes `table` as a block file at `path` (overwrites). With `sync`, the
-/// data is fdatasync'd before returning — reorganization rewrites must be
-/// durable before the layout swap.
+/// Serializes `table` and atomically publishes it at `path` through
+/// `backend` (overwrites). With `sync`, the bytes are durable before
+/// returning — reorganization rewrites must be durable before the layout
+/// swap. Returns the serialized byte count.
+Result<uint64_t> WriteBlockTo(StorageBackend* backend, const std::string& path,
+                              const Table& table, bool sync = false);
+
+/// Reads and validates a block through `backend`.
+Result<Table> ReadBlockFrom(StorageBackend* backend, const std::string& path,
+                            const BlockReadOptions& options = {});
+
+/// Legacy path-based round trip over DefaultPosixBackend().
 Status WriteBlockFile(const std::string& path, const Table& table,
                       bool sync = false);
 
-/// Reads and validates a block file.
+/// Legacy path-based read over DefaultPosixBackend().
 Result<Table> ReadBlockFile(const std::string& path,
                             const BlockReadOptions& options = {});
 

@@ -1,8 +1,6 @@
 #include "storage/metadata_io.h"
 
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -177,33 +175,27 @@ Result<PartitionMetadata> DeserializePartitionMetadata(
   return meta;
 }
 
+Status WriteMetadataTo(StorageBackend* backend, const std::string& path,
+                       const PartitionMetadata& meta) {
+  OREO_CHECK(backend != nullptr);
+  return backend->AtomicWriteBlock(path, SerializePartitionMetadata(meta),
+                                   /*sync=*/false);
+}
+
+Result<PartitionMetadata> ReadMetadataFrom(StorageBackend* backend,
+                                           const std::string& path) {
+  OREO_CHECK(backend != nullptr);
+  OREO_ASSIGN_OR_RETURN(std::string data, backend->ReadBlock(path));
+  return DeserializePartitionMetadata(data);
+}
+
 Status WriteMetadataFile(const std::string& path,
                          const PartitionMetadata& meta) {
-  std::string data = SerializePartitionMetadata(meta);
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open for write: " + tmp);
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + tmp);
-  }
-  // Atomic publish: readers never observe a half-written file.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("rename failed: " + path);
-  }
-  return Status::OK();
+  return WriteMetadataTo(DefaultPosixBackend(), path, meta);
 }
 
 Result<PartitionMetadata> ReadMetadataFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string data(static_cast<size_t>(size), '\0');
-  in.read(data.data(), size);
-  if (!in) return Status::IoError("read failed: " + path);
-  return DeserializePartitionMetadata(data);
+  return ReadMetadataFrom(DefaultPosixBackend(), path);
 }
 
 }  // namespace oreo

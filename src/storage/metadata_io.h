@@ -11,6 +11,7 @@
 
 #include "catalog/schema.h"
 #include "common/status.h"
+#include "storage/backend.h"
 #include "storage/partitioning.h"
 #include "storage/zone_map.h"
 
@@ -33,7 +34,14 @@ PartitionMetadata MetadataFrom(const Schema& schema, const Partitioning& p,
 std::string SerializePartitionMetadata(const PartitionMetadata& meta);
 Result<PartitionMetadata> DeserializePartitionMetadata(const std::string& data);
 
-/// File round trip (atomic: written to a temp path, then renamed).
+/// Backend round trip (atomic publish; readers never observe a half-written
+/// object).
+Status WriteMetadataTo(StorageBackend* backend, const std::string& path,
+                       const PartitionMetadata& meta);
+Result<PartitionMetadata> ReadMetadataFrom(StorageBackend* backend,
+                                           const std::string& path);
+
+/// Legacy path-based round trip over DefaultPosixBackend().
 Status WriteMetadataFile(const std::string& path,
                          const PartitionMetadata& meta);
 Result<PartitionMetadata> ReadMetadataFile(const std::string& path);

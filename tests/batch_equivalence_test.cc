@@ -17,7 +17,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -39,24 +38,16 @@ namespace fs = std::filesystem;
 constexpr size_t kBatchSizes[] = {1, 7, 64};
 constexpr size_t kThreadCounts[] = {1, 8};
 
-uint32_t FileCrc(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << "cannot open " << path;
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return Crc32c(data.data(), data.size());
-}
-
-// CRCs of every remaining file in `dir`, in path order (after a replay the
-// remaining .blk files are exactly the final layout's partitions).
-std::vector<uint32_t> DirCrcs(const std::string& dir) {
-  std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    paths.push_back(entry.path().string());
-  }
-  std::sort(paths.begin(), paths.end());
+// CRCs of every remaining object in `dir`, in path order, read through the
+// backend (after a replay the remaining .blk objects are exactly the final
+// layout's partitions). Paths are stripped: replays into different scratch
+// dirs must still fingerprint identically.
+std::vector<uint32_t> DirCrcs(StorageBackend& backend,
+                              const std::string& dir) {
   std::vector<uint32_t> crcs;
-  for (const std::string& p : paths) crcs.push_back(FileCrc(p));
+  for (const auto& [path, crc] : testutil::DirCrcs(backend, dir)) {
+    crcs.push_back(crc);
+  }
   return crcs;
 }
 
@@ -172,7 +163,7 @@ TEST(BatchEquivalenceTest, ExecuteQueryBatchMatchesPerQueryExecution) {
   for (size_t threads : kThreadCounts) {
     std::string dir = testutil::ScratchDir("batch_eq_exec_" +
                                            std::to_string(threads));
-    PhysicalStore store(dir, threads);
+    PhysicalStore store(dir, threads, testutil::TestBackend("inmem"));
     auto mat = store.MaterializeLayout(t, by_ts);
     ASSERT_TRUE(mat.ok()) << mat.status().ToString();
 
@@ -216,11 +207,12 @@ TEST(BatchEquivalenceTest, BatchedReplayMatchesCountersAndFileCrcs) {
   for (size_t i = 20; i < queries.size(); ++i) sim.serving_state[i] = s1;
   for (size_t i = 44; i < queries.size(); ++i) sim.serving_state[i] = s0;
 
+  std::shared_ptr<StorageBackend> backend = testutil::TestBackend("inmem");
   std::string base_dir = testutil::ScratchDir("batch_eq_replay_base");
   auto baseline = ReplayPhysical(t, reg, sim, queries, /*stride=*/2, base_dir,
-                                 /*num_threads=*/1, /*batch_size=*/1);
+                                 /*num_threads=*/1, /*batch_size=*/1, backend);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  std::vector<uint32_t> base_crcs = DirCrcs(base_dir);
+  std::vector<uint32_t> base_crcs = DirCrcs(*backend, base_dir);
   ASSERT_FALSE(base_crcs.empty());
 
   for (size_t threads : kThreadCounts) {
@@ -229,13 +221,13 @@ TEST(BatchEquivalenceTest, BatchedReplayMatchesCountersAndFileCrcs) {
           "batch_eq_replay_" + std::to_string(threads) + "_" +
           std::to_string(batch_size));
       auto replay = ReplayPhysical(t, reg, sim, queries, /*stride=*/2, dir,
-                                   threads, batch_size);
+                                   threads, batch_size, backend);
       ASSERT_TRUE(replay.ok()) << replay.status().ToString();
       EXPECT_EQ(baseline->num_switches, replay->num_switches);
       EXPECT_EQ(baseline->queries_executed, replay->queries_executed);
       EXPECT_EQ(baseline->partitions_read, replay->partitions_read);
       EXPECT_EQ(baseline->matches, replay->matches);
-      EXPECT_EQ(base_crcs, DirCrcs(dir))
+      EXPECT_EQ(base_crcs, DirCrcs(*backend, dir))
           << "partition files diverged at threads=" << threads
           << " batch_size=" << batch_size;
       fs::remove_all(dir);

@@ -7,11 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
-#include "common/crc32.h"
 #include "common/thread_pool.h"
 #include "core/oreo.h"
 #include "core/physical.h"
@@ -23,22 +21,9 @@ namespace oreo {
 namespace core {
 namespace {
 
-uint32_t FileCrc(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << "cannot open " << path;
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return Crc32c(data.data(), data.size());
-}
-
-// CRCs of the store's current partition files, in partition-id order.
-std::vector<uint32_t> PartitionCrcs(const PhysicalStore& store) {
-  std::vector<uint32_t> crcs;
-  for (const std::string& f : store.GetSnapshot().files) {
-    crcs.push_back(FileCrc(f));
-  }
-  return crcs;
-}
+// The wall runs on the in-memory backend by default (no disk, same bytes);
+// OREO_TEST_BACKEND=posix pins the file path — partition CRCs are read
+// through the backend either way and must not change.
 
 // Everything a physical run produces that must not depend on the pool size.
 struct PhysicalFingerprint {
@@ -69,14 +54,14 @@ PhysicalFingerprint RunPhysical(uint64_t seed, size_t num_threads) {
       testutil::MakeSortedInstance(t, 1, 16, "by_qty", /*sample_seed=*/3);
   std::string dir = testutil::ScratchDir(
       "par_eq_" + std::to_string(seed) + "_" + std::to_string(num_threads));
-  PhysicalStore store(dir, num_threads);
+  PhysicalStore store(dir, num_threads, testutil::TestBackend("inmem"));
 
   PhysicalFingerprint fp;
   auto mat = store.MaterializeLayout(t, by_ts);
   EXPECT_TRUE(mat.ok()) << mat.status().ToString();
   fp.mat_bytes = mat->bytes;
   fp.mat_partitions = mat->partitions;
-  fp.mat_crcs = PartitionCrcs(store);
+  fp.mat_crcs = testutil::PartitionCrcs(store);
 
   std::vector<Query> queries =
       testutil::MakeRangeWorkload(0, 4000, 300, 8, seed + 1);
@@ -98,7 +83,7 @@ PhysicalFingerprint RunPhysical(uint64_t seed, size_t num_threads) {
   store.Vacuum();
   fp.reorg_bytes = reorg->bytes;
   fp.reorg_partitions = reorg->partitions;
-  fp.reorg_crcs = PartitionCrcs(store);
+  fp.reorg_crcs = testutil::PartitionCrcs(store);
 
   std::vector<Query> after =
       testutil::MakeRangeWorkload(1, 1000, 80, 8, seed + 2);
@@ -183,13 +168,14 @@ TEST(ParallelEquivalenceTest, ReplayPhysicalCountersMatch) {
 
   auto baseline = ReplayPhysical(t, reg, sim, queries, /*stride=*/2,
                                  testutil::ScratchDir("par_eq_replay_1"),
-                                 /*num_threads=*/1);
+                                 /*num_threads=*/1, /*batch_size=*/1,
+                                 testutil::TestBackend("inmem"));
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   for (size_t threads : {2u, 8u}) {
     auto parallel = ReplayPhysical(
         t, reg, sim, queries, /*stride=*/2,
         testutil::ScratchDir("par_eq_replay_" + std::to_string(threads)),
-        threads);
+        threads, /*batch_size=*/1, testutil::TestBackend("inmem"));
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     EXPECT_EQ(baseline->num_switches, parallel->num_switches);
     EXPECT_EQ(baseline->queries_executed, parallel->queries_executed);

@@ -21,7 +21,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -41,23 +40,16 @@ namespace fs = std::filesystem;
 
 constexpr size_t kThreadCounts[] = {1, 8};
 
-uint32_t FileCrc(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.good()) << "cannot open " << path;
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  return Crc32c(data.data(), data.size());
-}
-
-// CRCs of every file directly in `dir`, in path order.
-std::vector<uint32_t> DirCrcs(const std::string& dir) {
-  std::vector<std::string> paths;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.is_regular_file()) paths.push_back(entry.path().string());
-  }
-  std::sort(paths.begin(), paths.end());
+// CRCs of every object under `dir`, in path order, read through the
+// backend (paths stripped so different scratch dirs fingerprint alike).
+// The wall runs on the in-memory backend by default; OREO_TEST_BACKEND=posix
+// pins the file path.
+std::vector<uint32_t> DirCrcs(StorageBackend& backend,
+                              const std::string& dir) {
   std::vector<uint32_t> crcs;
-  for (const std::string& p : paths) crcs.push_back(FileCrc(p));
+  for (const auto& [path, crc] : testutil::DirCrcs(backend, dir)) {
+    crcs.push_back(crc);
+  }
   return crcs;
 }
 
@@ -113,9 +105,9 @@ ShardedFingerprint RunSharded(const Table& t, const LayoutGenerator& gen,
   ShardedOreo sharded(&t, &gen, /*time_column=*/0, opts);
   ShardedFingerprint fp;
   for (const QueryBatch& b : MakeBatches(stream, batch_size)) {
-    ShardedOreo::BatchResult result = sharded.RunBatch(b);
+    ShardedOreo::ShardedBatchResult result = sharded.RunBatchSharded(b);
     EXPECT_EQ(result.steps.size(), b.size());
-    for (const ShardedOreo::StepResult& step : result.steps) {
+    for (const ShardedOreo::ShardedStepResult& step : result.steps) {
       for (const ShardedOreo::ShardStep& ss : step.shard_steps) {
         fp.states.push_back(ss.step.state);
         fp.shards.push_back(ss.shard);
@@ -198,13 +190,14 @@ TEST(ShardedEquivalenceTest, OneShardReplayLeavesIdenticalPartitionFiles) {
   std::vector<Query> stream = TwoPhaseStream(kRows, seed);
   OreoOptions opts = ShardedOpts(seed, /*num_threads=*/2, /*num_shards=*/1);
 
+  std::shared_ptr<StorageBackend> backend = testutil::TestBackend("inmem");
   Oreo legacy(&t, &gen, 0, opts);
   SimResult legacy_sim = legacy.Run(stream, /*record_trace=*/true);
   ASSERT_GT(legacy_sim.num_switches, 0);
   std::string legacy_dir = testutil::ScratchDir("sharded_eq_legacy");
   auto legacy_replay =
       ReplayPhysical(t, legacy.registry(), legacy_sim, stream, /*stride=*/3,
-                     legacy_dir, /*num_threads=*/2, /*batch_size=*/4);
+                     legacy_dir, /*num_threads=*/2, /*batch_size=*/4, backend);
   ASSERT_TRUE(legacy_replay.ok()) << legacy_replay.status().ToString();
 
   ShardedOreo sharded(&t, &gen, 0, opts);
@@ -212,16 +205,16 @@ TEST(ShardedEquivalenceTest, OneShardReplayLeavesIdenticalPartitionFiles) {
   std::string sharded_dir = testutil::ScratchDir("sharded_eq_one");
   auto sharded_replay =
       ShardedReplayPhysical(sharded, sharded_sim, /*stride=*/3, sharded_dir,
-                            /*num_threads=*/2, /*batch_size=*/4);
+                            /*num_threads=*/2, /*batch_size=*/4, backend);
   ASSERT_TRUE(sharded_replay.ok()) << sharded_replay.status().ToString();
 
   EXPECT_EQ(legacy_replay->num_switches, sharded_replay->num_switches);
   EXPECT_EQ(legacy_replay->queries_executed, sharded_replay->queries_executed);
   EXPECT_EQ(legacy_replay->partitions_read, sharded_replay->partitions_read);
   EXPECT_EQ(legacy_replay->matches, sharded_replay->matches);
-  std::vector<uint32_t> legacy_crcs = DirCrcs(legacy_dir);
+  std::vector<uint32_t> legacy_crcs = DirCrcs(*backend, legacy_dir);
   ASSERT_FALSE(legacy_crcs.empty());
-  EXPECT_EQ(legacy_crcs, DirCrcs(ShardDirName(sharded_dir, 0)))
+  EXPECT_EQ(legacy_crcs, DirCrcs(*backend, ShardDirName(sharded_dir, 0)))
       << "1-shard replay must leave bit-identical partition files";
   fs::remove_all(legacy_dir);
   fs::remove_all(sharded_dir);
@@ -262,6 +255,7 @@ TEST(ShardedEquivalenceTest, NShardRunsAreThreadCountInvariant) {
 
   // Physical replay: per-shard partition files are bit-identical across
   // thread counts.
+  std::shared_ptr<StorageBackend> backend = testutil::TestBackend("inmem");
   std::vector<std::vector<uint32_t>> baseline_crcs;
   for (size_t threads : kThreadCounts) {
     OreoOptions opts = ShardedOpts(seed, threads, /*num_shards=*/4);
@@ -270,11 +264,11 @@ TEST(ShardedEquivalenceTest, NShardRunsAreThreadCountInvariant) {
     std::string dir = testutil::ScratchDir("sharded_eq_threads_" +
                                            std::to_string(threads));
     auto replay = ShardedReplayPhysical(sharded, sim, /*stride=*/3, dir,
-                                        threads, /*batch_size=*/4);
+                                        threads, /*batch_size=*/4, backend);
     ASSERT_TRUE(replay.ok()) << replay.status().ToString();
     std::vector<std::vector<uint32_t>> crcs;
     for (uint32_t s = 0; s < 4; ++s) {
-      crcs.push_back(DirCrcs(ShardDirName(dir, s)));
+      crcs.push_back(DirCrcs(*backend, ShardDirName(dir, s)));
       ASSERT_FALSE(crcs.back().empty());
     }
     if (baseline_crcs.empty()) {
@@ -546,7 +540,7 @@ TEST(ShardedEquivalenceTest, EveryShardStaysWithinPaperBoundOfItsOptimum) {
   std::vector<std::vector<std::vector<int>>> live_at(n);
   std::vector<std::vector<Query>> shard_streams(n);
   for (const Query& q : stream) {
-    ShardedOreo::StepResult step = sharded.Step(q);
+    ShardedOreo::ShardedStepResult step = sharded.StepSharded(q);
     for (const ShardedOreo::ShardStep& ss : step.shard_steps) {
       live_at[ss.shard].push_back(
           sharded.engine(ss.shard).oreo().registry().live());
@@ -597,6 +591,7 @@ TEST(ShardedEquivalenceTest, PhysicalStreamingStaysCorrectAcrossShardReorgs) {
   std::vector<Query> stream = TwoPhaseStream(kRows, seed);
 
   OreoOptions opts = ShardedOpts(seed, /*num_threads=*/4, /*num_shards=*/4);
+  opts.storage_backend = testutil::TestBackend("inmem");
   ShardedOreo sharded(&t, &gen, /*time_column=*/0, opts);
   std::string dir = testutil::ScratchDir("sharded_eq_stream");
   ASSERT_TRUE(sharded.AttachPhysical(dir).ok());
