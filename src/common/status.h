@@ -21,6 +21,7 @@ enum class StatusCode {
   kCorruption,
   kNotImplemented,
   kInternal,
+  kUnavailable,  ///< transient failure; retrying the same op may succeed
 };
 
 /// Returns a human-readable name for a status code (e.g. "Corruption").
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

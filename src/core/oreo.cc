@@ -1,6 +1,7 @@
 #include "core/oreo.h"
 
 #include "common/logging.h"
+#include "storage/shared_cache.h"
 
 namespace oreo {
 namespace core {
@@ -134,8 +135,10 @@ Status Oreo::AttachPhysical(const std::string& base_dir, size_t store_threads,
                             size_t reorg_workers) {
   OREO_CHECK(store_ == nullptr) << "physical layer already attached";
   (void)reorg_workers;  // one store: a single rewriter is the ceiling anyway
-  store_ = std::make_unique<PhysicalStore>(base_dir, store_threads,
-                                           options_.storage_backend);
+  store_ = std::make_unique<PhysicalStore>(
+      base_dir, store_threads,
+      WrapWithSharedCache(options_.shared_cache, options_.storage_backend,
+                          /*shard=*/0));
   Result<PhysicalStore::Timing> timing =
       store_->MaterializeLayout(*table_, registry_.Get(physical_state_));
   if (!timing.ok()) {
@@ -204,7 +207,10 @@ Result<PhysicalReplayResult> Oreo::ReplayTrace(const EngineSimResult& sim,
   OREO_CHECK_EQ(sim.shard_streams.size(), 1u);
   return ReplayPhysical(*table_, registry_, sim.shards.front(),
                         sim.shard_streams.front(), stride, dir, num_threads,
-                        batch_size, options_.storage_backend);
+                        batch_size,
+                        WrapWithSharedCache(options_.shared_cache,
+                                            options_.storage_backend,
+                                            /*shard=*/0));
 }
 
 }  // namespace core

@@ -34,6 +34,9 @@
 #include "storage/shard_router.h"
 
 namespace oreo {
+
+class SharedBlockCache;  // storage/shared_cache.h
+
 namespace core {
 
 /// All tuning knobs of the framework, with the paper's defaults.
@@ -78,6 +81,13 @@ struct OreoOptions {
   /// with read coalescing. The determinism contract extends to backends:
   /// costs, switches, traces and partition bytes are backend-invariant.
   std::shared_ptr<StorageBackend> storage_backend;
+  /// Cross-shard tiered block cache (see storage/shared_cache.h). When set,
+  /// every shard's store wraps `storage_backend` (or posix when null) in a
+  /// shard-charged SharedCacheBackend view: one global memory budget,
+  /// single-flight dedup across shards, and async prefetch of the
+  /// zone-map-surviving partitions of a batch's later queries. Serving
+  /// results stay bit-identical with the cache on or off.
+  std::shared_ptr<SharedBlockCache> shared_cache;
   uint64_t seed = 42;  ///< master seed; sub-components derive their own
 };
 

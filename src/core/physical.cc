@@ -20,12 +20,28 @@ Status FirstError(const std::vector<Status>& statuses) {
   return Status::OK();
 }
 
+// Best-effort removal for failure-path cleanup and garbage reclamation.
+// A flaky backend may answer NotFound (a doomed write that never published,
+// or a remove whose earlier attempt already won) or a transient IoError;
+// cleanup absorbs both so the ORIGINAL failure — the write error that
+// aborted the operation — is what the caller sees, never a secondary
+// cleanup status. Empty entries (slots whose write never happened) are
+// skipped.
+void BestEffortRemoveAll(StorageBackend* backend,
+                         const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    if (path.empty()) continue;
+    backend->Remove(path).ok();  // NotFound / IoError intentionally ignored
+  }
+}
+
 }  // namespace
 
 PhysicalStore::PhysicalStore(std::string dir, size_t num_threads,
                              std::shared_ptr<StorageBackend> backend)
     : dir_(std::move(dir)),
       backend_(backend != nullptr ? std::move(backend) : MakePosixBackend()),
+      prefetcher_(dynamic_cast<BlockPrefetcher*>(backend_.get())),
       pool_(std::make_unique<ThreadPool>(num_threads)) {
   Status st = backend_->CreateDir(dir_);
   OREO_CHECK(st.ok()) << st.ToString();
@@ -37,9 +53,7 @@ std::string PhysicalStore::PartitionPath(size_t epoch, size_t pid) const {
 }
 
 void PhysicalStore::DeleteCurrentFiles() {
-  for (const std::string& f : files_) {
-    backend_->Remove(f);  // best-effort
-  }
+  BestEffortRemoveAll(backend_.get(), files_);
   files_.clear();
   file_bytes_.clear();
 }
@@ -75,12 +89,17 @@ Result<PhysicalStore::Timing> PhysicalStore::MaterializeLayout(
   });
   {
     // Partial-write cleanup: a failed materialization must not leave the
-    // successfully written sibling partitions behind as orphans.
+    // successfully written sibling partitions behind as orphans, and the
+    // removals are best-effort — the write error is returned, never masked
+    // by a cleanup status. The old files were already deleted on entry, so
+    // the store is left explicitly empty rather than pointing at a
+    // vanished instance.
     Status first = FirstError(statuses);
     if (!first.ok()) {
-      for (const std::string& f : new_files) {
-        if (!f.empty()) backend_->Remove(f);
-      }
+      BestEffortRemoveAll(backend_.get(), new_files);
+      std::lock_guard<std::mutex> lock(mu_);
+      instance_ = nullptr;
+      schema_ = Schema();
       return first;
     }
   }
@@ -182,6 +201,28 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
   for (size_t qi = 0; qi < prepared.size(); ++qi) {
     for (size_t pid : prepared[qi].survivors) items.push_back({qi, pid});
   }
+
+  // Async prefetch tier: while the first query's survivors (the lowest item
+  // indices, claimed first by the pool) are scanning, warm the partitions
+  // the LATER queries of the batch will need. Partitions the first query
+  // touches are excluded — a demand fetch for them is already imminent.
+  // Advisory only: counters and results are identical with prefetch off.
+  if (prefetcher_ != nullptr && prepared.size() > 1) {
+    std::set<std::string> scanning;
+    for (size_t pid : prepared[0].survivors) {
+      scanning.insert(snapshot.files[pid]);
+    }
+    std::set<std::string> requested;
+    for (size_t qi = 1; qi < prepared.size(); ++qi) {
+      for (size_t pid : prepared[qi].survivors) {
+        const std::string& file = snapshot.files[pid];
+        if (scanning.count(file) == 0 && requested.insert(file).second) {
+          prefetcher_->StartPrefetch(file);
+        }
+      }
+    }
+  }
+
   std::vector<uint64_t> matches(items.size());
   std::vector<Status> statuses(items.size());
   pool_->ParallelFor(items.size(), [&](size_t i) {
@@ -223,6 +264,29 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
   return batch;
 }
 
+void PhysicalStore::PrefetchForQueries(const Snapshot& snapshot,
+                                       const std::vector<Query>& queries,
+                                       size_t skip) const {
+  if (prefetcher_ == nullptr || snapshot.instance == nullptr) return;
+  if (queries.size() <= skip) return;
+  const Partitioning& parts = snapshot.instance->partitioning();
+  std::set<std::string> scanning;  // files the first `skip` queries touch
+  for (size_t qi = 0; qi < skip && qi < queries.size(); ++qi) {
+    for (uint32_t pid : PartitionsToRead(parts, queries[qi])) {
+      scanning.insert(snapshot.files[pid]);
+    }
+  }
+  std::set<std::string> requested;
+  for (size_t qi = skip; qi < queries.size(); ++qi) {
+    for (uint32_t pid : PartitionsToRead(parts, queries[qi])) {
+      const std::string& file = snapshot.files[pid];
+      if (scanning.count(file) == 0 && requested.insert(file).second) {
+        prefetcher_->StartPrefetch(file);
+      }
+    }
+  }
+}
+
 void PhysicalStore::Vacuum() {
   std::vector<std::string> victims;
   {
@@ -230,9 +294,7 @@ void PhysicalStore::Vacuum() {
     victims = std::move(garbage_);
     garbage_.clear();
   }
-  for (const std::string& f : victims) {
-    backend_->Remove(f);  // best-effort
-  }
+  BestEffortRemoveAll(backend_.get(), victims);
 }
 
 Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
@@ -303,7 +365,7 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
     }
     if (!first.ok()) {
       for (const auto& per_target : spills) {
-        for (const std::string& spill : per_target) backend_->Remove(spill);
+        BestEffortRemoveAll(backend_.get(), per_target);
       }
       return first;
     }
@@ -349,9 +411,7 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
     }
     new_files[pid] = path;
     new_bytes[pid] = *bytes;
-    for (const std::string& spill : spills[surviving[pid]]) {
-      backend_->Remove(spill);
-    }
+    BestEffortRemoveAll(backend_.get(), spills[surviving[pid]]);
   });
   {
     // Partial-write cleanup on merge failure: remove the new-epoch files and
@@ -361,11 +421,9 @@ Result<PhysicalStore::Timing> PhysicalStore::Reorganize(
     if (!first.ok()) {
       for (size_t pid = 0; pid < surviving.size(); ++pid) {
         if (!new_files[pid].empty()) {
-          backend_->Remove(new_files[pid]);
+          BestEffortRemoveAll(backend_.get(), {new_files[pid]});
         } else {
-          for (const std::string& spill : spills[surviving[pid]]) {
-            backend_->Remove(spill);
-          }
+          BestEffortRemoveAll(backend_.get(), spills[surviving[pid]]);
         }
       }
       return first;

@@ -119,9 +119,22 @@ class PhysicalStore {
                                            const Query& query) const;
 
   /// Batch execution against an explicit snapshot (thread-safe, read-only);
-  /// see ExecuteQueryBatch for the determinism contract.
+  /// see ExecuteQueryBatch for the determinism contract. When the backend
+  /// implements BlockPrefetcher, partitions later queries of the batch need
+  /// are prefetched asynchronously while the earlier ones scan.
   Result<BatchExec> ExecuteQueryBatchOnSnapshot(
       const Snapshot& snapshot, const std::vector<Query>& queries) const;
+
+  /// Asynchronously warms the zone-map-surviving partitions of
+  /// `queries[skip..]` into the backend's cache tier, excluding partitions
+  /// the first `skip` queries already touch (they are being scanned right
+  /// now — fetching them again would only duplicate work). No-op unless the
+  /// backend implements BlockPrefetcher. Purely advisory: query results and
+  /// counters never depend on whether a prefetch happened, was dropped, or
+  /// failed.
+  void PrefetchForQueries(const Snapshot& snapshot,
+                          const std::vector<Query>& queries,
+                          size_t skip = 0) const;
 
   /// Deletes files superseded by completed reorganizations. Call when no
   /// snapshot readers can still reference them.
@@ -140,6 +153,7 @@ class PhysicalStore {
 
   std::string dir_;
   std::shared_ptr<StorageBackend> backend_;
+  BlockPrefetcher* prefetcher_ = nullptr;  // backend_'s, when it has one
   std::unique_ptr<ThreadPool> pool_;
   mutable std::mutex mu_;  // guards the members below
   const LayoutInstance* instance_ = nullptr;  // not owned

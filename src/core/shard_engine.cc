@@ -1,6 +1,7 @@
 #include "core/shard_engine.h"
 
 #include "common/logging.h"
+#include "storage/shared_cache.h"
 
 namespace oreo {
 namespace core {
@@ -16,8 +17,13 @@ Status ShardEngine::AttachPhysical(const std::string& dir,
                                    size_t num_threads) {
   OREO_CHECK(store_ == nullptr) << "shard " << shard_id_
                                 << " already has a physical store";
-  store_ = std::make_unique<PhysicalStore>(dir, num_threads,
-                                           oreo_->options().storage_backend);
+  // Each shard gets its own view of the (optional) shared cache, so hits,
+  // misses and evictions are charged to this shard while the budget and
+  // single-flight dedup stay global.
+  store_ = std::make_unique<PhysicalStore>(
+      dir, num_threads,
+      WrapWithSharedCache(oreo_->options().shared_cache,
+                          oreo_->options().storage_backend, shard_id_));
   const int current = oreo_->physical_state();
   Result<PhysicalStore::Timing> timing =
       store_->MaterializeLayout(table_, oreo_->registry().Get(current));

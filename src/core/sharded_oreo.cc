@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "storage/shared_cache.h"
 
 namespace oreo {
 namespace core {
@@ -206,6 +207,21 @@ Result<PhysicalStore::BatchExec> ShardedOreo::ExecuteBatchPhysical(
     touched[qi] = router_.ShardsForQuery(queries[qi]);
     for (uint32_t s : touched[qi]) items.push_back(Item{s, qi});
   }
+  // With a shared cache tier attached, ask each shard's store to warm the
+  // partitions its batch tail will scan while the batch head runs. Advisory:
+  // counters and results are identical with prefetch off.
+  if (engines_.front()->oreo().options().shared_cache != nullptr) {
+    std::vector<std::vector<Query>> per_shard(engines_.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (uint32_t s : touched[qi]) per_shard[s].push_back(queries[qi]);
+    }
+    for (size_t s = 0; s < engines_.size(); ++s) {
+      if (per_shard[s].size() < 2) continue;
+      ShardEngine& engine = *engines_[s];
+      engine.store()->PrefetchForQueries(engine.snapshot(), per_shard[s],
+                                         /*skip=*/1);
+    }
+  }
   // Flat fan-out: every item scans one shard's surviving partitions against
   // that shard's pinned snapshot, staging counters in its own slot.
   std::vector<PhysicalStore::QueryExec> execs(items.size());
@@ -334,12 +350,17 @@ Result<PhysicalReplayResult> ShardedReplayPhysical(
   PhysicalReplayResult total;
   for (size_t s = 0; s < oreo.num_shards(); ++s) {
     const ShardEngine& engine = oreo.engine(s);
+    // Mirror the serving path: when the facade carries a shared cache, each
+    // shard's replay store reads through its own shard-charged view of it.
     OREO_ASSIGN_OR_RETURN(
         PhysicalReplayResult shard,
         ReplayPhysical(engine.table(), engine.oreo().registry(),
                        sim.shards[s], sim.shard_streams[s], stride,
                        ShardDirName(dir, static_cast<uint32_t>(s)),
-                       num_threads, batch_size, backend));
+                       num_threads, batch_size,
+                       WrapWithSharedCache(
+                           engine.oreo().options().shared_cache, backend,
+                           static_cast<uint32_t>(s))));
     total.query_seconds += shard.query_seconds;
     total.reorg_seconds += shard.reorg_seconds;
     total.num_switches += shard.num_switches;

@@ -11,6 +11,8 @@
 #include <functional>
 #include <utility>
 
+#include "storage/shared_cache.h"
+
 namespace oreo {
 
 namespace fs = std::filesystem;
@@ -25,11 +27,7 @@ Result<std::string> PosixFileBackend::ReadBlock(const std::string& path) {
   std::string data(static_cast<size_t>(size), '\0');
   in.read(data.data(), size);
   if (!in) return Status::IoError("read failed: " + path);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.reads;
-    stats_.read_bytes += data.size();
-  }
+  stats_.RecordRead(data.size());
   return data;
 }
 
@@ -69,11 +67,7 @@ Status PosixFileBackend::AtomicWriteBlock(const std::string& path,
     std::remove(tmp.c_str());
     return Status::IoError("rename failed: " + path);
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.writes;
-    stats_.write_bytes += data.size();
-  }
+  stats_.RecordWrite(data.size());
   return Status::OK();
 }
 
@@ -100,8 +94,7 @@ Status PosixFileBackend::Remove(const std::string& path) {
   bool removed = fs::remove(path, ec);
   if (ec) return Status::IoError("remove failed: " + path + ": " + ec.message());
   if (!removed) return Status::NotFound("no such object: " + path);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.removes;
+  stats_.RecordRemove();
   return Status::OK();
 }
 
@@ -112,11 +105,6 @@ Status PosixFileBackend::CreateDir(const std::string& dir) {
     return Status::IoError("cannot create " + dir + ": " + ec.message());
   }
   return Status::OK();
-}
-
-BackendStats PosixFileBackend::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
 }
 
 // ----------------------------------------------------------- in-memory ---
@@ -141,11 +129,7 @@ Result<std::string> InMemoryBackend::ReadBlock(const std::string& path) {
     }
     data = it->second;
   }
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.reads;
-    stats_.read_bytes += data->size();
-  }
+  stats_.RecordRead(data->size());
   return std::string(*data);
 }
 
@@ -158,9 +142,7 @@ Status InMemoryBackend::AtomicWriteBlock(const std::string& path,
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.objects[path] = std::move(obj);  // whole-object swap: atomic
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.writes;
-  stats_.write_bytes += data.size();
+  stats_.RecordWrite(data.size());
   return Status::OK();
 }
 
@@ -186,14 +168,8 @@ Status InMemoryBackend::Remove(const std::string& path) {
       return Status::NotFound("no such object: " + path);
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.removes;
+  stats_.RecordRemove();
   return Status::OK();
-}
-
-BackendStats InMemoryBackend::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
 }
 
 size_t InMemoryBackend::num_objects() const {
@@ -207,111 +183,42 @@ size_t InMemoryBackend::num_objects() const {
 
 // ----------------------------------------------------------- cached ------
 
+// CachedBackend is a single-tenant view of SharedBlockCache: the cache/
+// coalescing/staleness machinery (including the mutation bracket that closes
+// the doomed-fetch window) lives in one place and every tenant count is
+// charged to shard 0.
+
 CachedBackend::CachedBackend(std::shared_ptr<StorageBackend> base,
                              CachedBackendOptions options)
-    : base_(std::move(base)), options_(options) {}
+    : base_(std::move(base)), options_(options) {
+  SharedBlockCacheOptions cache_options;
+  cache_options.capacity_bytes = options_.capacity_bytes;
+  cache_options.prefetch_threads = 0;
+  cache_ = std::make_unique<SharedBlockCache>(cache_options);
+}
 
 CachedBackend::~CachedBackend() = default;
 
-void CachedBackend::EraseLocked(const std::string& path, uint64_t* counter) {
-  auto it = cache_.find(path);
-  if (it == cache_.end()) return;
-  cache_stats_.resident_bytes -= it->second.data->size();
-  --cache_stats_.resident_objects;
-  if (counter != nullptr) ++*counter;
-  lru_.erase(it->second.lru_it);
-  cache_.erase(it);
-}
-
-void CachedBackend::InsertLocked(const std::string& path,
-                                 std::shared_ptr<const std::string> data) {
-  if (data->size() > options_.capacity_bytes) return;  // never cacheable
-  EraseLocked(path, nullptr);  // replace, keeping the accounting exact
-  while (!lru_.empty() &&
-         cache_stats_.resident_bytes + data->size() >
-             options_.capacity_bytes) {
-    EraseLocked(lru_.back(), &cache_stats_.evictions);
-  }
-  lru_.push_front(path);
-  cache_stats_.resident_bytes += data->size();
-  ++cache_stats_.resident_objects;
-  cache_.emplace(path, Entry{std::move(data), lru_.begin()});
-}
-
 Result<std::string> CachedBackend::ReadBlock(const std::string& path) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.reads;
-  for (;;) {
-    auto hit = cache_.find(path);
-    if (hit != cache_.end()) {
-      // Touch: move to the LRU front.
-      lru_.erase(hit->second.lru_it);
-      lru_.push_front(path);
-      hit->second.lru_it = lru_.begin();
-      ++cache_stats_.hits;
-      cache_stats_.hit_bytes += hit->second.data->size();
-      stats_.read_bytes += hit->second.data->size();
-      std::shared_ptr<const std::string> data = hit->second.data;
-      lock.unlock();
-      return std::string(*data);
-    }
-    auto flight = inflight_.find(path);
-    if (flight == inflight_.end()) break;  // nobody fetching: we fetch
-    // Coalesce: wait for the in-flight base fetch instead of issuing our
-    // own. A fetch doomed by a concurrent write/remove holds bytes from
-    // before that write — returning them here would violate the staleness
-    // contract, so loop around and fetch fresh instead.
-    std::shared_ptr<Fetch> fetch = flight->second;
-    cv_.wait(lock, [&] { return fetch->done; });
-    if (fetch->doomed) continue;
-    if (!fetch->status.ok()) return fetch->status;
-    ++cache_stats_.hits;
-    ++cache_stats_.coalesced;
-    cache_stats_.hit_bytes += fetch->data->size();
-    stats_.read_bytes += fetch->data->size();
-    std::shared_ptr<const std::string> data = fetch->data;
-    lock.unlock();
-    return std::string(*data);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  Result<std::string> result = cache_->Read(0, base_.get(), path);
+  if (result.ok()) {
+    stats_.read_bytes.fetch_add(result->size(), std::memory_order_relaxed);
   }
-  // Miss: fetch from the base without holding the lock.
-  auto fetch = std::make_shared<Fetch>();
-  inflight_.emplace(path, fetch);
-  ++cache_stats_.misses;
-  lock.unlock();
-  Result<std::string> result = base_->ReadBlock(path);
-  lock.lock();
-  fetch->done = true;
-  inflight_.erase(path);
-  if (!result.ok()) {
-    fetch->status = result.status();
-    cv_.notify_all();
-    return fetch->status;
-  }
-  fetch->data =
-      std::make_shared<const std::string>(std::move(result).value());
-  cache_stats_.miss_bytes += fetch->data->size();
-  stats_.read_bytes += fetch->data->size();
-  if (!fetch->doomed) InsertLocked(path, fetch->data);
-  std::shared_ptr<const std::string> data = fetch->data;
-  cv_.notify_all();
-  lock.unlock();
-  return std::string(*data);
+  return result;
 }
 
 Status CachedBackend::AtomicWriteBlock(const std::string& path,
                                        const std::string& data, bool sync) {
-  // Write-through: the base stays authoritative. Invalidate before the base
-  // write so no reader can re-cache the old bytes afterwards, and doom any
-  // in-flight fetch so its (possibly stale) result is never inserted.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.writes;
-    stats_.write_bytes += data.size();
-    EraseLocked(path, &cache_stats_.invalidations);
-    auto flight = inflight_.find(path);
-    if (flight != inflight_.end()) flight->second->doomed = true;
-  }
-  return base_->AtomicWriteBlock(path, data, sync);
+  // Write-through: the base stays authoritative. The mutation bracket
+  // invalidates before the base write so no reader can re-cache the old
+  // bytes, dooms any in-flight fetch, and keeps the path poisoned until the
+  // base write returns so a fetch racing it cannot repopulate stale bytes.
+  stats_.RecordWrite(data.size());
+  cache_->BeginMutation(path);
+  Status status = base_->AtomicWriteBlock(path, data, sync);
+  cache_->EndMutation(path);
+  return status;
 }
 
 Result<std::vector<std::string>> CachedBackend::List(const std::string& dir) {
@@ -319,28 +226,32 @@ Result<std::vector<std::string>> CachedBackend::List(const std::string& dir) {
 }
 
 Status CachedBackend::Remove(const std::string& path) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.removes;
-    EraseLocked(path, &cache_stats_.invalidations);
-    auto flight = inflight_.find(path);
-    if (flight != inflight_.end()) flight->second->doomed = true;
-  }
-  return base_->Remove(path);
+  stats_.RecordRemove();
+  cache_->BeginMutation(path);
+  Status status = base_->Remove(path);
+  cache_->EndMutation(path);
+  return status;
 }
 
 Status CachedBackend::CreateDir(const std::string& dir) {
   return base_->CreateDir(dir);
 }
 
-BackendStats CachedBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+BackendStats CachedBackend::stats() const { return stats_.snapshot(); }
 
 CachedBackend::CacheStats CachedBackend::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_stats_;
+  SharedCacheStats s = cache_->stats();
+  CacheStats out;
+  out.hits = s.hits;
+  out.misses = s.misses;
+  out.coalesced = s.coalesced;
+  out.evictions = s.evictions;
+  out.invalidations = s.invalidations;
+  out.hit_bytes = s.hit_bytes;
+  out.miss_bytes = s.miss_bytes;
+  out.resident_bytes = s.resident_bytes;
+  out.resident_objects = s.resident_objects;
+  return out;
 }
 
 // ----------------------------------------------------------- factories ---

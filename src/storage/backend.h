@@ -22,9 +22,8 @@
 #define OREO_STORAGE_BACKEND_H_
 
 #include <array>
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +41,53 @@ struct BackendStats {
   uint64_t writes = 0;
   uint64_t write_bytes = 0;
   uint64_t removes = 0;
+};
+
+namespace internal {
+
+/// Backend op counters as relaxed atomics. Backends record ops from many
+/// threads (including the remote tier's background retries); keeping each
+/// field a std::atomic makes snapshot() torn-read-free per field without a
+/// lock. Cross-field consistency is not promised — BackendStats only
+/// guarantees monotonic per-field counters.
+struct AtomicBackendStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> read_bytes{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> write_bytes{0};
+  std::atomic<uint64_t> removes{0};
+
+  void RecordRead(uint64_t bytes) {
+    reads.fetch_add(1, std::memory_order_relaxed);
+    read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    writes.fetch_add(1, std::memory_order_relaxed);
+    write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordRemove() { removes.fetch_add(1, std::memory_order_relaxed); }
+
+  BackendStats snapshot() const {
+    BackendStats s;
+    s.reads = reads.load(std::memory_order_relaxed);
+    s.read_bytes = read_bytes.load(std::memory_order_relaxed);
+    s.writes = writes.load(std::memory_order_relaxed);
+    s.write_bytes = write_bytes.load(std::memory_order_relaxed);
+    s.removes = removes.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace internal
+
+/// Optional capability interface for backends that can warm an object into
+/// their cache tier asynchronously. StartPrefetch is advisory fire-and-
+/// forget: it may be dropped under load and its failure is never surfaced —
+/// a later ReadBlock of the same path remains the source of truth.
+class BlockPrefetcher {
+ public:
+  virtual ~BlockPrefetcher() = default;
+  virtual void StartPrefetch(const std::string& path) = 0;
 };
 
 /// Abstract byte-object store keyed by slash-separated paths.
@@ -87,11 +133,10 @@ class PosixFileBackend : public StorageBackend {
   Status Remove(const std::string& path) override;
   Status CreateDir(const std::string& dir) override;
   Status Sync() override { return Status::OK(); }
-  BackendStats stats() const override;
+  BackendStats stats() const override { return stats_.snapshot(); }
 
  private:
-  mutable std::mutex stats_mu_;
-  BackendStats stats_;
+  internal::AtomicBackendStats stats_;
 };
 
 /// Diskless backend: a lock-sharded path -> bytes map. Enables serving
@@ -109,7 +154,7 @@ class InMemoryBackend : public StorageBackend {
     return Status::OK();
   }
   Status Sync() override { return Status::OK(); }
-  BackendStats stats() const override;
+  BackendStats stats() const override { return stats_.snapshot(); }
 
   /// Objects currently stored (tests).
   size_t num_objects() const;
@@ -125,8 +170,7 @@ class InMemoryBackend : public StorageBackend {
   const Shard& ShardFor(const std::string& path) const;
 
   std::array<Shard, kNumShards> shards_;
-  mutable std::mutex stats_mu_;
-  BackendStats stats_;
+  internal::AtomicBackendStats stats_;
 };
 
 struct CachedBackendOptions {
@@ -147,10 +191,17 @@ struct CachedBackendOptions {
 /// whether it waited on the in-flight fetch or found the cached bytes.
 /// Eviction order is strict LRU over the mutex-serialized access sequence.
 ///
-/// Staleness: AtomicWriteBlock and Remove invalidate the cached object and
+/// Staleness: AtomicWriteBlock and Remove invalidate the cached object,
 /// doom any in-flight fetch of the same path (its result is returned to
-/// waiters but never inserted), so a read after a write always observes the
-/// new bytes.
+/// waiters but never inserted), and keep the path marked as mutating until
+/// the base op returns, so a fetch started *during* the base mutation is
+/// born doomed and cannot repopulate the cache with pre-write bytes. A read
+/// that begins after a write returns always observes the new bytes.
+///
+/// Implementation: a single-tenant view over SharedBlockCache (shard 0);
+/// multi-store deployments share one SharedBlockCache via SharedCacheBackend
+/// instead (storage/shared_cache.h).
+class SharedBlockCache;
 class CachedBackend : public StorageBackend {
  public:
   explicit CachedBackend(std::shared_ptr<StorageBackend> base,
@@ -184,31 +235,10 @@ class CachedBackend : public StorageBackend {
   size_t capacity_bytes() const { return options_.capacity_bytes; }
 
  private:
-  struct Fetch {
-    bool done = false;
-    bool doomed = false;  // written/removed while in flight: do not cache
-    std::shared_ptr<const std::string> data;
-    Status status;
-  };
-  struct Entry {
-    std::shared_ptr<const std::string> data;
-    std::list<std::string>::iterator lru_it;  // position in lru_
-  };
-
-  // All Locked helpers require mu_ held.
-  void EraseLocked(const std::string& path, uint64_t* counter);
-  void InsertLocked(const std::string& path,
-                    std::shared_ptr<const std::string> data);
-
   std::shared_ptr<StorageBackend> base_;
   CachedBackendOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;  // wakes readers waiting on an in-flight fetch
-  std::list<std::string> lru_;  // front = most recently used
-  std::unordered_map<std::string, Entry> cache_;
-  std::unordered_map<std::string, std::shared_ptr<Fetch>> inflight_;
-  CacheStats cache_stats_;
-  BackendStats stats_;
+  std::unique_ptr<SharedBlockCache> cache_;  // private, single tenant
+  internal::AtomicBackendStats stats_;
 };
 
 std::shared_ptr<StorageBackend> MakePosixBackend();

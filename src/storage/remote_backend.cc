@@ -1,0 +1,201 @@
+#include "storage/remote_backend.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace oreo {
+
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation. Fault
+// decisions must be stable across platforms and standard libraries, so the
+// path is digested with CRC-32C (stable by definition) rather than
+// std::hash (implementation-defined).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+const char* OpTag(uint32_t op) {
+  switch (op) {
+    case 1:
+      return "r:";
+    case 2:
+      return "w:";
+    case 3:
+      return "d:";
+    default:
+      return "l:";
+  }
+}
+
+}  // namespace
+
+RemoteBackend::RemoteBackend(std::shared_ptr<StorageBackend> base,
+                             RemoteBackendOptions options)
+    : base_(std::move(base)), options_(options) {}
+
+bool RemoteBackend::FaultsEnabled(Op op) const {
+  if (options_.fault_rate <= 0.0) return false;
+  switch (op) {
+    case Op::kRead:
+      return options_.fault_reads;
+    case Op::kWrite:
+      return options_.fault_writes;
+    case Op::kRemove:
+      return options_.fault_removes;
+    case Op::kList:
+      return options_.fault_lists;
+  }
+  return false;
+}
+
+Status RemoteBackend::MaybeInjectFault(Op op, const std::string& path) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  if (!FaultsEnabled(op)) return Status::OK();
+  // Afflicted-or-not and the fault count are pure functions of
+  // (seed, op, path): no RNG state, no time, no thread identity.
+  const uint64_t key = Mix64(options_.fault_seed ^
+                             (static_cast<uint64_t>(op) << 56) ^
+                             Crc32c(path.data(), path.size()));
+  if (ToUnit(key) >= options_.fault_rate) return Status::OK();
+  const uint32_t max_per_key =
+      options_.max_faults_per_key == 0 ? 1 : options_.max_faults_per_key;
+  const uint32_t fail_count = 1 + static_cast<uint32_t>(Mix64(key) % max_per_key);
+  uint32_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(attempts_mu_);
+    attempt = attempt_counts_[OpTag(static_cast<uint32_t>(op)) + path]++;
+  }
+  if (attempt >= fail_count) return Status::OK();
+  injected_faults_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable("injected transient fault (attempt " +
+                             std::to_string(attempt + 1) + "/" +
+                             std::to_string(fail_count) + "): " + path);
+}
+
+void RemoteBackend::ChargeLatency(uint64_t op_latency_us, uint64_t bytes) {
+  uint64_t sleep_us = op_latency_us;
+  if (options_.bandwidth_bytes_per_sec > 0 && bytes > 0) {
+    sleep_us += bytes * 1'000'000 / options_.bandwidth_bytes_per_sec;
+  }
+  if (sleep_us == 0) return;
+  latency_sleep_us_.fetch_add(sleep_us, std::memory_order_relaxed);
+  if (options_.sleep_for_real) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+void RemoteBackend::ChargeBackoff(uint64_t sleep_us) {
+  backoff_sleep_us_.fetch_add(sleep_us, std::memory_order_relaxed);
+  if (options_.sleep_for_real) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+}
+
+namespace {
+// Uniform access to "did this attempt succeed / what failed" for the two
+// attempt shapes (Status and Result<T>).
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace
+
+template <typename Fn>
+auto RemoteBackend::WithRetry(Fn&& attempt) -> decltype(attempt()) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t backoff_us = options_.initial_backoff_us;
+  for (uint32_t tries = 0;; ++tries) {
+    auto result = attempt();
+    if (StatusOf(result).code() != StatusCode::kUnavailable) return result;
+    if (tries >= options_.max_retries) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_us > 0) ChargeBackoff(backoff_us);
+    backoff_us = static_cast<uint64_t>(
+        static_cast<double>(backoff_us) * options_.backoff_multiplier);
+    if (backoff_us > options_.max_backoff_us) {
+      backoff_us = options_.max_backoff_us;
+    }
+  }
+}
+
+Result<std::string> RemoteBackend::ReadBlock(const std::string& path) {
+  Result<std::string> result = WithRetry(
+      [&]() -> Result<std::string> {
+        Status fault = MaybeInjectFault(Op::kRead, path);
+        if (!fault.ok()) return fault;  // faults strike before the payload
+        Result<std::string> r = base_->ReadBlock(path);
+        ChargeLatency(options_.read_latency_us, r.ok() ? r->size() : 0);
+        return r;
+      });
+  if (result.ok()) stats_.RecordRead(result->size());
+  return result;
+}
+
+Status RemoteBackend::AtomicWriteBlock(const std::string& path,
+                                       const std::string& data, bool sync) {
+  stats_.RecordWrite(data.size());
+  return WithRetry([&]() -> Status {
+    Status fault = MaybeInjectFault(Op::kWrite, path);
+    // A faulted write never reaches the base: the object is untouched, so
+    // the retry re-publishes the identical bytes (idempotent).
+    if (!fault.ok()) return fault;
+    ChargeLatency(options_.write_latency_us, data.size());
+    return base_->AtomicWriteBlock(path, data, sync);
+  });
+}
+
+Result<std::vector<std::string>> RemoteBackend::List(const std::string& dir) {
+  return WithRetry([&]() -> Result<std::vector<std::string>> {
+    Status fault = MaybeInjectFault(Op::kList, dir);
+    if (!fault.ok()) return fault;
+    ChargeLatency(options_.list_latency_us, 0);
+    return base_->List(dir);
+  });
+}
+
+Status RemoteBackend::Remove(const std::string& path) {
+  stats_.RecordRemove();
+  return WithRetry([&]() -> Status {
+    Status fault = MaybeInjectFault(Op::kRemove, path);
+    // Like writes, a faulted remove never reaches the base, so the retry is
+    // the first base-visible attempt — no NotFound-after-success ambiguity.
+    if (!fault.ok()) return fault;
+    ChargeLatency(options_.remove_latency_us, 0);
+    return base_->Remove(path);
+  });
+}
+
+RemoteBackendStats RemoteBackend::remote_stats() const {
+  RemoteBackendStats s;
+  s.ops = ops_.load(std::memory_order_relaxed);
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.injected_faults = injected_faults_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.exhausted = exhausted_.load(std::memory_order_relaxed);
+  s.backoff_sleep_us = backoff_sleep_us_.load(std::memory_order_relaxed);
+  s.latency_sleep_us = latency_sleep_us_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::shared_ptr<RemoteBackend> MakeRemoteBackend(
+    std::shared_ptr<StorageBackend> base, RemoteBackendOptions options) {
+  return std::make_shared<RemoteBackend>(std::move(base), options);
+}
+
+}  // namespace oreo

@@ -1,0 +1,148 @@
+// Simulated remote object store. ROADMAP item 2: prove the engine's
+// Theorem IV.1 guarantee is independent of where bytes live by running it
+// on slow, failure-prone storage. RemoteBackend decorates any inner backend
+// with the three properties that make remote tiers hard:
+//
+//   1. Latency: a configurable per-op sleep (the round trip) plus a
+//      bandwidth throttle proportional to the bytes moved.
+//   2. Transient failures: seeded-deterministic injected faults. Whether an
+//      op is "afflicted" is a pure function of (fault_seed, opcode, path),
+//      and an afflicted (opcode, path) fails its first `k` attempts with
+//      Status::Unavailable before healing, where `k` is also derived from
+//      the seed. The schedule is therefore independent of thread timing:
+//      the same seed yields the same faults and the same retry counts in
+//      every run, which keeps the engine's bit-identical determinism
+//      contract testable under failure injection.
+//   3. Retries: an exponential-backoff retry policy that absorbs transient
+//      kUnavailable faults internally. Non-transient errors (NotFound,
+//      IoError, ...) pass through immediately — retrying cannot fix them
+//      and retrying Remove-after-success would turn idempotence bugs into
+//      silent double-failures.
+//
+// The decorator never changes bytes: reads return exactly what the inner
+// backend holds and writes pass through verbatim, so partition CRCs are
+// identical to the undecorated run.
+#ifndef OREO_STORAGE_REMOTE_BACKEND_H_
+#define OREO_STORAGE_REMOTE_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace oreo {
+
+struct RemoteBackendOptions {
+  // --- simulated network ---
+  uint64_t read_latency_us = 0;    ///< round-trip sleep per ReadBlock attempt
+  uint64_t write_latency_us = 0;   ///< per AtomicWriteBlock attempt
+  uint64_t list_latency_us = 0;    ///< per List attempt
+  uint64_t remove_latency_us = 0;  ///< per Remove attempt
+  /// Payload throttle: each read/write additionally sleeps
+  /// bytes / bandwidth_bytes_per_sec. 0 = unthrottled.
+  uint64_t bandwidth_bytes_per_sec = 0;
+
+  // --- seeded-deterministic transient faults ---
+  /// Fraction of (opcode, path) keys that are afflicted (0.0 disables).
+  double fault_rate = 0.0;
+  /// An afflicted key fails its first 1..max_faults_per_key attempts
+  /// (seed-derived count) with Unavailable, then heals.
+  uint32_t max_faults_per_key = 2;
+  uint64_t fault_seed = 42;
+  bool fault_reads = true;
+  bool fault_writes = true;
+  bool fault_removes = true;
+  bool fault_lists = false;  ///< List drives recovery paths; default solid
+
+  // --- retry policy ---
+  /// Additional attempts after the first before Unavailable surfaces to the
+  /// caller. max_retries >= ceil(log2(max_faults_per_key)) + 1 guarantees
+  /// injected faults are always absorbed.
+  uint32_t max_retries = 5;
+  uint64_t initial_backoff_us = 100;
+  double backoff_multiplier = 2.0;
+  uint64_t max_backoff_us = 20'000;  ///< per-sleep cap, not a total deadline
+
+  /// Test hook: when false, backoff/latency/throttle sleeps are accounted
+  /// in the stats but not actually slept — fault/retry schedules stay
+  /// identical while walls run at full speed.
+  bool sleep_for_real = true;
+};
+
+/// Counters for the remote tier (all monotonic, torn-read-free).
+struct RemoteBackendStats {
+  uint64_t ops = 0;              ///< logical ops (retries not counted)
+  uint64_t attempts = 0;         ///< physical attempts (>= ops)
+  uint64_t injected_faults = 0;  ///< attempts failed by fault injection
+  uint64_t retries = 0;          ///< attempts after the first
+  uint64_t exhausted = 0;        ///< ops that surfaced Unavailable
+  uint64_t backoff_sleep_us = 0;
+  uint64_t latency_sleep_us = 0;  ///< per-op latency + bandwidth throttle
+};
+
+class RemoteBackend : public StorageBackend {
+ public:
+  explicit RemoteBackend(std::shared_ptr<StorageBackend> base,
+                         RemoteBackendOptions options = {});
+
+  std::string name() const override { return "remote(" + base_->name() + ")"; }
+  Result<std::string> ReadBlock(const std::string& path) override;
+  Status AtomicWriteBlock(const std::string& path, const std::string& data,
+                          bool sync) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status Remove(const std::string& path) override;
+  /// Control-plane ops: no latency, no faults (PhysicalStore treats
+  /// CreateDir failure as fatal, and Sync has no remote analogue here).
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Sync() override { return base_->Sync(); }
+  BackendStats stats() const override { return stats_.snapshot(); }
+
+  RemoteBackendStats remote_stats() const;
+  StorageBackend* base() const { return base_.get(); }
+  const RemoteBackendOptions& options() const { return options_; }
+
+ private:
+  enum class Op : uint32_t { kRead = 1, kWrite = 2, kRemove = 3, kList = 4 };
+
+  /// Deterministic per-attempt fault decision for (op, path); consumes one
+  /// attempt from the key's seed-derived fault budget.
+  Status MaybeInjectFault(Op op, const std::string& path);
+  /// Sleeps (or just accounts) the injected latency for `bytes` moved.
+  void ChargeLatency(uint64_t op_latency_us, uint64_t bytes);
+  void ChargeBackoff(uint64_t sleep_us);
+  bool FaultsEnabled(Op op) const;
+
+  template <typename Fn>
+  auto WithRetry(Fn&& attempt) -> decltype(attempt());
+
+  std::shared_ptr<StorageBackend> base_;
+  RemoteBackendOptions options_;
+  internal::AtomicBackendStats stats_;
+
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> injected_faults_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> backoff_sleep_us_{0};
+  std::atomic<uint64_t> latency_sleep_us_{0};
+
+  // (op, path) -> attempts so far; the only non-atomic state, guarded.
+  std::mutex attempts_mu_;
+  std::unordered_map<std::string, uint32_t> attempt_counts_;
+};
+
+std::shared_ptr<RemoteBackend> MakeRemoteBackend(
+    std::shared_ptr<StorageBackend> base, RemoteBackendOptions options = {});
+
+}  // namespace oreo
+
+#endif  // OREO_STORAGE_REMOTE_BACKEND_H_

@@ -1,0 +1,337 @@
+#include "storage/shared_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oreo {
+
+SharedBlockCache::SharedBlockCache(SharedBlockCacheOptions options)
+    : options_(options) {
+  workers_.reserve(options_.prefetch_threads);
+  for (size_t i = 0; i < options_.prefetch_threads; ++i) {
+    workers_.emplace_back([this] { PrefetchLoop(); });
+  }
+}
+
+SharedBlockCache::~SharedBlockCache() {
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    shutdown_ = true;
+    queue_.clear();  // pending warm-ups are advisory; drop them
+    queue_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void SharedBlockCache::EraseLocked(const std::string& path,
+                                   DropReason reason) {
+  auto it = cache_.find(path);
+  if (it == cache_.end()) return;
+  const Entry& entry = it->second;
+  ShardCacheStats& owner = shard_stats_[entry.owner];
+  stats_.resident_bytes -= entry.data->size();
+  --stats_.resident_objects;
+  owner.resident_bytes -= entry.data->size();
+  --owner.resident_objects;
+  if (reason == DropReason::kEviction) {
+    ++stats_.evictions;
+    ++owner.evictions_charged;
+  } else if (reason == DropReason::kInvalidation) {
+    ++stats_.invalidations;
+    ++owner.invalidations;
+  }
+  lru_.erase(entry.lru_it);
+  cache_.erase(it);
+}
+
+void SharedBlockCache::InsertLocked(const std::string& path, uint32_t shard,
+                                    std::shared_ptr<const std::string> data) {
+  if (data->size() > options_.capacity_bytes) return;  // never cacheable
+  EraseLocked(path, DropReason::kReplace);  // replace, keeping accounting exact
+  while (!lru_.empty() &&
+         stats_.resident_bytes + data->size() > options_.capacity_bytes) {
+    EraseLocked(lru_.back(), DropReason::kEviction);
+  }
+  lru_.push_front(path);
+  const size_t size = data->size();
+  cache_.emplace(path, Entry{std::move(data), shard, lru_.begin()});
+  stats_.resident_bytes += size;
+  ++stats_.resident_objects;
+  ShardCacheStats& owner = shard_stats_[shard];
+  owner.resident_bytes += size;
+  ++owner.resident_objects;
+}
+
+Result<std::string> SharedBlockCache::Read(uint32_t shard,
+                                           StorageBackend* base,
+                                           const std::string& path) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto hit = cache_.find(path);
+    if (hit != cache_.end()) {
+      // Touch: move to the LRU front.
+      lru_.erase(hit->second.lru_it);
+      lru_.push_front(path);
+      hit->second.lru_it = lru_.begin();
+      ++stats_.hits;
+      stats_.hit_bytes += hit->second.data->size();
+      ShardCacheStats& ss = shard_stats_[shard];
+      ++ss.hits;
+      ss.hit_bytes += hit->second.data->size();
+      std::shared_ptr<const std::string> data = hit->second.data;
+      lock.unlock();
+      return std::string(*data);
+    }
+    auto flight = inflight_.find(path);
+    if (flight == inflight_.end()) break;  // nobody fetching: we fetch
+    // Coalesce: wait for the in-flight fetch (demand or prefetch, any
+    // shard) instead of issuing our own. A doomed fetch either raced a
+    // mutation (its bytes may be stale) or was a failed prefetch; loop
+    // around and fetch fresh instead.
+    std::shared_ptr<Fetch> fetch = flight->second;
+    cv_.wait(lock, [&] { return fetch->done; });
+    if (fetch->doomed) continue;
+    if (!fetch->status.ok()) return fetch->status;
+    ++stats_.hits;
+    ++stats_.coalesced;
+    stats_.hit_bytes += fetch->data->size();
+    ShardCacheStats& ss = shard_stats_[shard];
+    ++ss.hits;
+    ss.hit_bytes += fetch->data->size();
+    std::shared_ptr<const std::string> data = fetch->data;
+    lock.unlock();
+    return std::string(*data);
+  }
+  // Miss: fetch from the base without holding the lock. A fetch started
+  // while a mutation of `path` is bracketing its base op is born doomed:
+  // the base may return pre-mutation bytes, which are valid for THIS
+  // reader (its read overlaps the mutation) but must never be cached.
+  auto fetch = std::make_shared<Fetch>();
+  fetch->doomed = MutationActiveLocked(path);
+  inflight_.emplace(path, fetch);
+  ++stats_.misses;
+  ++shard_stats_[shard].misses;
+  lock.unlock();
+  Result<std::string> result = base->ReadBlock(path);
+  lock.lock();
+  fetch->done = true;
+  inflight_.erase(path);
+  if (!result.ok()) {
+    fetch->status = result.status();
+    cv_.notify_all();
+    return fetch->status;
+  }
+  fetch->data =
+      std::make_shared<const std::string>(std::move(result).value());
+  stats_.miss_bytes += fetch->data->size();
+  shard_stats_[shard].miss_bytes += fetch->data->size();
+  if (!fetch->doomed) InsertLocked(path, shard, fetch->data);
+  std::shared_ptr<const std::string> data = fetch->data;
+  cv_.notify_all();
+  lock.unlock();
+  return std::string(*data);
+}
+
+void SharedBlockCache::BeginMutation(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(path, DropReason::kInvalidation);
+  auto flight = inflight_.find(path);
+  if (flight != inflight_.end()) flight->second->doomed = true;
+  ++active_mutations_[path];
+}
+
+void SharedBlockCache::EndMutation(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_mutations_.find(path);
+  OREO_CHECK(it != active_mutations_.end())
+      << "EndMutation without BeginMutation: " << path;
+  if (--it->second == 0) active_mutations_.erase(it);
+}
+
+void SharedBlockCache::RequestPrefetch(uint32_t shard,
+                                       std::shared_ptr<StorageBackend> base,
+                                       const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty()) {
+      ++stats_.prefetch_dropped;
+      return;
+    }
+    if (cache_.find(path) != cache_.end() ||
+        inflight_.find(path) != inflight_.end() ||
+        MutationActiveLocked(path)) {
+      ++stats_.prefetch_noops;
+      return;
+    }
+  }
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> qlock(queue_mu_);
+    if (!shutdown_ && queue_.size() < options_.max_queued_prefetches) {
+      queue_.push_back(PrefetchTask{shard, std::move(base), path});
+      queued = true;
+      queue_cv_.notify_one();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued) {
+    ++stats_.prefetch_requests;
+  } else {
+    ++stats_.prefetch_dropped;
+  }
+}
+
+void SharedBlockCache::DrainPrefetches() {
+  std::unique_lock<std::mutex> qlock(queue_mu_);
+  drain_cv_.wait(qlock,
+                 [&] { return queue_.empty() && active_prefetches_ == 0; });
+}
+
+void SharedBlockCache::PrefetchLoop() {
+  for (;;) {
+    PrefetchTask task;
+    {
+      std::unique_lock<std::mutex> qlock(queue_mu_);
+      queue_cv_.wait(qlock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_prefetches_;
+    }
+    RunPrefetch(task);
+    {
+      std::lock_guard<std::mutex> qlock(queue_mu_);
+      --active_prefetches_;
+      if (queue_.empty() && active_prefetches_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void SharedBlockCache::RunPrefetch(const PrefetchTask& task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The world may have moved since the request was queued; re-check.
+  if (cache_.find(task.path) != cache_.end() ||
+      inflight_.find(task.path) != inflight_.end() ||
+      MutationActiveLocked(task.path)) {
+    ++stats_.prefetch_noops;
+    return;
+  }
+  auto fetch = std::make_shared<Fetch>();
+  inflight_.emplace(task.path, fetch);
+  ++stats_.prefetch_fetches;
+  ++shard_stats_[task.shard].prefetch_fetches;
+  lock.unlock();
+  Result<std::string> result = task.base->ReadBlock(task.path);
+  lock.lock();
+  fetch->done = true;
+  inflight_.erase(task.path);
+  if (!result.ok()) {
+    // Prefetch failures are invisible: doom the fetch so any coalesced
+    // demand reader loops around and issues its own (authoritative) read
+    // instead of inheriting an advisory error.
+    fetch->doomed = true;
+    fetch->status = result.status();
+    cv_.notify_all();
+    return;
+  }
+  fetch->data =
+      std::make_shared<const std::string>(std::move(result).value());
+  stats_.prefetch_bytes += fetch->data->size();
+  if (!fetch->doomed) InsertLocked(task.path, task.shard, fetch->data);
+  cv_.notify_all();
+}
+
+SharedCacheStats SharedBlockCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ShardCacheStats SharedBlockCache::shard_stats(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shard_stats_.find(shard);
+  return it == shard_stats_.end() ? ShardCacheStats{} : it->second;
+}
+
+std::map<uint32_t, ShardCacheStats> SharedBlockCache::all_shard_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_stats_;
+}
+
+// ----------------------------------------------------- shard view --------
+
+SharedCacheBackend::SharedCacheBackend(std::shared_ptr<SharedBlockCache> cache,
+                                       std::shared_ptr<StorageBackend> base,
+                                       uint32_t shard)
+    : cache_(std::move(cache)), base_(std::move(base)), shard_(shard) {}
+
+std::string SharedCacheBackend::name() const {
+  return "sharedcache#" + std::to_string(shard_) + "(" + base_->name() + ")";
+}
+
+Result<std::string> SharedCacheBackend::ReadBlock(const std::string& path) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  Result<std::string> result = cache_->Read(shard_, base_.get(), path);
+  if (result.ok()) {
+    stats_.read_bytes.fetch_add(result->size(), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status SharedCacheBackend::AtomicWriteBlock(const std::string& path,
+                                            const std::string& data,
+                                            bool sync) {
+  stats_.RecordWrite(data.size());
+  cache_->BeginMutation(path);
+  Status status = base_->AtomicWriteBlock(path, data, sync);
+  cache_->EndMutation(path);
+  return status;
+}
+
+Result<std::vector<std::string>> SharedCacheBackend::List(
+    const std::string& dir) {
+  return base_->List(dir);
+}
+
+Status SharedCacheBackend::Remove(const std::string& path) {
+  stats_.RecordRemove();
+  cache_->BeginMutation(path);
+  Status status = base_->Remove(path);
+  cache_->EndMutation(path);
+  return status;
+}
+
+Status SharedCacheBackend::CreateDir(const std::string& dir) {
+  return base_->CreateDir(dir);
+}
+
+Status SharedCacheBackend::Sync() { return base_->Sync(); }
+
+void SharedCacheBackend::StartPrefetch(const std::string& path) {
+  cache_->RequestPrefetch(shard_, base_, path);
+}
+
+// ----------------------------------------------------- factories ---------
+
+std::shared_ptr<SharedBlockCache> MakeSharedBlockCache(
+    SharedBlockCacheOptions options) {
+  return std::make_shared<SharedBlockCache>(options);
+}
+
+std::shared_ptr<SharedCacheBackend> MakeSharedCacheBackend(
+    std::shared_ptr<SharedBlockCache> cache,
+    std::shared_ptr<StorageBackend> base, uint32_t shard) {
+  return std::make_shared<SharedCacheBackend>(std::move(cache),
+                                              std::move(base), shard);
+}
+
+std::shared_ptr<StorageBackend> WrapWithSharedCache(
+    std::shared_ptr<SharedBlockCache> cache,
+    std::shared_ptr<StorageBackend> base, uint32_t shard) {
+  if (cache == nullptr) return base;
+  if (base == nullptr) base = MakePosixBackend();
+  return MakeSharedCacheBackend(std::move(cache), std::move(base), shard);
+}
+
+}  // namespace oreo

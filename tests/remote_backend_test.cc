@@ -1,0 +1,401 @@
+// RemoteBackend contracts: the simulated remote object store that injects
+// latency and seeded-deterministic transient faults, and absorbs them with
+// exponential-backoff retries.
+//
+//   1. The fault schedule is a pure function of (seed, opcode, path): two
+//      backends with the same options inject the identical faults and spend
+//      the identical backoff budget for the identical op sequence.
+//   2. Retries absorb every injected fault (results match a fault-free
+//      run); non-transient errors are surfaced immediately, never retried.
+//   3. A faulted write/remove never reaches the base, so retries are
+//      idempotent re-publishes, and retry exhaustion surfaces Unavailable
+//      with the base untouched.
+//   4. stats() / remote_stats() snapshots are torn-read-free under
+//      concurrent writers (the TSan job runs this suite).
+//   5. Failure-path hardening (PhysicalStore): when a materialization or
+//      reorganization write fails AND the best-effort cleanup's Remove also
+//      fails (NotFound or IoError), the ORIGINAL write error surfaces —
+//      cleanup noise never masks it — and the store stays consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/physical.h"
+#include "storage/backend.h"
+#include "storage/remote_backend.h"
+#include "test_util.h"
+
+namespace oreo {
+namespace {
+
+RemoteBackendOptions FastFaultOptions(double fault_rate) {
+  RemoteBackendOptions o;
+  o.fault_rate = fault_rate;
+  o.sleep_for_real = false;  // account the sleeps, skip the wall time
+  return o;
+}
+
+TEST(RemoteBackendTest, RoundTripContractWithoutFaults) {
+  auto remote = MakeRemoteBackend(MakeInMemoryBackend(), FastFaultOptions(0));
+  ASSERT_TRUE(remote->CreateDir("d").ok());
+  ASSERT_TRUE(remote->AtomicWriteBlock("d/b", "beta", true).ok());
+  ASSERT_TRUE(remote->AtomicWriteBlock("d/a", "alpha", false).ok());
+
+  Result<std::string> read = remote->ReadBlock("d/a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "alpha");
+  EXPECT_EQ(remote->ReadBlock("d/missing").status().code(),
+            StatusCode::kIoError);
+
+  Result<std::vector<std::string>> listed = remote->List("d");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"d/a", "d/b"}));
+
+  ASSERT_TRUE(remote->Remove("d/a").ok());
+  EXPECT_EQ(remote->Remove("d/a").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(remote->Sync().ok());
+
+  BackendStats stats = remote->stats();
+  EXPECT_EQ(stats.reads, 1u);  // successful reads only, like the base
+  EXPECT_EQ(stats.read_bytes, 5u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.write_bytes, 9u);
+  EXPECT_EQ(stats.removes, 2u);
+
+  RemoteBackendStats rstats = remote->remote_stats();
+  EXPECT_EQ(rstats.injected_faults, 0u);
+  EXPECT_EQ(rstats.retries, 0u);
+  EXPECT_EQ(rstats.ops, rstats.attempts);
+}
+
+// Two backends, same seed, same op sequence: identical per-op outcomes and
+// identical fault/retry/backoff accounting. max_retries=0 keeps the faults
+// visible (every afflicted op surfaces Unavailable on its first attempt).
+TEST(RemoteBackendTest, FaultScheduleIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    RemoteBackendOptions o = FastFaultOptions(0.5);
+    o.fault_seed = seed;
+    o.max_retries = 0;
+    auto remote = MakeRemoteBackend(MakeInMemoryBackend(), o);
+    std::vector<StatusCode> outcomes;
+    for (int i = 0; i < 24; ++i) {
+      const std::string path = "det/p" + std::to_string(i);
+      outcomes.push_back(
+          remote->AtomicWriteBlock(path, "payload", false).code());
+      outcomes.push_back(remote->ReadBlock(path).status().code());
+      if (i % 3 == 0) outcomes.push_back(remote->Remove(path).code());
+    }
+    return std::make_pair(outcomes, remote->remote_stats());
+  };
+
+  auto [outcomes_a, stats_a] = run(/*seed=*/7);
+  auto [outcomes_b, stats_b] = run(/*seed=*/7);
+  EXPECT_EQ(outcomes_a, outcomes_b);
+  EXPECT_EQ(stats_a.ops, stats_b.ops);
+  EXPECT_EQ(stats_a.attempts, stats_b.attempts);
+  EXPECT_EQ(stats_a.injected_faults, stats_b.injected_faults);
+  EXPECT_EQ(stats_a.exhausted, stats_b.exhausted);
+  EXPECT_EQ(stats_a.backoff_sleep_us, stats_b.backoff_sleep_us);
+  EXPECT_GT(stats_a.injected_faults, 0u) << "fault_rate=0.5 never fired";
+  // With max_retries=0 some op outcomes must actually be Unavailable.
+  EXPECT_TRUE(std::count(outcomes_a.begin(), outcomes_a.end(),
+                         StatusCode::kUnavailable) > 0);
+
+  // A different seed yields a different schedule (sanity that the seed is
+  // actually part of the key).
+  auto [outcomes_c, stats_c] = run(/*seed=*/8);
+  (void)stats_c;
+  EXPECT_NE(outcomes_a, outcomes_c);
+}
+
+TEST(RemoteBackendTest, RetriesAbsorbEveryInjectedFault) {
+  RemoteBackendOptions o = FastFaultOptions(1.0);  // every key afflicted
+  o.max_faults_per_key = 2;
+  o.max_retries = 5;
+  auto remote = MakeRemoteBackend(MakeInMemoryBackend(), o);
+  auto plain = MakeInMemoryBackend();
+
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "abs/p" + std::to_string(i);
+    const std::string payload(1 + static_cast<size_t>(i) * 3, 'x');
+    ASSERT_TRUE(remote->AtomicWriteBlock(path, payload, false).ok());
+    ASSERT_TRUE(plain->AtomicWriteBlock(path, payload, false).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "abs/p" + std::to_string(i);
+    Result<std::string> via_remote = remote->ReadBlock(path);
+    Result<std::string> via_plain = plain->ReadBlock(path);
+    ASSERT_TRUE(via_remote.ok()) << via_remote.status().ToString();
+    EXPECT_EQ(*via_remote, *via_plain);
+  }
+  Result<std::vector<std::string>> listed = remote->List("abs");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 10u);
+
+  RemoteBackendStats stats = remote->remote_stats();
+  EXPECT_GT(stats.injected_faults, 0u);
+  EXPECT_EQ(stats.exhausted, 0u) << "a transient fault escaped the retries";
+  // Every injected fault was answered by exactly one retry.
+  EXPECT_EQ(stats.retries, stats.injected_faults);
+  EXPECT_EQ(stats.attempts, stats.ops + stats.retries);
+}
+
+TEST(RemoteBackendTest, ExhaustionSurfacesUnavailableAndBaseIsUntouched) {
+  RemoteBackendOptions o = FastFaultOptions(1.0);
+  o.max_faults_per_key = 1;  // fail_count is exactly 1 for every key
+  o.max_retries = 0;         // ...and no retry is allowed
+  auto base = MakeInMemoryBackend();
+  auto remote = MakeRemoteBackend(base, o);
+
+  Status write = remote->AtomicWriteBlock("ex/p", "data", false);
+  EXPECT_EQ(write.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(remote->remote_stats().exhausted, 1u);
+  // The faulted write never reached the base.
+  EXPECT_FALSE(base->ReadBlock("ex/p").ok());
+
+  // The key has spent its fault budget: the caller-level retry succeeds and
+  // publishes the full payload (idempotent re-publish).
+  ASSERT_TRUE(remote->AtomicWriteBlock("ex/p", "data", false).ok());
+  Result<std::string> read_back = base->ReadBlock("ex/p");
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, "data");
+}
+
+TEST(RemoteBackendTest, NonTransientErrorsAreNotRetried) {
+  auto remote = MakeRemoteBackend(MakeInMemoryBackend(), FastFaultOptions(0));
+  EXPECT_EQ(remote->ReadBlock("nope").status().code(), StatusCode::kIoError);
+  RemoteBackendStats stats = remote->remote_stats();
+  EXPECT_EQ(stats.ops, 1u);
+  EXPECT_EQ(stats.attempts, 1u) << "a non-transient error was retried";
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.backoff_sleep_us, 0u);
+}
+
+// The backoff schedule is exact: k injected faults cost
+// sum_{i=0..k-1} min(initial * multiplier^i, max_backoff).
+TEST(RemoteBackendTest, BackoffScheduleIsExactAndFullyAccounted) {
+  RemoteBackendOptions o = FastFaultOptions(1.0);
+  o.max_faults_per_key = 4;
+  o.max_retries = 8;
+  o.initial_backoff_us = 100;
+  o.backoff_multiplier = 2.0;
+  o.max_backoff_us = 20'000;
+  auto base = MakeInMemoryBackend();
+  ASSERT_TRUE(base->AtomicWriteBlock("bo/p", "payload", false).ok());
+  auto remote = MakeRemoteBackend(base, o);
+
+  Result<std::string> read = remote->ReadBlock("bo/p");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "payload");
+
+  RemoteBackendStats stats = remote->remote_stats();
+  const uint64_t k = stats.injected_faults;  // seed-derived, 1..4
+  ASSERT_GE(k, 1u);
+  ASSERT_LE(k, 4u);
+  EXPECT_EQ(stats.retries, k);
+  EXPECT_EQ(stats.attempts, k + 1);
+  uint64_t expected = 0, step = o.initial_backoff_us;
+  for (uint64_t i = 0; i < k; ++i) {
+    expected += step;
+    step = std::min<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(step) *
+                              o.backoff_multiplier),
+        o.max_backoff_us);
+  }
+  EXPECT_EQ(stats.backoff_sleep_us, expected);
+  EXPECT_EQ(stats.latency_sleep_us, 0u);
+}
+
+TEST(RemoteBackendTest, LatencyAndBandwidthAreAccountedNotChanged) {
+  RemoteBackendOptions o;
+  o.read_latency_us = 1000;
+  o.bandwidth_bytes_per_sec = 1'000'000;  // 1 MB/s => 1 us per byte
+  o.sleep_for_real = false;
+  auto base = MakeInMemoryBackend();
+  ASSERT_TRUE(base->AtomicWriteBlock("lat/p", std::string(500, 'z'), false)
+                  .ok());
+  auto remote = MakeRemoteBackend(base, o);
+
+  Result<std::string> read = remote->ReadBlock("lat/p");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 500u);
+  EXPECT_EQ(remote->remote_stats().latency_sleep_us, 1500u)
+      << "1000 us round trip + 500 bytes at 1 us/byte";
+}
+
+// Concurrent writers against one RemoteBackend while readers snapshot
+// stats() and remote_stats() in a loop: snapshots must be torn-read-free
+// (this suite runs under the TSan CI job) and the totals must reconcile.
+TEST(RemoteBackendTest, StatsSnapshotsAreTornFreeUnderConcurrency) {
+  RemoteBackendOptions o = FastFaultOptions(0.3);
+  o.max_retries = 5;
+  auto remote = MakeRemoteBackend(MakeInMemoryBackend(), o);
+
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 200;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::string path =
+            "hammer/w" + std::to_string(w) + "_" + std::to_string(i);
+        EXPECT_TRUE(remote->AtomicWriteBlock(path, "payload", false).ok());
+        Result<std::string> r = remote->ReadBlock(path);
+        EXPECT_TRUE(r.ok());
+        if (i % 4 == 0) {
+          EXPECT_TRUE(remote->Remove(path).ok());
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      // Each counter individually must never tear; cross-counter relations
+      // are only guaranteed at quiescence (asserted below), because the
+      // relaxed increments of different counters are not one transaction.
+      while (!done.load(std::memory_order_relaxed)) {
+        BackendStats stats = remote->stats();
+        EXPECT_LE(stats.reads, uint64_t{kWriters} * kOpsPerWriter);
+        RemoteBackendStats rstats = remote->remote_stats();
+        EXPECT_LE(rstats.ops,
+                  uint64_t{3} * kWriters * kOpsPerWriter);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  BackendStats stats = remote->stats();
+  EXPECT_EQ(stats.writes, uint64_t{kWriters} * kOpsPerWriter);
+  EXPECT_EQ(stats.reads, uint64_t{kWriters} * kOpsPerWriter);
+  RemoteBackendStats rstats = remote->remote_stats();
+  EXPECT_EQ(rstats.exhausted, 0u);
+  EXPECT_EQ(rstats.attempts, rstats.ops + rstats.retries);
+  EXPECT_EQ(rstats.retries, rstats.injected_faults);
+}
+
+// ---------------------------------------------------------------------------
+// Failure-path hardening: cleanup errors never mask the original failure.
+// ---------------------------------------------------------------------------
+
+// Fails a configurable class of writes (FaultInjectionBackend idiom) AND
+// fails or misreports every Remove — the hostile remote where the
+// best-effort cleanup after a failed write cannot make progress either.
+class HostileCleanupBackend : public StorageBackend {
+ public:
+  HostileCleanupBackend(std::shared_ptr<StorageBackend> base,
+                        std::string fail_substring, int64_t fail_after,
+                        StatusCode remove_code)
+      : base_(std::move(base)), fail_substring_(std::move(fail_substring)),
+        remaining_(fail_after), remove_code_(remove_code) {}
+
+  std::string name() const override {
+    return "hostile(" + base_->name() + ")";
+  }
+  Result<std::string> ReadBlock(const std::string& path) override {
+    return base_->ReadBlock(path);
+  }
+  Status AtomicWriteBlock(const std::string& path, const std::string& data,
+                          bool sync) override {
+    if (path.find(fail_substring_) != std::string::npos &&
+        remaining_.fetch_sub(1) <= 0) {
+      return Status::IoError("injected write failure: " + path);
+    }
+    return base_->AtomicWriteBlock(path, data, sync);
+  }
+  Result<std::vector<std::string>> List(const std::string& dir) override {
+    return base_->List(dir);
+  }
+  Status Remove(const std::string& path) override {
+    ++removes_attempted_;
+    if (remove_code_ == StatusCode::kNotFound) {
+      base_->Remove(path).ok();  // delete for real, then misreport
+      return Status::NotFound("remote claims it never existed: " + path);
+    }
+    return Status::IoError("injected cleanup failure: " + path);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Sync() override { return base_->Sync(); }
+  BackendStats stats() const override { return base_->stats(); }
+
+  int removes_attempted() const { return removes_attempted_.load(); }
+
+ private:
+  std::shared_ptr<StorageBackend> base_;
+  std::string fail_substring_;
+  std::atomic<int64_t> remaining_;
+  StatusCode remove_code_;
+  std::atomic<int> removes_attempted_{0};
+};
+
+TEST(PhysicalStoreFailurePathTest,
+     MaterializationWriteErrorIsNeverMaskedByCleanupFailure) {
+  Table t = testutil::MakeEventTable(2000, 41);
+  LayoutInstance by_ts = testutil::MakeSortedInstance(t, 0, 8, "by_ts", 3);
+  for (StatusCode remove_code :
+       {StatusCode::kNotFound, StatusCode::kIoError}) {
+    auto base = MakeInMemoryBackend();
+    auto hostile = std::make_shared<HostileCleanupBackend>(
+        base, "part_", /*fail_after=*/3, remove_code);
+    std::string dir = testutil::ScratchDir(
+        std::string("hostile_mat_") + StatusCodeName(remove_code));
+    core::PhysicalStore store(dir, /*num_threads=*/4, hostile);
+
+    auto mat = store.MaterializeLayout(t, by_ts);
+    ASSERT_FALSE(mat.ok());
+    EXPECT_EQ(mat.status().code(), StatusCode::kIoError);
+    EXPECT_NE(mat.status().ToString().find("injected write failure"),
+              std::string::npos)
+        << "cleanup noise masked the original write error: "
+        << mat.status().ToString();
+    EXPECT_GT(hostile->removes_attempted(), 0)
+        << "the failure path never even attempted cleanup";
+  }
+}
+
+TEST(PhysicalStoreFailurePathTest,
+     ReorganizationWriteErrorSurvivesCleanupFailureAndOldLayoutServes) {
+  const uint64_t seed = 43;
+  Table t = testutil::MakeEventTable(2000, seed);
+  LayoutInstance by_ts = testutil::MakeSortedInstance(t, 0, 8, "by_ts", 3);
+  LayoutInstance by_qty = testutil::MakeSortedInstance(t, 1, 8, "by_qty", 3);
+  std::vector<Query> queries =
+      testutil::MakeRangeWorkload(1, 1000, 100, 10, seed + 1);
+
+  auto base = MakeInMemoryBackend();
+  auto hostile = std::make_shared<HostileCleanupBackend>(
+      base, "part_e2", /*fail_after=*/1, StatusCode::kIoError);
+  std::string dir = testutil::ScratchDir("hostile_reorg");
+  core::PhysicalStore store(dir, /*num_threads=*/4, hostile);
+  ASSERT_TRUE(store.MaterializeLayout(t, by_ts).ok());
+
+  auto reorg = store.Reorganize(t, by_qty);
+  ASSERT_FALSE(reorg.ok());
+  EXPECT_EQ(reorg.status().code(), StatusCode::kIoError);
+  EXPECT_NE(reorg.status().ToString().find("injected write failure"),
+            std::string::npos)
+      << "cleanup noise masked the original write error: "
+      << reorg.status().ToString();
+
+  // The store still serves the old layout, correctly, even though nothing
+  // could be cleaned up.
+  for (const Query& q : queries) {
+    auto exec = store.ExecuteQuery(q);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    EXPECT_EQ(exec->matches, CountMatches(t, q));
+  }
+}
+
+}  // namespace
+}  // namespace oreo
