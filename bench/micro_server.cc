@@ -1,0 +1,393 @@
+// Micro-benchmark for the serving tier (tools/oreo_server's engine room):
+//
+//   1. Saturation sweep: closed-loop loopback clients (each one a full wire
+//      round trip: encode -> session -> admission -> batcher -> RunBatch ->
+//      reply frame) hammer one tenant at rising concurrency. Per level the
+//      harness records throughput and the client-observed p50/p99 latency.
+//      Throughput should rise monotonically with offered load until the
+//      tenant dispatcher saturates, then plateau — batch formation is the
+//      mechanism (observed batch sizes grow with pressure), so the sweep
+//      also records batches and the largest batch the dispatcher formed.
+//
+//   2. Backpressure under overload: a burst far beyond a deliberately tiny
+//      admission queue must come back split into executed replies and
+//      *inline* backpressure rejections — never blocking the submitter and
+//      never losing a callback. The harness checks the arithmetic exactly
+//      (ok + rejected == submitted, rejected > 0) and records how cheap a
+//      rejection is compared to an executed request.
+//
+// Emits a JSON document (schema documented in docs/BENCHMARKS.md) so the
+// perf trajectory can be recorded run over run.
+//
+// Flags: --rows=N --queries=N (per client) --clients=1,2,4,8,16
+//        --seed=N --burst=N --out=path.json (default: BENCH_server.json in
+//        the working directory; run from the repo root to land it next to
+//        the other BENCH_*.json files)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "layout/qdtree_layout.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace oreo {
+namespace bench {
+namespace {
+
+Table MakeServedTable(size_t rows, uint64_t seed) {
+  Table t(Schema({{"ts", DataType::kInt64},
+                  {"qty", DataType::kInt64},
+                  {"cat", DataType::kString}}));
+  Rng rng(seed);
+  const char* cats[] = {"a", "b", "c", "d"};
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRow({Value(static_cast<int64_t>(i)),
+                 Value(rng.UniformInt(0, 100000)),
+                 Value(cats[rng.Uniform(4)])});
+  }
+  return t;
+}
+
+// Narrow ts ranges with occasional qty ranges: enough template drift that
+// the engine keeps generating layouts while the server batches (the cost we
+// are measuring is the full serve path, not a degenerate cached scan).
+std::vector<Query> MakeClientStream(int client_index, size_t n, size_t rows,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> out;
+  for (size_t i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<int64_t>(client_index + 1) * 1000000 +
+           static_cast<int64_t>(i);
+    if (i % 8 != 0) {
+      int64_t width = static_cast<int64_t>(rows) / 100;
+      int64_t lo = rng.UniformInt(0, static_cast<int64_t>(rows) - width);
+      q.conjuncts = {Predicate::Between(0, Value(lo), Value(lo + width))};
+    } else {
+      int64_t lo = rng.UniformInt(0, 90000);
+      q.conjuncts = {Predicate::Between(1, Value(lo), Value(lo + 10000))};
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+core::OreoOptions ServedEngineOptions(uint64_t seed) {
+  core::OreoOptions opts;
+  opts.seed = seed;
+  opts.num_threads = 2;
+  opts.window_size = 200;
+  opts.generate_every = 200;
+  opts.max_states = 4;
+  opts.target_partitions = 8;
+  opts.dataset_sample_rows = 400;
+  return opts;
+}
+
+std::vector<size_t> ParseSizeList(const Flags& flags, const std::string& name,
+                                  const std::string& def) {
+  std::vector<size_t> out;
+  const std::string spec = flags.GetString(name, def);
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    OREO_CHECK(!item.empty() && item.size() <= 9 &&
+               item.find_first_not_of("0123456789") == std::string::npos)
+        << "--" << name << " must be positive integers, got '" << spec << "'";
+    const size_t value = std::stoul(item);
+    OREO_CHECK_GT(value, 0u)
+        << "--" << name << " must be positive integers, got '" << spec << "'";
+    out.push_back(value);
+  }
+  OREO_CHECK(!out.empty()) << "--" << name << " list is empty";
+  return out;
+}
+
+double PercentileUs(std::vector<double>* latencies_us, double p) {
+  OREO_CHECK(!latencies_us->empty());
+  std::sort(latencies_us->begin(), latencies_us->end());
+  size_t idx = static_cast<size_t>(p * (latencies_us->size() - 1));
+  return (*latencies_us)[idx];
+}
+
+struct SaturationRun {
+  size_t clients = 0;
+  size_t offered = 0;    // total queries sent this level
+  uint64_t executed = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch = 0;
+  double seconds = 0.0;
+  double queries_per_second = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+SaturationRun RunSaturationLevel(const Table& table, LayoutGenerator* gen,
+                                 size_t clients, size_t queries_per_client,
+                                 size_t rows, uint64_t seed) {
+  server::OreoServer srv;
+  server::TenantConfig cfg;
+  cfg.name = "bench";
+  cfg.table = &table;
+  cfg.generator = gen;
+  cfg.time_column = 0;
+  cfg.options = ServedEngineOptions(seed);
+  cfg.batch.max_batch = 32;
+  cfg.batch.max_delay_us = 200;
+  cfg.batch.max_queue = 1u << 16;  // saturation sweep: nothing rejected
+  OREO_CHECK(srv.AddTenant(1, cfg).ok());
+  OREO_CHECK(srv.Start().ok());
+
+  std::vector<std::vector<double>> per_client_latencies(clients);
+  std::vector<std::thread> workers;
+  Stopwatch sw;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      std::vector<Query> stream = MakeClientStream(
+          static_cast<int>(c), queries_per_client, rows, seed + 100 + c);
+      server::LoopbackClient client(&srv);
+      per_client_latencies[c].reserve(stream.size());
+      for (const Query& q : stream) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto reply = client.Call(1, q);
+        auto t1 = std::chrono::steady_clock::now();
+        OREO_CHECK(reply.ok()) << reply.status().ToString();
+        OREO_CHECK(reply->status == server::ReplyStatus::kOk)
+            << reply->message;
+        per_client_latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds = sw.ElapsedSeconds();
+  srv.Shutdown();
+
+  server::ServerStats stats = srv.stats();
+  SaturationRun r;
+  r.clients = clients;
+  r.offered = clients * queries_per_client;
+  r.executed = stats.executed;
+  r.batches = stats.batches;
+  r.max_batch = stats.max_batch_observed;
+  r.seconds = seconds;
+  r.queries_per_second =
+      seconds > 0 ? static_cast<double>(r.offered) / seconds : 0.0;
+  OREO_CHECK_EQ(r.executed, r.offered) << "saturation level lost queries";
+  OREO_CHECK_EQ(stats.rejected_backpressure, 0u)
+      << "generous queue must not reject";
+
+  std::vector<double> all;
+  for (auto& v : per_client_latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  r.p50_us = PercentileUs(&all, 0.50);
+  r.p99_us = PercentileUs(&all, 0.99);
+  return r;
+}
+
+struct BackpressureRun {
+  size_t burst = 0;
+  size_t max_queue = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  double submit_seconds = 0.0;  // wall clock for the whole burst of Submits
+  double drain_seconds = 0.0;   // until the last admitted reply fired
+};
+
+// Open-loop burst against a tiny queue whose dispatcher is gated inside
+// batch #1 for the duration of the burst (the overflow is deterministic, not
+// a race against the drain rate): Submit never blocks — submit_seconds
+// covers the whole burst while the dispatcher is provably stuck — the
+// over-quota requests are answered kBackpressure inline, and every callback
+// fires exactly once.
+BackpressureRun RunBackpressureBurst(const Table& table, LayoutGenerator* gen,
+                                     size_t burst, size_t rows,
+                                     uint64_t seed) {
+  constexpr size_t kMaxQueue = 4;
+  OREO_CHECK_GT(burst, kMaxQueue + 1);
+
+  server::OreoServer srv;
+  server::TenantConfig cfg;
+  cfg.name = "bench";
+  cfg.table = &table;
+  cfg.generator = gen;
+  cfg.time_column = 0;
+  cfg.options = ServedEngineOptions(seed);
+  cfg.batch.max_batch = 1;         // one query per batch while gated
+  cfg.batch.max_delay_us = 0;
+  cfg.batch.max_queue = kMaxQueue;  // deliberately tiny: the burst overflows
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_released = false;
+  server::ServerTestHooks hooks;
+  hooks.on_batch_start = [&](uint32_t, size_t) {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_released; });
+  };
+  OREO_CHECK(srv.AddTenant(1, cfg).ok());
+  srv.set_test_hooks(std::move(hooks));
+  OREO_CHECK(srv.Start().ok());
+
+  std::vector<Query> stream = MakeClientStream(0, burst, rows, seed + 7);
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> fired{0};
+
+  BackpressureRun r;
+  r.burst = burst;
+  r.max_queue = kMaxQueue;
+  Stopwatch sw;
+  for (size_t i = 0; i < burst; ++i) {
+    srv.Submit(1, stream[i], /*request_id=*/i + 1,
+               [&ok, &rejected, &fired](const server::QueryReply& reply) {
+                 if (reply.status == server::ReplyStatus::kOk) {
+                   ok.fetch_add(1);
+                 } else {
+                   OREO_CHECK(reply.status ==
+                              server::ReplyStatus::kBackpressure)
+                       << reply.message;
+                   rejected.fetch_add(1);
+                 }
+                 fired.fetch_add(1);
+               });
+  }
+  r.submit_seconds = sw.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_released = true;
+  }
+  gate_cv.notify_all();
+  while (fired.load() < burst) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  r.drain_seconds = sw.ElapsedSeconds();
+  srv.Shutdown();
+
+  r.ok = ok.load();
+  r.rejected = rejected.load();
+  OREO_CHECK_EQ(r.ok + r.rejected, burst) << "a callback was lost or doubled";
+  // The queue admits the first kMaxQueue for sure; the dispatcher may have
+  // popped at most one into the gated batch before the queue refilled.
+  OREO_CHECK_GE(r.ok, kMaxQueue);
+  OREO_CHECK_LE(r.ok, kMaxQueue + 1);
+  OREO_CHECK_GE(r.rejected, burst - kMaxQueue - 1)
+      << "burst never overflowed the queue";
+  OREO_CHECK_EQ(srv.stats().rejected_backpressure, r.rejected);
+  OREO_CHECK_EQ(srv.stats().executed, r.ok);
+  return r;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetInt("rows", 20000));
+  const size_t queries_per_client =
+      static_cast<size_t>(flags.GetInt("queries", 400));
+  const size_t burst = static_cast<size_t>(flags.GetInt("burst", 256));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  std::vector<size_t> client_counts =
+      ParseSizeList(flags, "clients", "1,2,4,8,16");
+
+  std::fprintf(stderr,
+               "micro_server: rows=%zu queries/client=%zu (hardware: %u)\n",
+               rows, queries_per_client, std::thread::hardware_concurrency());
+
+  Table table = MakeServedTable(rows, seed);
+  QdTreeGenerator generator;
+
+  // Part 1 — saturation sweep: rising closed-loop concurrency.
+  std::vector<SaturationRun> levels;
+  for (size_t clients : client_counts) {
+    levels.push_back(RunSaturationLevel(table, &generator, clients,
+                                        queries_per_client, rows, seed));
+    const SaturationRun& r = levels.back();
+    std::fprintf(stderr,
+                 "  clients=%zu q/s=%.1f p50=%.0fus p99=%.0fus "
+                 "batches=%llu max_batch=%llu\n",
+                 r.clients, r.queries_per_second, r.p50_us, r.p99_us,
+                 static_cast<unsigned long long>(r.batches),
+                 static_cast<unsigned long long>(r.max_batch));
+  }
+  // Throughput should be monotone non-decreasing until saturation; warn (do
+  // not fail: timers are noisy on shared CI hosts) when a level regresses
+  // more than 20% below its predecessor.
+  for (size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].queries_per_second <
+        0.8 * levels[i - 1].queries_per_second) {
+      std::fprintf(stderr,
+                   "  WARNING: throughput dropped %.1f -> %.1f q/s "
+                   "between clients=%zu and clients=%zu\n",
+                   levels[i - 1].queries_per_second,
+                   levels[i].queries_per_second, levels[i - 1].clients,
+                   levels[i].clients);
+    }
+  }
+
+  // Part 2 — backpressure under overload.
+  BackpressureRun bp = RunBackpressureBurst(table, &generator, burst, rows,
+                                            seed);
+  std::fprintf(stderr,
+               "  burst=%zu ok=%llu rejected=%llu submit=%.4fs drain=%.4fs\n",
+               bp.burst, static_cast<unsigned long long>(bp.ok),
+               static_cast<unsigned long long>(bp.rejected),
+               bp.submit_seconds, bp.drain_seconds);
+
+  // JSON emission (stable key order).
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"micro_server\",\n"
+       << "  \"rows\": " << rows << ",\n"
+       << "  \"queries_per_client\": " << queries_per_client << ",\n"
+       << "  \"batch_policy\": {\"max_batch\": 32, \"max_delay_us\": 200},\n"
+       << "  \"saturation\": [\n";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    const SaturationRun& r = levels[i];
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"clients\": %zu, \"offered\": %zu, \"seconds\": %.6f, "
+        "\"queries_per_second\": %.2f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"batches\": %llu, \"max_batch_observed\": %llu}%s\n",
+        r.clients, r.offered, r.seconds, r.queries_per_second, r.p50_us,
+        r.p99_us, static_cast<unsigned long long>(r.batches),
+        static_cast<unsigned long long>(r.max_batch),
+        i + 1 < levels.size() ? "," : "");
+    json << buf;
+  }
+  json << "  ],\n  \"backpressure\": ";
+  {
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"burst\": %zu, \"max_queue\": %zu, \"ok\": %llu, "
+        "\"rejected_backpressure\": %llu, \"submit_seconds\": %.6f, "
+        "\"drain_seconds\": %.6f}\n",
+        bp.burst, bp.max_queue, static_cast<unsigned long long>(bp.ok),
+        static_cast<unsigned long long>(bp.rejected), bp.submit_seconds,
+        bp.drain_seconds);
+    json << buf;
+  }
+  json << "}\n";
+
+  EmitBenchJson(flags, "server", json.str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace oreo
+
+int main(int argc, char** argv) { return oreo::bench::Main(argc, argv); }

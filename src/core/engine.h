@@ -22,8 +22,11 @@
 #ifndef OREO_CORE_ENGINE_H_
 #define OREO_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +39,43 @@ namespace core {
 
 class Oreo;
 struct OreoOptions;
+
+namespace internal {
+
+/// Debug detector for the engines' external-synchronization contract.
+///
+/// The online algorithm is inherently sequential — every query updates the
+/// window, the admission samples and the D-UMTS counters — so Step / RunBatch
+/// / RunTrace require external synchronization: at most one caller thread may
+/// be inside the engine at a time (nested entry from the same thread is fine;
+/// RunBatch runs through the Step code path). Violations used to corrupt
+/// state silently; the guard makes them abort in debug builds instead. Use
+/// `BatchSubmitter` (below) when multiple producer threads must feed one
+/// engine. All counters are relaxed atomics, so the guard itself is
+/// data-race-free under TSan; release (NDEBUG) builds compile it away.
+class SingleCallerGuard {
+ public:
+  class Scope {
+   public:
+    explicit Scope(SingleCallerGuard* guard);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+#ifndef NDEBUG
+    SingleCallerGuard* guard_;
+#endif
+  };
+
+ private:
+#ifndef NDEBUG
+  std::atomic<int> depth_{0};
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+}  // namespace internal
 
 /// Per-engine traces plus merged accounting from OreoEngine::RunTrace.
 /// The unsharded engine fills exactly one slot (the whole stream).
@@ -145,6 +185,40 @@ std::unique_ptr<OreoEngine> MakeEngine(const Table* table,
                                        const LayoutGenerator* generator,
                                        int time_column,
                                        const OreoOptions& options);
+
+/// The reusable batch-submission hook: serializes batch submission from many
+/// producer threads onto one engine.
+///
+/// OreoEngine::Step / RunBatch assume a single caller (see
+/// internal::SingleCallerGuard); any multiplexing front end — the
+/// `server::TenantBatcher` is the in-tree user — funnels its traffic through
+/// one BatchSubmitter per engine instead of calling the engine directly.
+/// Submissions are mutually exclusive and each batch's logical decisions,
+/// physical execution and reconciliation happen under one critical section,
+/// so batches from different producers can interleave only at batch
+/// boundaries — exactly the granularity at which results are
+/// order-dependent but never torn.
+class BatchSubmitter {
+ public:
+  /// `engine` must outlive this object.
+  explicit BatchSubmitter(OreoEngine* engine) : engine_(engine) {}
+
+  /// Runs the batch's logical decisions under the submission lock.
+  OreoEngine::BatchResult Run(const QueryBatch& batch);
+
+  /// Runs the batch logically, executes it against the engine's pinned
+  /// snapshot(s), then reconciles background rewrites at the batch boundary
+  /// (SyncPhysical) — all under the submission lock. `logical` (optional)
+  /// receives the decision results. Requires AttachPhysical.
+  Result<PhysicalStore::BatchExec> RunPhysical(
+      const QueryBatch& batch, OreoEngine::BatchResult* logical = nullptr);
+
+  OreoEngine* engine() { return engine_; }
+
+ private:
+  OreoEngine* engine_;  // not owned
+  std::mutex mu_;
+};
 
 }  // namespace core
 }  // namespace oreo

@@ -51,6 +51,7 @@ Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
 Oreo::~Oreo() = default;
 
 Oreo::StepResult Oreo::Step(const Query& query) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
   std::vector<ManagerEvent> events =
       manager_->Observe(query, strategy_->current_state());
   int forced = strategy_->ApplyEvents(events);
@@ -75,6 +76,7 @@ Oreo::StepResult Oreo::Step(const Query& query) {
 }
 
 Oreo::BatchResult Oreo::RunBatch(const QueryBatch& batch) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
   BatchResult result;
   result.steps.reserve(batch.size());
   // Decisions are sequential by construction (see the header); routing every
@@ -90,6 +92,7 @@ Oreo::BatchResult Oreo::RunBatch(const QueryBatch& batch) {
 }
 
 SimResult Oreo::Run(const std::vector<Query>& queries, bool record_trace) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
   SimOptions sim;
   sim.alpha = options_.alpha;
   sim.reorg_delay = options_.reorg_delay;

@@ -119,6 +119,12 @@ class Oreo : public OreoEngine {
   /// dispatch and hands the caller per-batch switch points, so physical
   /// execution can group each batch's queries by serving state and fan them
   /// out through PhysicalStore::ExecuteQueryBatch.
+  ///
+  /// External-synchronization contract: Step / RunBatch / Run assume a
+  /// single caller — concurrent entry from two threads corrupts the
+  /// sequential decision state and is a programmer error (aborted by a debug
+  /// assert, see internal::SingleCallerGuard). Multiplexing front ends must
+  /// serialize submission through a core::BatchSubmitter.
   BatchResult RunBatch(const QueryBatch& batch) override;
 
   /// Convenience API: run a whole stream through the framework and return
@@ -182,6 +188,7 @@ class Oreo : public OreoEngine {
  private:
   OreoOptions options_;
   const Table* table_;  // not owned
+  mutable internal::SingleCallerGuard caller_guard_;
   StateRegistry registry_;
   std::unique_ptr<LayoutManager> manager_;
   std::unique_ptr<OreoStrategy> strategy_;

@@ -89,6 +89,7 @@ ShardedOreo::ShardedStepResult ShardedOreo::StepSharded(const Query& query) {
 
 ShardedOreo::ShardedBatchResult ShardedOreo::RunBatchSharded(
     const QueryBatch& batch) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
   const size_t n = engines_.size();
   // Serial routing in stream order: the per-shard sub-streams (and their
   // order) never depend on the pool.
@@ -156,6 +157,7 @@ OreoEngine::BatchResult ShardedOreo::RunBatch(const QueryBatch& batch) {
 
 ShardedSimResult ShardedOreo::Run(const std::vector<Query>& queries,
                                   bool record_trace) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
   const size_t n = engines_.size();
   ShardedSimResult result;
   result.shard_streams.assign(n, {});

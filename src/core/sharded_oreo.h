@@ -89,6 +89,12 @@ class ShardedOreo : public OreoEngine {
   /// Batched streaming API: routes each query in stream order, fans the
   /// per-shard sub-batches out across the pool (decisions stay sequential
   /// within a shard), and merges per-query results serially in stream order.
+  ///
+  /// External-synchronization contract: like Oreo::RunBatch, the facade
+  /// assumes a single caller — concurrent StepSharded / RunBatchSharded /
+  /// Run callers would interleave routing and per-shard decision state and
+  /// abort under the debug assert (internal::SingleCallerGuard). Serialize
+  /// multi-producer submission through a core::BatchSubmitter.
   ShardedBatchResult RunBatchSharded(const QueryBatch& batch);
 
   /// OreoEngine flat views of StepSharded / RunBatchSharded: `state` is the
@@ -169,6 +175,7 @@ class ShardedOreo : public OreoEngine {
 
  private:
   ShardRouter router_;
+  mutable internal::SingleCallerGuard caller_guard_;
   std::vector<std::unique_ptr<ShardEngine>> engines_;
   std::vector<double> weights_;
   std::unique_ptr<ThreadPool> pool_;  // batch fan-out across shards

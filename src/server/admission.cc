@@ -1,0 +1,95 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace server {
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted: return "ADMITTED";
+    case AdmissionOutcome::kBackpressure: return "BACKPRESSURE";
+    case AdmissionOutcome::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+AdmissionQueue::AdmissionQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+AdmissionOutcome AdmissionQueue::Push(PendingRequest* request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return AdmissionOutcome::kShutdown;
+    if (queue_.size() >= capacity_) return AdmissionOutcome::kBackpressure;
+    queue_.push_back(std::move(*request));
+  }
+  cv_.notify_one();
+  return AdmissionOutcome::kAdmitted;
+}
+
+size_t AdmissionQueue::PopBatch(size_t max_batch, uint64_t max_delay_us,
+                                std::vector<PendingRequest>* out,
+                                bool* closed) {
+  OREO_CHECK(max_batch > 0);
+  out->clear();
+  *closed = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (closed_) {
+    // Leftovers belong to DrainRemaining: a closed queue hands out no work,
+    // mirroring the ReorgPool's queued-jobs-are-discarded shutdown contract.
+    *closed = true;
+    return 0;
+  }
+  if (max_delay_us > 0 && queue_.size() < max_batch) {
+    // The latency side of the batching policy: give the batch up to T
+    // microseconds to fill before running below capacity.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(max_delay_us);
+    cv_.wait_until(lock, deadline,
+                   [&] { return closed_ || queue_.size() >= max_batch; });
+    if (closed_) {
+      *closed = true;
+      return 0;
+    }
+  }
+  const size_t n = std::min(max_batch, queue_.size());
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return n;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> AdmissionQueue::DrainRemaining() {
+  std::lock_guard<std::mutex> lock(mu_);
+  OREO_CHECK(closed_) << "DrainRemaining before Close";
+  std::vector<PendingRequest> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace server
+}  // namespace oreo

@@ -1,0 +1,94 @@
+// Admission control for one tenant: a bounded multi-producer queue with
+// explicit backpressure and shutdown semantics.
+//
+// The contract mirrors the ReorgPool shutdown-discard contract (PR 4) one
+// level up the stack:
+//   - Push never blocks. A full queue reports kBackpressure immediately —
+//     the server answers the client with a retryable status instead of
+//     buffering unboundedly or stalling the connection reader.
+//   - After Close, Push reports kShutdown and PopBatch hands out no further
+//     work; requests still queued are returned by DrainRemaining so the
+//     owner can answer each one with a shutdown status. Work already popped
+//     (the in-flight batch) is never revoked — it completes normally.
+#ifndef OREO_SERVER_ADMISSION_H_
+#define OREO_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "query/query.h"
+#include "server/wire.h"
+
+namespace oreo {
+namespace server {
+
+/// Delivers one request's reply. Fired exactly once per submitted request,
+/// on the submitting thread for rejections and on the tenant's dispatcher
+/// thread for executed (or drain-rejected) requests.
+using ReplyCallback = std::function<void(const QueryReply&)>;
+
+/// Outcome of offering a request to a tenant's queue.
+enum class AdmissionOutcome : uint8_t {
+  kAdmitted = 0,
+  kBackpressure,  ///< queue at capacity; nothing was enqueued
+  kShutdown,      ///< queue closed; nothing was enqueued
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// One admitted request waiting for a batch slot.
+struct PendingRequest {
+  uint64_t request_id = 0;
+  Query query;
+  ReplyCallback on_reply;
+};
+
+/// Bounded MPSC admission queue (many sessions push, one dispatcher pops).
+class AdmissionQueue {
+ public:
+  /// `capacity` is the per-tenant quota on queued-but-unbatched requests.
+  explicit AdmissionQueue(size_t capacity);
+
+  /// Offers one request. Never blocks: returns kBackpressure when the queue
+  /// is at capacity and kShutdown after Close. Consumes `*request` only on
+  /// kAdmitted — on rejection the caller still owns it (and its callback,
+  /// which must then be fired with the rejection reply).
+  AdmissionOutcome Push(PendingRequest* request);
+
+  /// Dispatcher side: blocks until at least one request is queued (or the
+  /// queue is closed), then keeps collecting until `max_batch` requests are
+  /// available or `max_delay_us` microseconds have passed since the pop
+  /// began — the batch-formation latency/throughput policy. Pops up to
+  /// `max_batch` requests into `out` (cleared first) and returns the count.
+  /// Returns 0 with `*closed == true` once the queue is closed; queued
+  /// leftovers are then owned by DrainRemaining, not handed out as work.
+  size_t PopBatch(size_t max_batch, uint64_t max_delay_us,
+                  std::vector<PendingRequest>* out, bool* closed);
+
+  /// Closes the queue: subsequent Push reports kShutdown, the dispatcher's
+  /// next PopBatch returns 0/closed.
+  void Close();
+
+  /// Returns every request still queued after Close (once, in arrival
+  /// order). Precondition: Close() has been called.
+  std::vector<PendingRequest> DrainRemaining();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes the dispatcher on push/close
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_ADMISSION_H_

@@ -1,0 +1,171 @@
+#include "server/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace server {
+
+TenantBatcher::TenantBatcher(uint32_t tenant_id, core::OreoEngine* engine,
+                             const BatchPolicy& policy,
+                             const ServerTestHooks* hooks)
+    : tenant_id_(tenant_id),
+      engine_(engine),
+      submitter_(engine),
+      policy_(policy),
+      hooks_(hooks),
+      queue_(policy.max_queue) {}
+
+TenantBatcher::~TenantBatcher() { Drain(); }
+
+void TenantBatcher::Start() {
+  OREO_CHECK(!dispatcher_.joinable()) << "batcher already started";
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AdmissionOutcome TenantBatcher::Submit(PendingRequest request) {
+  AdmissionOutcome outcome = queue_.Push(&request);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (outcome) {
+      case AdmissionOutcome::kAdmitted: ++counters_.admitted; break;
+      case AdmissionOutcome::kBackpressure:
+        ++counters_.rejected_backpressure;
+        break;
+      case AdmissionOutcome::kShutdown: ++counters_.rejected_shutdown; break;
+    }
+  }
+  if (outcome != AdmissionOutcome::kAdmitted && request.on_reply) {
+    // Rejected requests are answered here, on the submitting thread, so the
+    // connection reader gets immediate pushback instead of silence.
+    QueryReply reply;
+    if (outcome == AdmissionOutcome::kBackpressure) {
+      reply.status = ReplyStatus::kBackpressure;
+      reply.message = "tenant queue full: retry later";
+    } else {
+      reply.status = ReplyStatus::kShutdown;
+      reply.message = "server draining: request not accepted";
+    }
+    request.on_reply(reply);
+  }
+  return outcome;
+}
+
+void TenantBatcher::DispatcherLoop() {
+  std::vector<PendingRequest> batch;
+  bool closed = false;
+  while (true) {
+    size_t n = queue_.PopBatch(policy_.max_batch, policy_.max_delay_us,
+                               &batch, &closed);
+    if (closed) return;
+    if (n == 0) continue;
+    RunOneBatch(std::move(batch));
+    batch = {};
+  }
+}
+
+void TenantBatcher::RunOneBatch(std::vector<PendingRequest> batch) {
+  if (hooks_ != nullptr && hooks_->on_batch_start) {
+    hooks_->on_batch_start(tenant_id_, batch.size());
+  }
+
+  QueryBatch queries;
+  queries.queries.reserve(batch.size());
+  for (const PendingRequest& r : batch) queries.queries.push_back(r.query);
+
+  // Record the executed stream *before* running it: once handed to the
+  // engine the batch always runs to completion, and the audit log must
+  // match what the engine saw even if reply delivery fails downstream.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PendingRequest& r : batch) {
+      executed_ids_.push_back(r.query.id);
+    }
+    counters_.executed += batch.size();
+    ++counters_.batches;
+    counters_.max_batch_observed =
+        std::max<uint64_t>(counters_.max_batch_observed, batch.size());
+  }
+
+  core::OreoEngine::BatchResult logical;
+  const bool physical = engine_->has_physical();
+  Status exec_status;
+  std::vector<core::PhysicalStore::QueryExec> per_query;
+  if (physical) {
+    Result<core::PhysicalStore::BatchExec> exec =
+        submitter_.RunPhysical(queries, &logical);
+    if (exec.ok()) {
+      per_query = std::move(exec->per_query);
+    } else {
+      exec_status = exec.status();
+    }
+  } else {
+    logical = submitter_.Run(queries);
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    QueryReply reply;
+    if (i < logical.steps.size()) {
+      const core::OreoEngine::StepResult& step = logical.steps[i];
+      reply.status = ReplyStatus::kOk;
+      reply.state = step.state;
+      reply.reorganized = step.reorganized;
+      reply.query_cost = step.query_cost;
+      if (physical) {
+        if (exec_status.ok() && i < per_query.size()) {
+          reply.has_physical = true;
+          reply.match_count = per_query[i].matches;
+        } else if (!exec_status.ok()) {
+          // Decisions were made but the scan failed; surface the engine
+          // error rather than pretending the rows were served.
+          reply.status = ReplyStatus::kInternal;
+          reply.message = exec_status.ToString();
+        }
+      }
+    } else {
+      reply.status = ReplyStatus::kInternal;
+      reply.message = "engine returned fewer steps than queries";
+    }
+    if (batch[i].on_reply) batch[i].on_reply(reply);
+  }
+}
+
+void TenantBatcher::Drain() {
+  // Serializes concurrent drainers: whoever arrives second blocks until the
+  // first has finished, so "no callback outlives Drain" holds for every
+  // caller; a repeat call is a no-op.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_) return;
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher is gone: whatever is still queued never ran. Answer each
+  // request with a shutdown status (the serving-tier analogue of ReorgPool
+  // discarding queued jobs) on this thread, before Drain returns.
+  std::vector<PendingRequest> leftovers = queue_.DrainRemaining();
+  for (PendingRequest& r : leftovers) {
+    QueryReply reply;
+    reply.status = ReplyStatus::kShutdown;
+    reply.message = "server draining: request was queued but never ran";
+    if (r.on_reply) r.on_reply(reply);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.rejected_shutdown += leftovers.size();
+  }
+  drained_ = true;
+}
+
+std::vector<int64_t> TenantBatcher::executed_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_ids_;
+}
+
+TenantBatcher::Counters TenantBatcher::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace server
+}  // namespace oreo

@@ -1,0 +1,119 @@
+// Per-tenant batch formation and dispatch: the bridge between many
+// concurrent sessions and one engine's single-caller RunBatch contract.
+//
+// Each tenant owns one TenantBatcher: a bounded AdmissionQueue plus one
+// dispatcher thread. Sessions push requests (never blocking — a full queue
+// answers with backpressure); the dispatcher collects up to
+// `BatchPolicy::max_batch` requests or waits at most
+// `BatchPolicy::max_delay_us` microseconds (the latency/throughput policy),
+// then drives the whole batch through a core::BatchSubmitter — logical
+// decisions via RunBatch, physical execution against the pinned snapshots
+// and batch-boundary reconciliation when the tenant has a store — and
+// answers every request in stream order.
+//
+// Because exactly one dispatcher thread exists per tenant and every
+// submission goes through the submitter's lock, the engine's
+// external-synchronization contract holds by construction no matter how
+// many connections multiplex onto the tenant.
+//
+// Shutdown (Drain) follows the ReorgPool discard contract: the in-flight
+// batch completes and its replies are delivered, the dispatcher is joined,
+// and every request still queued is answered with a shutdown status — all
+// before Drain returns, so no callback can outlive the server.
+#ifndef OREO_SERVER_BATCHER_H_
+#define OREO_SERVER_BATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "server/admission.h"
+
+namespace oreo {
+namespace server {
+
+/// Batch-formation and admission knobs of one tenant.
+struct BatchPolicy {
+  size_t max_batch = 64;        ///< N: dispatch when this many are waiting
+  uint64_t max_delay_us = 200;  ///< T: or after this long, whichever first
+  size_t max_queue = 1024;      ///< admission quota (backpressure beyond)
+};
+
+/// Test instrumentation shared by all tenants of a server.
+struct ServerTestHooks {
+  /// Runs on the dispatcher thread right after a batch is formed, before
+  /// the engine sees it — the sentinel gate of the shutdown/robustness
+  /// suites (mirrors ReorgPool::Job::on_start).
+  std::function<void(uint32_t tenant_id, size_t batch_size)> on_batch_start;
+};
+
+/// One tenant's admission queue + dispatcher thread.
+class TenantBatcher {
+ public:
+  /// `engine` must outlive this object; `hooks` may be null or empty and
+  /// must outlive it when set.
+  TenantBatcher(uint32_t tenant_id, core::OreoEngine* engine,
+                const BatchPolicy& policy, const ServerTestHooks* hooks);
+  /// Drains (idempotent with an explicit Drain) and joins.
+  ~TenantBatcher();
+
+  TenantBatcher(const TenantBatcher&) = delete;
+  TenantBatcher& operator=(const TenantBatcher&) = delete;
+
+  /// Starts the dispatcher thread. Call exactly once.
+  void Start();
+
+  /// Offers one request. Never blocks, and the reply callback always fires
+  /// exactly once: from the dispatcher thread when admitted, or inline on
+  /// the submitting thread with a backpressure/shutdown reply when rejected.
+  AdmissionOutcome Submit(PendingRequest request);
+
+  /// Graceful drain: close admission, let the in-flight batch complete,
+  /// join the dispatcher, then answer every still-queued request with a
+  /// shutdown status. All replies are delivered before Drain returns.
+  void Drain();
+
+  /// Query ids actually executed through the engine, in stream order —
+  /// the audit trail the loopback equivalence wall replays against the
+  /// library path. Safe to call after Drain or while quiescent.
+  std::vector<int64_t> executed_ids() const;
+
+  struct Counters {
+    uint64_t admitted = 0;
+    uint64_t executed = 0;
+    uint64_t rejected_backpressure = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t batches = 0;
+    uint64_t max_batch_observed = 0;
+  };
+  Counters counters() const;
+
+  uint32_t tenant_id() const { return tenant_id_; }
+
+ private:
+  void DispatcherLoop();
+  void RunOneBatch(std::vector<PendingRequest> batch);
+
+  const uint32_t tenant_id_;
+  core::OreoEngine* engine_;  // not owned
+  core::BatchSubmitter submitter_;
+  const BatchPolicy policy_;
+  const ServerTestHooks* hooks_;  // not owned, may be null
+  AdmissionQueue queue_;
+
+  mutable std::mutex mu_;  // guards executed_ids_ and counters_
+  std::vector<int64_t> executed_ids_;
+  Counters counters_;
+
+  std::thread dispatcher_;
+  std::mutex drain_mu_;   // serializes Drain; guards drained_
+  bool drained_ = false;  // Drain already ran to completion
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_BATCHER_H_

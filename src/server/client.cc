@@ -1,0 +1,74 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "server/server.h"
+
+namespace oreo {
+namespace server {
+
+LoopbackClient::LoopbackClient(OreoServer* server)
+    : server_(server),
+      session_(server->OpenSession()),
+      max_payload_(server->max_payload()) {}
+
+LoopbackClient::~LoopbackClient() = default;
+
+uint64_t LoopbackClient::Send(uint32_t tenant_id, const Query& query) {
+  OREO_CHECK(session_ != nullptr) << "Send on a disconnected client";
+  const uint64_t request_id = next_request_id_++;
+  session_->Feed(EncodeQueryFrame(request_id, tenant_id, query));
+  return request_id;
+}
+
+Result<QueryReply> LoopbackClient::Wait(uint64_t request_id) {
+  while (true) {
+    auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      QueryReply reply = std::move(it->second);
+      ready_.erase(it);
+      return reply;
+    }
+    if (session_ == nullptr) {
+      return Status::Unavailable("connection dropped before the reply");
+    }
+    std::string bytes = session_->WaitResponses();
+    if (bytes.empty()) {
+      // WaitResponses returns empty only once the outbox is closed and
+      // drained — the server side of the connection is gone.
+      return Status::Unavailable("connection closed before the reply");
+    }
+    recvbuf_.append(bytes);
+    OREO_RETURN_NOT_OK(ParseReceived());
+  }
+}
+
+Status LoopbackClient::ParseReceived() {
+  while (recvbuf_.size() >= kHeaderBytes) {
+    FrameHeader header;
+    OREO_RETURN_NOT_OK(DecodeHeader(recvbuf_, max_payload_, &header));
+    if (header.type != static_cast<uint16_t>(MsgType::kReply)) {
+      return Status::Corruption("client received a non-reply frame");
+    }
+    const size_t frame_bytes = kHeaderBytes + header.payload_len;
+    if (recvbuf_.size() < frame_bytes) return Status::OK();  // partial frame
+    QueryReply reply;
+    OREO_RETURN_NOT_OK(DecodeReplyPayload(
+        std::string_view(recvbuf_).substr(kHeaderBytes, header.payload_len),
+        &reply));
+    ready_[header.request_id] = std::move(reply);
+    recvbuf_.erase(0, frame_bytes);
+  }
+  return Status::OK();
+}
+
+Result<QueryReply> LoopbackClient::Call(uint32_t tenant_id,
+                                        const Query& query) {
+  return Wait(Send(tenant_id, query));
+}
+
+void LoopbackClient::Disconnect() { session_.reset(); }
+
+}  // namespace server
+}  // namespace oreo

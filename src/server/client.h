@@ -1,0 +1,74 @@
+// The in-process loopback client: drives a server through the exact wire
+// path a remote client would use — every request is encoded to frame bytes,
+// fed into a ServerSession, and every reply is parsed back out of the
+// session's outbox byte stream. Nothing is shortcut, so a loopback test
+// exercises framing, decoding, admission, batching and reply encoding
+// end to end; only the socket is missing.
+//
+// Threading: one LoopbackClient is one connection and is single-threaded
+// (like one remote client driving one socket). Open several clients — they
+// are independent — to model concurrent connections.
+#ifndef OREO_SERVER_CLIENT_H_
+#define OREO_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace oreo {
+namespace server {
+
+class OreoServer;
+
+class LoopbackClient {
+ public:
+  /// Opens a connection (session) on a started server, which must outlive
+  /// the client.
+  explicit LoopbackClient(OreoServer* server);
+  ~LoopbackClient();
+
+  LoopbackClient(const LoopbackClient&) = delete;
+  LoopbackClient& operator=(const LoopbackClient&) = delete;
+
+  /// Sends one query to a tenant; returns the request id to Wait on.
+  uint64_t Send(uint32_t tenant_id, const Query& query);
+
+  /// Blocks until the reply for `request_id` arrives and returns it — with
+  /// whatever wire status the server assigned (backpressure, shutdown and
+  /// bad-request replies come back as values; inspect `reply.status`).
+  /// Errors only on transport-level failure: the connection was dropped, or
+  /// the reply byte stream failed to parse.
+  Result<QueryReply> Wait(uint64_t request_id);
+
+  /// Send + Wait in one round trip.
+  Result<QueryReply> Call(uint32_t tenant_id, const Query& query);
+
+  /// Simulates the client vanishing mid-stream: drops the connection with
+  /// requests possibly still in flight. Subsequent Send/Wait fail.
+  void Disconnect();
+
+  bool connected() const { return session_ != nullptr; }
+
+  /// The underlying connection, for tests that feed raw (malformed) bytes.
+  ServerSession* session() { return session_.get(); }
+
+ private:
+  /// Parses complete reply frames out of `recvbuf_` into `ready_`.
+  Status ParseReceived();
+
+  OreoServer* server_;  // not owned
+  std::unique_ptr<ServerSession> session_;
+  std::string recvbuf_;
+  std::map<uint64_t, QueryReply> ready_;
+  uint64_t next_request_id_ = 1;
+  uint32_t max_payload_;
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_CLIENT_H_

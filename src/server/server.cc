@@ -1,0 +1,112 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace oreo {
+namespace server {
+
+OreoServer::OreoServer(ServerOptions options) : options_(options) {}
+
+OreoServer::~OreoServer() { Shutdown(); }
+
+Status OreoServer::AddTenant(uint32_t tenant_id, TenantConfig config) {
+  if (started_.load()) {
+    return Status::InvalidArgument("AddTenant after Start");
+  }
+  return registry_.Add(tenant_id, std::move(config));
+}
+
+void OreoServer::set_test_hooks(ServerTestHooks hooks) {
+  OREO_CHECK(!started_.load()) << "set_test_hooks after Start";
+  hooks_ = std::move(hooks);
+}
+
+Status OreoServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (registry_.size() == 0) {
+    return Status::InvalidArgument("no tenants registered");
+  }
+  OREO_RETURN_NOT_OK(registry_.InitAllAndFreeze());
+  for (auto& [id, tenant] : registry_.tenants()) {
+    auto batcher = std::make_unique<TenantBatcher>(
+        id, tenant->engine(), tenant->config().batch, &hooks_);
+    batcher->Start();
+    batchers_.emplace(id, std::move(batcher));
+  }
+  return Status::OK();
+}
+
+void OreoServer::Shutdown() {
+  if (!started_.load()) return;
+  stopped_.store(true);
+  // Drain serializes internally: a second concurrent Shutdown caller blocks
+  // on each batcher until the first caller's drain finishes, so "no callback
+  // outlives Shutdown" holds for every caller.
+  for (auto& [id, batcher] : batchers_) batcher->Drain();
+}
+
+std::unique_ptr<ServerSession> OreoServer::OpenSession() {
+  OREO_CHECK(started_.load()) << "OpenSession before Start";
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<ServerSession>(this, options_.max_payload);
+}
+
+void OreoServer::Submit(uint32_t tenant_id, Query query, uint64_t request_id,
+                        ReplyCallback on_reply) {
+  auto it = batchers_.find(tenant_id);
+  if (it == batchers_.end()) {
+    unknown_tenant_.fetch_add(1, std::memory_order_relaxed);
+    QueryReply reply;
+    reply.status = ReplyStatus::kUnknownTenant;
+    reply.message =
+        "no tenant registered under id " + std::to_string(tenant_id);
+    if (on_reply) on_reply(reply);
+    return;
+  }
+  PendingRequest request;
+  request.request_id = request_id;
+  request.query = std::move(query);
+  request.on_reply = std::move(on_reply);
+  // The batcher answers rejected requests inline and admitted ones from its
+  // dispatcher — either way the callback fires exactly once.
+  it->second->Submit(std::move(request));
+}
+
+ServerStats OreoServer::stats() const {
+  ServerStats out;
+  out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  out.rejected_unknown_tenant =
+      unknown_tenant_.load(std::memory_order_relaxed);
+  out.rejected_malformed = malformed_.load(std::memory_order_relaxed);
+  for (const auto& [id, batcher] : batchers_) {
+    TenantBatcher::Counters c = batcher->counters();
+    out.admitted += c.admitted;
+    out.executed += c.executed;
+    out.batches += c.batches;
+    out.max_batch_observed =
+        std::max(out.max_batch_observed, c.max_batch_observed);
+    out.rejected_backpressure += c.rejected_backpressure;
+    out.rejected_shutdown += c.rejected_shutdown;
+  }
+  return out;
+}
+
+std::vector<int64_t> OreoServer::ExecutedIds(uint32_t tenant_id) const {
+  auto it = batchers_.find(tenant_id);
+  if (it == batchers_.end()) return {};
+  return it->second->executed_ids();
+}
+
+core::OreoEngine* OreoServer::engine(uint32_t tenant_id) {
+  Tenant* tenant = registry_.Find(tenant_id);
+  return tenant ? tenant->engine() : nullptr;
+}
+
+}  // namespace server
+}  // namespace oreo

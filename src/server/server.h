@@ -1,0 +1,126 @@
+// The multi-tenant query server: a fleet of OreoEngine instances (one per
+// table/tenant) behind the length-prefixed wire protocol, multiplexing any
+// number of concurrent client connections onto the engines' thread pools
+// via batched RunBatch submission.
+//
+//   server::OreoServer srv;
+//   server::TenantConfig cfg;
+//   cfg.name = "telemetry"; cfg.table = &table; cfg.generator = &gen;
+//   OREO_CHECK_OK(srv.AddTenant(1, cfg));
+//   OREO_CHECK_OK(srv.Start());
+//   server::LoopbackClient client(&srv);           // or a TCP transport
+//   auto reply = client.Call(1, query);            // wire round trip
+//   srv.Shutdown();                                // graceful drain
+//
+// Life cycle: AddTenant* -> Start -> serve -> Shutdown (idempotent; the
+// destructor calls it). Shutdown drains every tenant batcher under the
+// ReorgPool discard contract: in-flight batches complete and answer OK,
+// queued requests answer kShutdown, and no reply callback survives past
+// Shutdown's return. Sessions may outlive their client (disconnect-safe via
+// the shared outbox) but not the server.
+#ifndef OREO_SERVER_SERVER_H_
+#define OREO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "server/batcher.h"
+#include "server/session.h"
+#include "server/tenant_registry.h"
+#include "server/wire.h"
+
+namespace oreo {
+namespace server {
+
+/// Server-wide knobs.
+struct ServerOptions {
+  /// Per-frame payload ceiling enforced before buffering (see wire.h).
+  uint32_t max_payload = kDefaultMaxPayload;
+};
+
+/// Aggregated serving counters (monotonic; snapshot via stats()).
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t admitted = 0;
+  uint64_t executed = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch_observed = 0;
+  uint64_t rejected_backpressure = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t rejected_unknown_tenant = 0;
+  uint64_t rejected_malformed = 0;
+};
+
+class OreoServer {
+ public:
+  explicit OreoServer(ServerOptions options = ServerOptions{});
+  /// Shuts down (graceful drain) if the owner has not already.
+  ~OreoServer();
+
+  OreoServer(const OreoServer&) = delete;
+  OreoServer& operator=(const OreoServer&) = delete;
+
+  /// Registers a tenant. Only valid before Start.
+  Status AddTenant(uint32_t tenant_id, TenantConfig config);
+
+  /// Installs test instrumentation. Only valid before Start.
+  void set_test_hooks(ServerTestHooks hooks);
+
+  /// Builds every tenant's engine (and physical store when configured) and
+  /// starts one dispatcher per tenant.
+  Status Start();
+
+  /// Graceful drain, idempotent: stops admission, completes in-flight
+  /// batches, answers queued requests with kShutdown, joins dispatchers.
+  /// Every reply is delivered before Shutdown returns.
+  void Shutdown();
+
+  bool running() const { return started_.load() && !stopped_.load(); }
+
+  /// Opens a connection endpoint. Requires a started server; the session
+  /// must not outlive the server (it may be dropped mid-flight).
+  std::unique_ptr<ServerSession> OpenSession();
+
+  /// Request entry point used by sessions (and by in-process transports).
+  /// `on_reply` fires exactly once — inline on rejection, from the tenant
+  /// dispatcher on execution or drain.
+  void Submit(uint32_t tenant_id, Query query, uint64_t request_id,
+              ReplyCallback on_reply);
+
+  ServerStats stats() const;
+
+  /// The tenant's executed query-id stream (audit hook for the loopback
+  /// equivalence wall). Empty when the tenant is unknown.
+  std::vector<int64_t> ExecutedIds(uint32_t tenant_id) const;
+
+  /// Engine access for tests and stats; treat as read-only while the server
+  /// is serving (engine accounting accessors race with dispatch otherwise —
+  /// Shutdown first for exact reads).
+  core::OreoEngine* engine(uint32_t tenant_id);
+
+  uint32_t max_payload() const { return options_.max_payload; }
+
+  /// Internal: session-side malformed-frame accounting.
+  void CountMalformed() { malformed_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  ServerOptions options_;
+  ServerTestHooks hooks_;
+  TenantRegistry registry_;
+  // Declared after the registry (and destroyed first): dispatcher threads
+  // call into the engines the registry owns.
+  std::map<uint32_t, std::unique_ptr<TenantBatcher>> batchers_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> unknown_tenant_{0};
+  std::atomic<uint64_t> malformed_{0};
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_SERVER_H_

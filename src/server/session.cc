@@ -1,0 +1,131 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "server/server.h"
+
+namespace oreo {
+namespace server {
+
+void ResponseOutbox::Push(std::string frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // client is gone; drop the reply bytes
+    buf_.append(frame);
+  }
+  cv_.notify_all();
+}
+
+std::string ResponseOutbox::TakeNonblocking() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.swap(buf_);
+  return out;
+}
+
+std::string ResponseOutbox::WaitTake() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !buf_.empty(); });
+  std::string out;
+  out.swap(buf_);
+  return out;
+}
+
+void ResponseOutbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ResponseOutbox::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+ServerSession::ServerSession(OreoServer* server, uint32_t max_payload)
+    : server_(server),
+      outbox_(std::make_shared<ResponseOutbox>()),
+      max_payload_(max_payload) {}
+
+ServerSession::~ServerSession() {
+  // In-flight callbacks hold their own reference to the outbox; closing it
+  // turns their deliveries into no-ops. Nothing here waits for them.
+  outbox_->Close();
+}
+
+void ServerSession::Feed(std::string_view bytes) {
+  if (broken_) return;
+  inbuf_.append(bytes.data(), bytes.size());
+  while (!broken_) {
+    if (inbuf_.size() < kHeaderBytes) return;  // wait for a full header
+    FrameHeader header;
+    Status parsed = DecodeHeader(inbuf_, max_payload_, &header);
+    if (!parsed.ok()) {
+      // Framing can no longer be trusted; answer once and go dark. The
+      // header's request id is included on a best-effort basis (it may be
+      // garbage, but a well-behaved client in version skew benefits).
+      EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
+                parsed.message());
+      broken_ = true;
+      inbuf_.clear();
+      return;
+    }
+    const size_t frame_bytes = kHeaderBytes + header.payload_len;
+    if (inbuf_.size() < frame_bytes) return;  // wait for the full payload
+    DispatchFrame(header,
+                  std::string_view(inbuf_).substr(kHeaderBytes,
+                                                  header.payload_len));
+    inbuf_.erase(0, frame_bytes);
+  }
+}
+
+void ServerSession::DispatchFrame(const FrameHeader& header,
+                                  std::string_view payload) {
+  if (header.type != static_cast<uint16_t>(MsgType::kQuery)) {
+    // Known-but-unexpected type on the server side (a stray kReply):
+    // request-level error, stream survives.
+    EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
+              "server expects query frames");
+    server_->CountMalformed();
+    return;
+  }
+  Query query;
+  Status decoded = DecodeQueryPayload(payload, &query);
+  if (!decoded.ok()) {
+    EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
+              decoded.message());
+    server_->CountMalformed();
+    return;
+  }
+  // The callback owns a reference to the outbox, never to the session:
+  // destroying the session mid-flight leaves delivery safe (and mute).
+  std::shared_ptr<ResponseOutbox> outbox = outbox_;
+  const uint64_t request_id = header.request_id;
+  const uint32_t tenant_id = header.tenant_id;
+  server_->Submit(tenant_id, std::move(query), request_id,
+                  [outbox, request_id, tenant_id](const QueryReply& reply) {
+                    outbox->Push(
+                        EncodeReplyFrame(request_id, tenant_id, reply));
+                  });
+}
+
+void ServerSession::EmitError(uint64_t request_id, uint32_t tenant_id,
+                              ReplyStatus status, std::string message) {
+  QueryReply reply;
+  reply.status = status;
+  reply.message = std::move(message);
+  outbox_->Push(EncodeReplyFrame(request_id, tenant_id, reply));
+}
+
+std::string ServerSession::TakeResponses() {
+  return outbox_->TakeNonblocking();
+}
+
+std::string ServerSession::WaitResponses() { return outbox_->WaitTake(); }
+
+void ServerSession::CloseResponses() { outbox_->Close(); }
+
+}  // namespace server
+}  // namespace oreo

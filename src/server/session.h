@@ -1,0 +1,115 @@
+// A server-side connection endpoint: consumes the raw byte stream of one
+// client connection, parses and validates frames, dispatches well-formed
+// requests into the server, and queues reply bytes for the transport to
+// send back.
+//
+// Transport-agnostic by design: the loopback client feeds bytes directly
+// (the equivalence wall thus exercises the exact wire path), and the
+// oreo_server binary feeds bytes read from a TCP socket.
+//
+// Error containment:
+//   - a malformed *payload* inside a well-framed request poisons only that
+//     request (kBadRequest reply; the stream continues);
+//   - a header that cannot be trusted — bad magic/version/type or a
+//     declared payload over the limit — poisons the stream: one
+//     kBadRequest reply is emitted and the session goes `broken` (further
+//     bytes are discarded), because framing cannot be re-synchronized and
+//     honoring the declared length would be an unbounded-buffering attack.
+//
+// Disconnect safety: replies are delivered into a ResponseOutbox owned
+// jointly by the session and every in-flight callback (shared_ptr). A
+// client that disconnects mid-stream just closes the outbox — late replies
+// are dropped on the floor, never written into freed memory, and the
+// engine-side batch runs to completion untouched.
+#ifndef OREO_SERVER_SESSION_H_
+#define OREO_SERVER_SESSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "server/wire.h"
+
+namespace oreo {
+namespace server {
+
+class OreoServer;
+
+/// Thread-safe reply byte buffer shared between a session and the
+/// callbacks of its in-flight requests.
+class ResponseOutbox {
+ public:
+  /// Appends a reply frame (dropped silently once closed).
+  void Push(std::string frame);
+
+  /// Returns and clears whatever is buffered (may be empty). Never blocks.
+  std::string TakeNonblocking();
+
+  /// Blocks until bytes are available or the outbox is closed; returns the
+  /// buffered bytes (empty only when closed and drained).
+  std::string WaitTake();
+
+  /// Marks the client side gone; wakes blocked readers.
+  void Close();
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string buf_;
+  bool closed_ = false;
+};
+
+/// One connection's server-side state machine. Feed/TakeResponses are
+/// thread-compatible (one transport reader thread); reply delivery from
+/// dispatcher threads is internally synchronized via the outbox.
+class ServerSession {
+ public:
+  /// Created via OreoServer::OpenSession. The server must outlive the
+  /// session; the session may be destroyed with requests still in flight.
+  ServerSession(OreoServer* server, uint32_t max_payload);
+  ~ServerSession();
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Consumes connection bytes: buffers partial frames, dispatches every
+  /// complete one. Bytes arriving after the session broke are discarded.
+  void Feed(std::string_view bytes);
+
+  /// Drains queued reply bytes without blocking (may return empty).
+  std::string TakeResponses();
+
+  /// Blocks until reply bytes are available (or the outbox closed).
+  std::string WaitResponses();
+
+  /// Closes the reply stream: a blocked WaitResponses caller wakes, drains
+  /// whatever is buffered, and then sees empty. A transport running
+  /// WaitResponses on a separate writer thread must call this and join
+  /// that thread *before* destroying the session — destruction while the
+  /// writer is inside WaitResponses is a use-after-free.
+  void CloseResponses();
+
+  /// True once the inbound stream is poisoned (framing lost).
+  bool broken() const { return broken_; }
+
+ private:
+  void DispatchFrame(const FrameHeader& header, std::string_view payload);
+  void EmitError(uint64_t request_id, uint32_t tenant_id, ReplyStatus status,
+                 std::string message);
+
+  OreoServer* server_;  // not owned
+  std::shared_ptr<ResponseOutbox> outbox_;
+  std::string inbuf_;
+  const uint32_t max_payload_;
+  bool broken_ = false;
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_SESSION_H_

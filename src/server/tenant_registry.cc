@@ -1,0 +1,60 @@
+#include "server/tenant_registry.h"
+
+#include <utility>
+
+namespace oreo {
+namespace server {
+
+Tenant::Tenant(uint32_t id, TenantConfig config)
+    : id_(id), config_(std::move(config)) {}
+
+Status Tenant::Init() {
+  engine_ = core::MakeEngine(config_.table, config_.generator,
+                             config_.time_column, config_.options);
+  if (!config_.physical_dir.empty()) {
+    Status attached = engine_->AttachPhysical(config_.physical_dir,
+                                              config_.store_threads);
+    if (!attached.ok()) {
+      engine_.reset();
+      return Status(attached.code(),
+                    "tenant " + std::to_string(id_) + " (" + config_.name +
+                        "): " + attached.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::Add(uint32_t id, TenantConfig config) {
+  if (frozen_) {
+    return Status::InvalidArgument("registry is frozen: add tenants before "
+                                   "the server starts");
+  }
+  if (config.table == nullptr || config.generator == nullptr) {
+    return Status::InvalidArgument("tenant " + std::to_string(id) +
+                                   ": table and generator are required");
+  }
+  auto [it, inserted] = tenants_.emplace(
+      id, std::make_unique<Tenant>(id, std::move(config)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("tenant id " + std::to_string(id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Status TenantRegistry::InitAllAndFreeze() {
+  for (auto& [id, tenant] : tenants_) {
+    OREO_RETURN_NOT_OK(tenant->Init());
+  }
+  frozen_ = true;
+  return Status::OK();
+}
+
+Tenant* TenantRegistry::Find(uint32_t id) {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace server
+}  // namespace oreo

@@ -1,0 +1,93 @@
+// The tenant registry: one OreoEngine per table/tenant behind integer
+// tenant ids (the multi-engine shape of examples/multi_table.cpp, owned by
+// the server instead of the example's main()).
+//
+// Tenants are registered before the server starts and frozen afterwards —
+// the request path does lock-free lookups into an immutable map. Each
+// tenant owns its engine (built through core::MakeEngine, so any sharding x
+// storage-backend combination works unchanged) and, optionally, an attached
+// physical store.
+#ifndef OREO_SERVER_TENANT_REGISTRY_H_
+#define OREO_SERVER_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/oreo.h"
+#include "server/batcher.h"
+
+namespace oreo {
+namespace server {
+
+/// Everything needed to build one tenant's engine.
+struct TenantConfig {
+  std::string name;  ///< human-readable label for logs and stats
+
+  /// Data and layout machinery; both must outlive the server.
+  const Table* table = nullptr;
+  const LayoutGenerator* generator = nullptr;
+  int time_column = 0;
+
+  /// Engine knobs — sharding, backends, seeds, threads all apply.
+  core::OreoOptions options;
+
+  /// Batch-formation and admission-quota knobs.
+  BatchPolicy batch;
+
+  /// When non-empty, AttachPhysical here at server start: queries then also
+  /// execute against the materialized layout and replies carry match
+  /// counts. Empty = logical decisions only.
+  std::string physical_dir;
+  size_t store_threads = 1;
+};
+
+/// One registered tenant: config + engine (+ physical store when configured).
+class Tenant {
+ public:
+  Tenant(uint32_t id, TenantConfig config);
+
+  /// Builds the engine and attaches the physical store when configured.
+  Status Init();
+
+  uint32_t id() const { return id_; }
+  const TenantConfig& config() const { return config_; }
+  core::OreoEngine* engine() { return engine_.get(); }
+  const core::OreoEngine* engine() const { return engine_.get(); }
+
+ private:
+  uint32_t id_;
+  TenantConfig config_;
+  std::unique_ptr<core::OreoEngine> engine_;
+};
+
+/// Id-keyed tenant collection; mutable until Freeze, lookup-only after.
+class TenantRegistry {
+ public:
+  /// Registers a tenant. Fails on duplicate ids, missing table/generator,
+  /// or after Freeze.
+  Status Add(uint32_t id, TenantConfig config);
+
+  /// Builds every tenant's engine, then freezes the registry.
+  Status InitAllAndFreeze();
+
+  /// Lookup (nullptr when unknown). Lock-free after Freeze.
+  Tenant* Find(uint32_t id);
+
+  size_t size() const { return tenants_.size(); }
+  bool frozen() const { return frozen_; }
+
+  /// Iteration for stats/shutdown paths.
+  std::map<uint32_t, std::unique_ptr<Tenant>>& tenants() { return tenants_; }
+
+ private:
+  std::map<uint32_t, std::unique_ptr<Tenant>> tenants_;
+  bool frozen_ = false;
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_TENANT_REGISTRY_H_

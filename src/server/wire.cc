@@ -1,0 +1,389 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "catalog/value.h"
+
+namespace oreo {
+namespace server {
+
+namespace {
+
+// --- little-endian primitives --------------------------------------------
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(uint16_t v, std::string* out) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) { PutU32(static_cast<uint32_t>(v), out); }
+void PutI64(int64_t v, std::string* out) { PutU64(static_cast<uint64_t>(v), out); }
+
+void PutDoubleBits(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+// Bounds-checked sequential reader over one payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 2;
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool DoubleBits(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool Bytes(size_t n, std::string* out) {
+    if (pos_ + n > data_.size()) return false;
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- value serialization --------------------------------------------------
+
+constexpr uint8_t kTagInt64 = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagString = 2;
+
+void PutValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      PutU8(kTagInt64, out);
+      PutI64(v.AsInt64(), out);
+      return;
+    case DataType::kDouble:
+      PutU8(kTagDouble, out);
+      PutDoubleBits(v.AsDouble(), out);
+      return;
+    case DataType::kString: {
+      PutU8(kTagString, out);
+      const std::string& s = v.AsString();
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+      return;
+    }
+  }
+}
+
+bool ReadValue(ByteReader* r, Value* out) {
+  uint8_t tag;
+  if (!r->U8(&tag)) return false;
+  switch (tag) {
+    case kTagInt64: {
+      int64_t v;
+      if (!r->I64(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagDouble: {
+      double v;
+      if (!r->DoubleBits(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagString: {
+      uint32_t len;
+      if (!r->U32(&len) || len > kMaxStringBytes) return false;
+      std::string s;
+      if (!r->Bytes(len, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed payload: ") + what);
+}
+
+}  // namespace
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk: return "OK";
+    case ReplyStatus::kBackpressure: return "BACKPRESSURE";
+    case ReplyStatus::kShutdown: return "SHUTDOWN";
+    case ReplyStatus::kBadRequest: return "BAD_REQUEST";
+    case ReplyStatus::kUnknownTenant: return "UNKNOWN_TENANT";
+    case ReplyStatus::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status ToStatus(ReplyStatus status, const std::string& message) {
+  switch (status) {
+    case ReplyStatus::kOk:
+      return Status::OK();
+    case ReplyStatus::kBackpressure:
+    case ReplyStatus::kShutdown:
+      return Status::Unavailable(message);
+    case ReplyStatus::kBadRequest:
+      return Status::InvalidArgument(message);
+    case ReplyStatus::kUnknownTenant:
+      return Status::NotFound(message);
+    case ReplyStatus::kInternal:
+      return Status::Internal(message);
+  }
+  return Status::Internal(message);
+}
+
+void AppendHeader(const FrameHeader& header, std::string* out) {
+  PutU32(header.magic, out);
+  PutU16(header.version, out);
+  PutU16(header.type, out);
+  PutU64(header.request_id, out);
+  PutU32(header.tenant_id, out);
+  PutU32(header.payload_len, out);
+}
+
+std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
+                             const Query& query) {
+  std::string payload;
+  PutI64(query.id, &payload);
+  PutI32(query.template_id, &payload);
+  PutU16(static_cast<uint16_t>(query.conjuncts.size()), &payload);
+  for (const Predicate& p : query.conjuncts) {
+    PutI32(p.column, &payload);
+    PutU8(static_cast<uint8_t>(p.op), &payload);
+    switch (p.op) {
+      case CompareOp::kBetween:
+        PutValue(p.value, &payload);
+        PutValue(p.value2, &payload);
+        break;
+      case CompareOp::kIn:
+        PutU16(static_cast<uint16_t>(p.in_list.size()), &payload);
+        for (const Value& v : p.in_list) PutValue(v, &payload);
+        break;
+      default:
+        PutValue(p.value, &payload);
+        break;
+    }
+  }
+
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(MsgType::kQuery);
+  header.request_id = request_id;
+  header.tenant_id = tenant_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendHeader(header, &frame);
+  frame.append(payload);
+  return frame;
+}
+
+std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
+                             const QueryReply& reply) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(reply.status), &payload);
+  PutU32(static_cast<uint32_t>(reply.message.size()), &payload);
+  payload.append(reply.message);
+  PutI32(reply.state, &payload);
+  PutU8(reply.reorganized ? 1 : 0, &payload);
+  PutU8(reply.has_physical ? 1 : 0, &payload);
+  PutDoubleBits(reply.query_cost, &payload);
+  PutU64(reply.match_count, &payload);
+
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(MsgType::kReply);
+  header.request_id = request_id;
+  header.tenant_id = tenant_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendHeader(header, &frame);
+  frame.append(payload);
+  return frame;
+}
+
+Status DecodeHeader(std::string_view data, uint32_t max_payload,
+                    FrameHeader* out) {
+  ByteReader r(data.substr(0, kHeaderBytes));
+  FrameHeader h;
+  if (!r.U32(&h.magic) || !r.U16(&h.version) || !r.U16(&h.type) ||
+      !r.U64(&h.request_id) || !r.U32(&h.tenant_id) || !r.U32(&h.payload_len)) {
+    return Status::InvalidArgument("short frame header");
+  }
+  // Fill the out-param even when validation fails below: the session's
+  // best-effort error reply can then echo the (possibly garbage) request id.
+  *out = h;
+  if (h.magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (h.version != kWireVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(h.version));
+  }
+  if (h.type != static_cast<uint16_t>(MsgType::kQuery) &&
+      h.type != static_cast<uint16_t>(MsgType::kReply)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(h.type));
+  }
+  if (h.payload_len > max_payload) {
+    return Status::InvalidArgument(
+        "declared payload of " + std::to_string(h.payload_len) +
+        " bytes exceeds the limit of " + std::to_string(max_payload));
+  }
+  return Status::OK();
+}
+
+Status DecodeQueryPayload(std::string_view payload, Query* out) {
+  ByteReader r(payload);
+  Query q;
+  uint16_t num_conjuncts;
+  if (!r.I64(&q.id)) return Malformed("query id");
+  int32_t template_id;
+  if (!r.I32(&template_id)) return Malformed("template id");
+  q.template_id = template_id;
+  if (!r.U16(&num_conjuncts)) return Malformed("conjunct count");
+  if (num_conjuncts > kMaxConjuncts) return Malformed("too many conjuncts");
+  q.conjuncts.reserve(num_conjuncts);
+  for (uint16_t i = 0; i < num_conjuncts; ++i) {
+    Predicate p;
+    uint8_t op;
+    if (!r.I32(&p.column)) return Malformed("predicate column");
+    if (!r.U8(&op) || op > static_cast<uint8_t>(CompareOp::kIn)) {
+      return Malformed("predicate operator");
+    }
+    p.op = static_cast<CompareOp>(op);
+    switch (p.op) {
+      case CompareOp::kBetween:
+        if (!ReadValue(&r, &p.value) || !ReadValue(&r, &p.value2)) {
+          return Malformed("BETWEEN operands");
+        }
+        break;
+      case CompareOp::kIn: {
+        uint16_t count;
+        if (!r.U16(&count) || count > kMaxInListValues) {
+          return Malformed("IN-list size");
+        }
+        p.in_list.resize(count);
+        for (uint16_t v = 0; v < count; ++v) {
+          if (!ReadValue(&r, &p.in_list[v])) return Malformed("IN-list value");
+        }
+        break;
+      }
+      default:
+        if (!ReadValue(&r, &p.value)) return Malformed("predicate operand");
+        break;
+    }
+    q.conjuncts.push_back(std::move(p));
+  }
+  if (!r.exhausted()) return Malformed("trailing bytes");
+  *out = std::move(q);
+  return Status::OK();
+}
+
+Status DecodeReplyPayload(std::string_view payload, QueryReply* out) {
+  ByteReader r(payload);
+  QueryReply reply;
+  uint8_t status;
+  if (!r.U8(&status) || status > static_cast<uint8_t>(ReplyStatus::kInternal)) {
+    return Malformed("reply status");
+  }
+  reply.status = static_cast<ReplyStatus>(status);
+  uint32_t msg_len;
+  if (!r.U32(&msg_len) || msg_len > kMaxStringBytes) {
+    return Malformed("reply message length");
+  }
+  if (!r.Bytes(msg_len, &reply.message)) return Malformed("reply message");
+  uint8_t flag;
+  if (!r.I32(&reply.state)) return Malformed("reply state");
+  if (!r.U8(&flag)) return Malformed("reorganized flag");
+  reply.reorganized = flag != 0;
+  if (!r.U8(&flag)) return Malformed("has_physical flag");
+  reply.has_physical = flag != 0;
+  if (!r.DoubleBits(&reply.query_cost)) return Malformed("query cost");
+  if (!r.U64(&reply.match_count)) return Malformed("match count");
+  if (!r.exhausted()) return Malformed("trailing bytes");
+  *out = std::move(reply);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace oreo

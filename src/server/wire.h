@@ -1,0 +1,130 @@
+// The serving tier's wire format: a length-prefixed binary protocol with a
+// fixed versioned header, explicit request ids and tenant ids, and strict
+// bounded decoding (a hostile or truncated byte stream can never make the
+// server buffer unboundedly or read past a frame).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic        0x4F45524F ("OREO")
+//        4     2  version      kWireVersion
+//        6     2  type         MsgType
+//        8     8  request id   echoed verbatim in the reply
+//       16     4  tenant id    target engine (requests) / echo (replies)
+//       20     4  payload len  bytes following the header (<= max payload)
+//       24     n  payload      MsgType-specific body
+//
+// A kQuery payload is a serialized Query (id, template, conjuncts); a
+// kReply payload is a ReplyStatus plus the step outcome (serving state,
+// reorganized flag, the cost double transported as raw IEEE-754 bits so the
+// loopback equivalence wall can compare bit-for-bit, and physical match
+// counts when the tenant has a store attached).
+//
+// Decoding is strict: every length is bounds-checked against the enclosing
+// frame, enum values are validated, and trailing bytes after a payload are
+// an error. Malformed payloads poison only the request; a header that
+// cannot be trusted (bad magic/version, oversized declared payload) poisons
+// the whole stream, because framing can no longer be re-synchronized.
+#ifndef OREO_SERVER_WIRE_H_
+#define OREO_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace oreo {
+namespace server {
+
+constexpr uint32_t kWireMagic = 0x4F45524Fu;  // "OREO" in little-endian
+constexpr uint16_t kWireVersion = 1;
+constexpr size_t kHeaderBytes = 24;
+
+/// Default ceiling for a frame's declared payload length. Servers may
+/// configure a smaller one; anything larger is rejected before buffering.
+constexpr uint32_t kDefaultMaxPayload = 1u << 20;
+
+/// Hard caps on the shapes inside a query payload, enforced on decode.
+constexpr size_t kMaxConjuncts = 64;
+constexpr size_t kMaxInListValues = 1024;
+constexpr size_t kMaxStringBytes = 1u << 16;
+
+enum class MsgType : uint16_t {
+  kQuery = 1,    ///< client -> server: run one query on a tenant's engine
+  kReply = 129,  ///< server -> client: status + step outcome
+};
+
+/// Request disposition carried in every reply.
+enum class ReplyStatus : uint8_t {
+  kOk = 0,
+  kBackpressure = 1,   ///< tenant queue full — retry later, nothing ran
+  kShutdown = 2,       ///< server draining — request did not run
+  kBadRequest = 3,     ///< malformed frame or payload
+  kUnknownTenant = 4,  ///< no engine registered under the tenant id
+  kInternal = 5,       ///< engine-side failure
+};
+
+const char* ReplyStatusName(ReplyStatus status);
+
+/// Maps a wire status onto the library's Status vocabulary (backpressure and
+/// shutdown become kUnavailable: transient, retry elsewhere/later).
+Status ToStatus(ReplyStatus status, const std::string& message);
+
+/// The fixed frame prefix.
+struct FrameHeader {
+  uint32_t magic = kWireMagic;
+  uint16_t version = kWireVersion;
+  uint16_t type = 0;
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  uint32_t payload_len = 0;
+};
+
+/// One query's outcome as carried on the wire.
+struct QueryReply {
+  ReplyStatus status = ReplyStatus::kOk;
+  std::string message;  ///< human-readable error detail; empty on kOk
+  int32_t state = -1;   ///< serving layout (-1: several shards / not run)
+  bool reorganized = false;
+  double query_cost = 0.0;  ///< c(state, q); bits survive the round trip
+  bool has_physical = false;
+  uint64_t match_count = 0;  ///< physical rows matched (0 without a store)
+};
+
+// --- encoding -------------------------------------------------------------
+
+/// Appends the 24-byte header to `out`.
+void AppendHeader(const FrameHeader& header, std::string* out);
+
+/// Serializes one query request frame (header + payload).
+std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
+                             const Query& query);
+
+/// Serializes one reply frame (header + payload).
+std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
+                             const QueryReply& reply);
+
+// --- decoding -------------------------------------------------------------
+
+/// Parses a header from the first kHeaderBytes of `data` (which must hold at
+/// least that many bytes). Validates magic, version, known type and
+/// `payload_len <= max_payload`. A failure here poisons the stream; `out`
+/// still holds the parsed (unvalidated) fields so errors can echo the
+/// request id best-effort.
+Status DecodeHeader(std::string_view data, uint32_t max_payload,
+                    FrameHeader* out);
+
+/// Parses a kQuery payload. Strict: every length bounds-checked, enums
+/// validated, no trailing bytes.
+Status DecodeQueryPayload(std::string_view payload, Query* out);
+
+/// Parses a kReply payload (the client side of the round trip).
+Status DecodeReplyPayload(std::string_view payload, QueryReply* out);
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_WIRE_H_

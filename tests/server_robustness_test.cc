@@ -1,0 +1,477 @@
+// Serving-tier robustness: hostile or unlucky inputs — malformed and
+// truncated frames, oversized payloads, unknown tenants, over-quota floods,
+// mid-stream disconnects — must each be contained to exactly the blast
+// radius the protocol promises (one request, one stream, or one rejection),
+// with no blocking on the admission path and nothing leaked (ASan/TSan CI
+// verifies the "nothing leaked / no race" half).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/oreo.h"
+#include "layout/qdtree_layout.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_util.h"
+
+namespace oreo {
+namespace server {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kTenant = 1;
+
+// Cheap engine: big window and generation cadence so robustness tests never
+// pay for layout generation.
+core::OreoOptions CheapOptions() {
+  core::OreoOptions opts;
+  opts.seed = 21;
+  opts.num_threads = 1;
+  opts.window_size = 100;
+  opts.generate_every = 100000;
+  opts.target_partitions = 4;
+  opts.dataset_sample_rows = 200;
+  return opts;
+}
+
+// A released-once gate for the dispatcher: on_batch_start blocks every batch
+// until Release, so tests can deterministically fill queues and disconnect
+// clients while a batch is provably in flight.
+struct DispatcherGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  int entered = 0;
+
+  ServerTestHooks hooks() {
+    ServerTestHooks h;
+    h.on_batch_start = [this](uint32_t, size_t) {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lock, [this] { return released; });
+    };
+    return h;
+  }
+
+  void WaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= n; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      released = true;
+    }
+    cv.notify_all();
+  }
+};
+
+Query RangeQuery(int64_t id, int64_t lo, int64_t hi) {
+  Query q;
+  q.id = id;
+  q.conjuncts = {Predicate::Between(0, Value(lo), Value(hi))};
+  return q;
+}
+
+// Blocks for the next complete reply frame on a raw session and decodes it.
+QueryReply WaitOneReply(ServerSession* session, uint64_t* request_id) {
+  std::string buf;
+  FrameHeader header;
+  while (true) {
+    if (buf.size() >= kHeaderBytes) {
+      Status st = DecodeHeader(buf, kDefaultMaxPayload, &header);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      if (buf.size() >= kHeaderBytes + header.payload_len) break;
+    }
+    buf += session->WaitResponses();
+  }
+  QueryReply reply;
+  Status st = DecodeReplyPayload(
+      std::string_view(buf).substr(kHeaderBytes, header.payload_len), &reply);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  if (request_id != nullptr) *request_id = header.request_id;
+  return reply;
+}
+
+class ServerRobustnessTest : public ::testing::Test {
+ protected:
+  void StartServer(BatchPolicy policy, ServerTestHooks hooks = {},
+                   std::string physical_dir = "") {
+    table_ = testutil::MakeEventTable(600, 21);
+    srv_ = std::make_unique<OreoServer>();
+    TenantConfig cfg;
+    cfg.name = "t";
+    cfg.table = &table_;
+    cfg.generator = &generator_;
+    cfg.time_column = 0;
+    cfg.options = CheapOptions();
+    cfg.batch = policy;
+    cfg.physical_dir = std::move(physical_dir);
+    ASSERT_TRUE(srv_->AddTenant(kTenant, cfg).ok());
+    srv_->set_test_hooks(std::move(hooks));
+    ASSERT_TRUE(srv_->Start().ok());
+  }
+
+  Table table_{testutil::EventSchema()};
+  QdTreeGenerator generator_;
+  std::unique_ptr<OreoServer> srv_;
+};
+
+// ------------------------------------------------------- wire round trip --
+
+TEST(ServerWireTest, QueryFrameRoundTripsEveryPredicateShape) {
+  Query q;
+  q.id = 4242;
+  q.template_id = 7;
+  q.conjuncts = {
+      Predicate::Between(0, Value(int64_t{-5}), Value(int64_t{1000})),
+      Predicate::Eq(2, Value("collector_07")),
+      Predicate::In(1, {Value(int64_t{1}), Value(0.25), Value("x")}),
+  };
+  std::string frame = EncodeQueryFrame(99, 3, q);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame, kDefaultMaxPayload, &header).ok());
+  EXPECT_EQ(header.magic, kWireMagic);
+  EXPECT_EQ(header.version, kWireVersion);
+  EXPECT_EQ(header.type, static_cast<uint16_t>(MsgType::kQuery));
+  EXPECT_EQ(header.request_id, 99u);
+  EXPECT_EQ(header.tenant_id, 3u);
+  EXPECT_EQ(frame.size(), kHeaderBytes + header.payload_len);
+
+  Query out;
+  ASSERT_TRUE(
+      DecodeQueryPayload(
+          std::string_view(frame).substr(kHeaderBytes, header.payload_len),
+          &out)
+          .ok());
+  EXPECT_EQ(out.id, q.id);
+  EXPECT_EQ(out.template_id, q.template_id);
+  ASSERT_EQ(out.conjuncts.size(), q.conjuncts.size());
+  for (size_t i = 0; i < q.conjuncts.size(); ++i) {
+    EXPECT_EQ(out.conjuncts[i].column, q.conjuncts[i].column);
+    EXPECT_EQ(out.conjuncts[i].op, q.conjuncts[i].op);
+  }
+  EXPECT_TRUE(out.conjuncts[0].value == q.conjuncts[0].value);
+  EXPECT_TRUE(out.conjuncts[0].value2 == q.conjuncts[0].value2);
+  EXPECT_TRUE(out.conjuncts[1].value == q.conjuncts[1].value);
+  ASSERT_EQ(out.conjuncts[2].in_list.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(out.conjuncts[2].in_list[i] == q.conjuncts[2].in_list[i]);
+  }
+}
+
+TEST(ServerWireTest, ReplyFrameRoundTripsCostBitsExactly) {
+  QueryReply reply;
+  reply.status = ReplyStatus::kOk;
+  reply.state = 3;
+  reply.reorganized = true;
+  reply.query_cost = 0.1 + 0.2;  // not representable: bits must survive
+  reply.has_physical = true;
+  reply.match_count = 12345678901234ull;
+  std::string frame = EncodeReplyFrame(7, 2, reply);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeHeader(frame, kDefaultMaxPayload, &header).ok());
+  QueryReply out;
+  ASSERT_TRUE(
+      DecodeReplyPayload(
+          std::string_view(frame).substr(kHeaderBytes, header.payload_len),
+          &out)
+          .ok());
+  EXPECT_EQ(out.status, ReplyStatus::kOk);
+  EXPECT_EQ(out.state, 3);
+  EXPECT_TRUE(out.reorganized);
+  EXPECT_EQ(out.query_cost, reply.query_cost);  // exact
+  EXPECT_TRUE(out.has_physical);
+  EXPECT_EQ(out.match_count, reply.match_count);
+}
+
+TEST(ServerWireTest, HeaderValidationRejectsUntrustedFrames) {
+  Query q = RangeQuery(1, 0, 10);
+  std::string good = EncodeQueryFrame(1, 1, q);
+  FrameHeader header;
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeHeader(bad_magic, kDefaultMaxPayload, &header).ok());
+
+  std::string bad_version = good;
+  bad_version[4] = 9;
+  EXPECT_FALSE(DecodeHeader(bad_version, kDefaultMaxPayload, &header).ok());
+  // Even on failure the parsed fields are filled (best-effort id echo).
+  EXPECT_EQ(header.request_id, 1u);
+
+  std::string bad_type = good;
+  bad_type[6] = 77;
+  EXPECT_FALSE(DecodeHeader(bad_type, kDefaultMaxPayload, &header).ok());
+
+  // Declared payload over the limit is rejected *before* any buffering.
+  EXPECT_FALSE(DecodeHeader(good, /*max_payload=*/4, &header).ok());
+}
+
+TEST(ServerWireTest, ToStatusMapsEveryWireStatus) {
+  EXPECT_TRUE(ToStatus(ReplyStatus::kOk, "").ok());
+  EXPECT_EQ(ToStatus(ReplyStatus::kBackpressure, "m").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ToStatus(ReplyStatus::kShutdown, "m").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ToStatus(ReplyStatus::kBadRequest, "m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ToStatus(ReplyStatus::kUnknownTenant, "m").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ToStatus(ReplyStatus::kInternal, "m").code(),
+            StatusCode::kInternal);
+}
+
+// ------------------------------------------------------ stream poisoning --
+
+TEST_F(ServerRobustnessTest, MalformedHeaderPoisonsStreamWithOneReply) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+  std::string garbage(64, 'Z');
+  session->Feed(garbage);
+  QueryReply reply = WaitOneReply(session.get(), nullptr);
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest);
+  EXPECT_TRUE(session->broken());
+
+  // The stream is dark now: even a well-formed frame is discarded.
+  session->Feed(EncodeQueryFrame(5, kTenant, RangeQuery(5, 0, 10)));
+  EXPECT_TRUE(session->TakeResponses().empty());
+  srv_->Shutdown();
+  EXPECT_EQ(srv_->stats().executed, 0u);
+}
+
+TEST_F(ServerRobustnessTest, OversizedDeclaredPayloadBreaksTheStream) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(MsgType::kQuery);
+  header.request_id = 11;
+  header.tenant_id = kTenant;
+  header.payload_len = srv_->max_payload() + 1;
+  std::string frame;
+  AppendHeader(header, &frame);
+  session->Feed(frame);  // header only: the payload must never be buffered
+  uint64_t request_id = 0;
+  QueryReply reply = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest);
+  EXPECT_EQ(request_id, 11u);  // best-effort id echo from the bad header
+  EXPECT_TRUE(session->broken());
+}
+
+TEST_F(ServerRobustnessTest, MalformedPayloadPoisonsOnlyThatRequest) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+
+  // Well-framed, garbage payload: request-level error...
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(MsgType::kQuery);
+  header.request_id = 21;
+  header.tenant_id = kTenant;
+  header.payload_len = 3;
+  std::string frame;
+  AppendHeader(header, &frame);
+  frame += "abc";
+  session->Feed(frame);
+  uint64_t request_id = 0;
+  QueryReply bad = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(bad.status, ReplyStatus::kBadRequest);
+  EXPECT_EQ(request_id, 21u);
+  EXPECT_FALSE(session->broken());
+
+  // ... and the stream survives: the next query executes normally.
+  session->Feed(EncodeQueryFrame(22, kTenant, RangeQuery(22, 0, 10)));
+  QueryReply good = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(good.status, ReplyStatus::kOk);
+  EXPECT_EQ(request_id, 22u);
+
+  // A stray reply frame sent *to* the server is likewise request-level.
+  session->Feed(EncodeReplyFrame(23, kTenant, QueryReply{}));
+  QueryReply stray = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(stray.status, ReplyStatus::kBadRequest);
+  EXPECT_FALSE(session->broken());
+
+  srv_->Shutdown();
+  EXPECT_EQ(srv_->stats().executed, 1u);
+  EXPECT_EQ(srv_->stats().rejected_malformed, 2u);
+}
+
+TEST_F(ServerRobustnessTest, TruncatedFramesAreBufferedUntilComplete) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+  std::string frame = EncodeQueryFrame(31, kTenant, RangeQuery(31, 5, 50));
+  // Drip-feed byte by byte: nothing may dispatch or error early.
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    session->Feed(std::string_view(frame).substr(i, 1));
+    EXPECT_FALSE(session->broken());
+  }
+  EXPECT_TRUE(session->TakeResponses().empty());
+  session->Feed(std::string_view(frame).substr(frame.size() - 1));
+  uint64_t request_id = 0;
+  QueryReply reply = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(reply.status, ReplyStatus::kOk);
+  EXPECT_EQ(request_id, 31u);
+}
+
+// ------------------------------------------------------ admission limits --
+
+TEST_F(ServerRobustnessTest, UnknownTenantGetsCleanError) {
+  StartServer(BatchPolicy{});
+  LoopbackClient client(srv_.get());
+  Result<QueryReply> reply = client.Call(99, RangeQuery(1, 0, 10));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, ReplyStatus::kUnknownTenant);
+  EXPECT_EQ(ToStatus(reply->status, reply->message).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(srv_->stats().rejected_unknown_tenant, 1u);
+}
+
+TEST_F(ServerRobustnessTest, QueueFullAnswersBackpressureWithoutBlocking) {
+  DispatcherGate gate;
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  policy.max_delay_us = 0;
+  policy.max_queue = 2;
+  StartServer(policy, gate.hooks());
+
+  LoopbackClient client(srv_.get());
+  // First request is popped into an in-flight batch and held at the gate.
+  uint64_t id0 = client.Send(kTenant, RangeQuery(100, 0, 10));
+  gate.WaitEntered(1);
+  // Quota is 2: two more fit the queue...
+  uint64_t id1 = client.Send(kTenant, RangeQuery(101, 0, 10));
+  uint64_t id2 = client.Send(kTenant, RangeQuery(102, 0, 10));
+  // ... and the rest must bounce immediately. Send returning at all proves
+  // the admission path never blocks the connection reader.
+  uint64_t id3 = client.Send(kTenant, RangeQuery(103, 0, 10));
+  uint64_t id4 = client.Send(kTenant, RangeQuery(104, 0, 10));
+  for (uint64_t rejected_id : {id3, id4}) {
+    Result<QueryReply> reply = client.Wait(rejected_id);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->status, ReplyStatus::kBackpressure) << reply->message;
+  }
+
+  gate.Release();
+  for (uint64_t admitted_id : {id0, id1, id2}) {
+    Result<QueryReply> reply = client.Wait(admitted_id);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+  }
+  srv_->Shutdown();
+
+  ServerStats stats = srv_->stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.executed, 3u);
+  EXPECT_EQ(stats.rejected_backpressure, 2u);
+  std::vector<int64_t> expected = {100, 101, 102};
+  EXPECT_EQ(srv_->ExecutedIds(kTenant), expected)
+      << "rejected queries must never reach the engine";
+}
+
+TEST_F(ServerRobustnessTest, MidStreamDisconnectDropsRepliesNotTheBatch) {
+  DispatcherGate gate;
+  BatchPolicy policy;
+  policy.max_batch = 1;
+  policy.max_delay_us = 0;
+  policy.max_queue = 8;
+  StartServer(policy, gate.hooks());
+
+  auto client = std::make_unique<LoopbackClient>(srv_.get());
+  uint64_t id0 = client->Send(kTenant, RangeQuery(200, 0, 10));
+  gate.WaitEntered(1);
+  client->Send(kTenant, RangeQuery(201, 0, 10));  // queued behind the gate
+
+  // Client vanishes with one request in flight and one queued. The in-flight
+  // batch must still run to completion; its reply bytes just have nowhere to
+  // go (delivered into the closed outbox and dropped).
+  client->Disconnect();
+  EXPECT_FALSE(client->connected());
+  Result<QueryReply> after = client->Wait(id0);
+  EXPECT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+
+  gate.Release();
+  srv_->Shutdown();
+  ServerStats stats = srv_->stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  // The queued request raced Shutdown's close: it either executed or was
+  // drained with a shutdown reply — both are clean ends.
+  EXPECT_GE(stats.executed, 1u);
+  EXPECT_EQ(stats.executed + stats.rejected_shutdown, 2u);
+}
+
+// ----------------------------------------------------- physical serving --
+
+TEST_F(ServerRobustnessTest, PhysicalTenantServesExactMatchCounts) {
+  std::string dir = testutil::ScratchDir("server_robust_phys");
+  StartServer(BatchPolicy{}, {}, dir);
+  LoopbackClient client(srv_.get());
+  // ts is arrival order 0..599, so BETWEEN [lo, hi] matches hi-lo+1 rows.
+  struct Case {
+    int64_t lo, hi;
+  } cases[] = {{100, 199}, {0, 0}, {550, 700}};
+  uint64_t expected[] = {100, 1, 50};
+  for (size_t i = 0; i < 3; ++i) {
+    Result<QueryReply> reply = client.Call(
+        kTenant, RangeQuery(static_cast<int64_t>(i), cases[i].lo, cases[i].hi));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+    EXPECT_TRUE(reply->has_physical);
+    EXPECT_EQ(reply->match_count, expected[i]) << "case " << i;
+  }
+  srv_->Shutdown();
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------- single-caller enforcement ---
+
+// The reusable batch-submission hook must let many producer threads feed one
+// engine without tripping the engines' single-caller contract (the debug
+// guard aborts on violation, TSan checks the rest).
+TEST(BatchSubmitterTest, SerializesConcurrentProducers) {
+  Table table = testutil::MakeEventTable(600, 22);
+  QdTreeGenerator generator;
+  auto engine =
+      core::MakeEngine(&table, &generator, /*time_column=*/0, CheapOptions());
+  core::BatchSubmitter submitter(engine.get());
+
+  constexpr int kProducers = 8;
+  constexpr int kBatchesPerProducer = 20;
+  constexpr size_t kBatchSize = 4;
+  std::atomic<size_t> steps_seen{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        QueryBatch batch;
+        for (size_t i = 0; i < kBatchSize; ++i) {
+          batch.queries.push_back(RangeQuery(p * 1000 + b * 10 + i, 0, 50));
+        }
+        core::OreoEngine::BatchResult result = submitter.Run(batch);
+        EXPECT_EQ(result.steps.size(), kBatchSize);
+        steps_seen += result.steps.size();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(steps_seen.load(),
+            static_cast<size_t>(kProducers) * kBatchesPerProducer *
+                kBatchSize);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace oreo

@@ -1,0 +1,270 @@
+// oreo_server: multi-tenant OREO query server.
+//
+// Hosts one OreoEngine per tenant (telemetry datasets with distinct seeds)
+// behind the wire protocol from src/server/wire.h.
+//
+// Default mode is a loopback demo: N client threads drive generated
+// workloads through in-process connections — the full encode/frame/decode
+// path — and the tool prints throughput plus the server's admission and
+// batching counters.
+//
+//   ./build/tools/oreo_server --tenants 2 --clients 4 --queries 2000
+//
+// With --port the tool additionally accepts real TCP connections speaking
+// the same protocol (one reader + one writer thread per connection) until
+// interrupted:
+//
+//   ./build/tools/oreo_server --port 7447
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/oreo.h"
+#include "layout/qdtree_layout.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workloads/dataset.h"
+#include "workloads/workload_gen.h"
+
+using namespace oreo;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+// sigaction without SA_RESTART (std::signal on glibc sets it): the blocking
+// accept() must fail with EINTR on Ctrl-C so the listener loop can observe
+// g_stop and drain.
+void InstallSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+struct Args {
+  int tenants = 2;
+  size_t rows = 20000;
+  size_t queries = 2000;
+  int clients = 4;
+  int port = 0;  // 0 = loopback demo only
+  size_t max_batch = 64;
+  uint64_t max_delay_us = 200;
+  size_t max_queue = 1024;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    const size_t eq = flag.find('=');
+    if (eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    }
+    auto next = [&]() -> const char* {
+      if (eq != std::string::npos) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--tenants") args.tenants = std::atoi(next());
+    else if (flag == "--rows") args.rows = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--queries") args.queries = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--clients") args.clients = std::atoi(next());
+    else if (flag == "--port") args.port = std::atoi(next());
+    else if (flag == "--max-batch") args.max_batch = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--max-delay-us") args.max_delay_us = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--max-queue") args.max_queue = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr,
+                   "usage: oreo_server [--tenants N] [--rows R] [--queries Q]"
+                   " [--clients C] [--port P] [--max-batch N]"
+                   " [--max-delay-us T] [--max-queue N]\n");
+      std::exit(flag == "--help" ? 0 : 2);
+    }
+  }
+  return args;
+}
+
+// One TCP connection: a reader thread feeds socket bytes into the session,
+// a writer thread pumps reply bytes back out. Teardown order is
+// load-bearing: CloseResponses wakes the writer (which drains any final
+// reply, e.g. the kBadRequest for a poisoned stream, then sees empty and
+// exits), the writer is joined, and only then is the session destroyed —
+// the writer must never touch a freed session/outbox.
+void ServeConnection(server::OreoServer* srv, int fd) {
+  std::unique_ptr<server::ServerSession> session = srv->OpenSession();
+  server::ServerSession* sess = session.get();
+  std::thread writer([sess, fd] {
+    while (true) {
+      std::string bytes = sess->WaitResponses();
+      if (bytes.empty()) return;  // outbox closed and drained
+      size_t off = 0;
+      while (off < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n <= 0) return;  // peer gone; late replies drop in the outbox
+        off += static_cast<size_t>(n);
+      }
+    }
+  });
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF or error: client disconnected
+    session->Feed(std::string_view(buf, static_cast<size_t>(n)));
+    if (session->broken()) break;  // framing lost; drop the connection
+  }
+  ::shutdown(fd, SHUT_RD);
+  session->CloseResponses();  // writer drains buffered replies, then exits
+  writer.join();
+  session.reset();  // in-flight replies now drop silently in the outbox
+  ::close(fd);
+}
+
+void RunTcpListener(server::OreoServer* srv, int port) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return;
+  }
+  std::printf("listening on 127.0.0.1:%d (Ctrl-C to stop)\n", port);
+  std::vector<std::thread> conns;
+  while (!g_stop) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (g_stop) break;
+      continue;
+    }
+    conns.emplace_back([srv, fd] { ServeConnection(srv, fd); });
+  }
+  ::close(listen_fd);
+  for (std::thread& t : conns) t.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  InstallSignalHandlers();
+
+  // Tenant fleet: telemetry datasets with per-tenant seeds, so layouts and
+  // workloads differ across tenants.
+  std::vector<workloads::WorkloadDataset> datasets;
+  datasets.reserve(args.tenants);
+  for (int t = 0; t < args.tenants; ++t) {
+    datasets.push_back(workloads::MakeTelemetry(args.rows, 100 + t));
+  }
+  QdTreeGenerator generator;
+
+  server::OreoServer srv;
+  for (int t = 0; t < args.tenants; ++t) {
+    server::TenantConfig cfg;
+    cfg.name = "telemetry_" + std::to_string(t);
+    cfg.table = &datasets[t].table;
+    cfg.generator = &generator;
+    cfg.time_column = datasets[t].time_column;
+    cfg.options.target_partitions = 16;
+    cfg.batch.max_batch = args.max_batch;
+    cfg.batch.max_delay_us = args.max_delay_us;
+    cfg.batch.max_queue = args.max_queue;
+    OREO_CHECK_OK(srv.AddTenant(static_cast<uint32_t>(t + 1), cfg));
+  }
+  OREO_CHECK_OK(srv.Start());
+  std::printf("serving %d tenant(s), batch policy: max_batch=%zu "
+              "max_delay_us=%llu max_queue=%zu\n",
+              args.tenants, args.max_batch,
+              static_cast<unsigned long long>(args.max_delay_us),
+              args.max_queue);
+
+  // Loopback demo: each client thread owns one connection and drives one
+  // tenant's generated workload through the wire path.
+  std::vector<std::thread> clients;
+  for (int c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&srv, &datasets, &args, c] {
+      const uint32_t tenant =
+          static_cast<uint32_t>(c % args.tenants) + 1;
+      workloads::WorkloadOptions wopts;
+      wopts.num_queries = args.queries;
+      // Template drift scaled to the stream: the generator requires
+      // num_queries >= num_segments * min_segment_length.
+      wopts.num_segments = std::max<size_t>(
+          1, std::min<size_t>(5, args.queries / 50));
+      wopts.seed = 1000 + static_cast<uint64_t>(c);
+      workloads::Workload workload = workloads::GenerateWorkload(
+          datasets[tenant - 1].templates, wopts);
+      server::LoopbackClient client(&srv);
+      size_t ok = 0, rejected = 0;
+      for (const Query& q : workload.queries) {
+        Result<server::QueryReply> reply = client.Call(tenant, q);
+        if (!reply.ok()) break;
+        if (reply->status == server::ReplyStatus::kOk) ++ok;
+        else ++rejected;
+      }
+      std::printf("client %d (tenant %u): %zu ok, %zu rejected\n", c, tenant,
+                  ok, rejected);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  if (args.port > 0) RunTcpListener(&srv, args.port);
+
+  srv.Shutdown();
+  server::ServerStats stats = srv.stats();
+  std::printf("\nserver stats:\n");
+  std::printf("  sessions opened        %llu\n",
+              static_cast<unsigned long long>(stats.sessions_opened));
+  std::printf("  requests admitted      %llu\n",
+              static_cast<unsigned long long>(stats.admitted));
+  std::printf("  requests executed      %llu\n",
+              static_cast<unsigned long long>(stats.executed));
+  std::printf("  batches dispatched     %llu (largest %llu)\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch_observed));
+  std::printf("  rejected: backpressure %llu, shutdown %llu, "
+              "unknown tenant %llu, malformed %llu\n",
+              static_cast<unsigned long long>(stats.rejected_backpressure),
+              static_cast<unsigned long long>(stats.rejected_shutdown),
+              static_cast<unsigned long long>(stats.rejected_unknown_tenant),
+              static_cast<unsigned long long>(stats.rejected_malformed));
+  for (int t = 0; t < args.tenants; ++t) {
+    core::OreoEngine* engine = srv.engine(static_cast<uint32_t>(t + 1));
+    std::printf("  tenant %d: query cost %.1f, reorg cost %.1f, %lld "
+                "switches\n",
+                t + 1, engine->total_query_cost(), engine->total_reorg_cost(),
+                static_cast<long long>(engine->num_switches()));
+  }
+  return 0;
+}
