@@ -21,7 +21,8 @@ enum class StatusCode {
   kCorruption,
   kNotImplemented,
   kInternal,
-  kUnavailable,  ///< transient failure; retrying the same op may succeed
+  kUnavailable,       ///< transient failure; retrying the same op may succeed
+  kDeadlineExceeded,  ///< the caller's deadline passed before completion
 };
 
 /// Returns a human-readable name for a status code (e.g. "Corruption").
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

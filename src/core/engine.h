@@ -191,7 +191,7 @@ std::unique_ptr<OreoEngine> MakeEngine(const Table* table,
 ///
 /// OreoEngine::Step / RunBatch assume a single caller (see
 /// internal::SingleCallerGuard); any multiplexing front end — the
-/// `server::TenantBatcher` is the in-tree user — funnels its traffic through
+/// `server::FairScheduler` is the in-tree user — funnels its traffic through
 /// one BatchSubmitter per engine instead of calling the engine directly.
 /// Submissions are mutually exclusive and each batch's logical decisions,
 /// physical execution and reconciliation happen under one critical section,

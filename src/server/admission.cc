@@ -28,6 +28,7 @@ AdmissionOutcome AdmissionQueue::Push(PendingRequest* request) {
     queue_.push_back(std::move(*request));
   }
   cv_.notify_one();
+  if (ready_notifier_) ready_notifier_();
   return AdmissionOutcome::kAdmitted;
 }
 

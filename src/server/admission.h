@@ -45,6 +45,10 @@ struct PendingRequest {
   uint64_t request_id = 0;
   Query query;
   ReplyCallback on_reply;
+  /// Absolute expiry on the scheduler's clock (microseconds), 0 = none.
+  /// Computed at admission from the wire `deadline_us` budget; checked
+  /// again at batch formation and at reply time.
+  uint64_t expiry_us = 0;
 };
 
 /// Bounded MPSC admission queue (many sessions push, one dispatcher pops).
@@ -77,6 +81,14 @@ class AdmissionQueue {
   /// order). Precondition: Close() has been called.
   std::vector<PendingRequest> DrainRemaining();
 
+  /// Registers a hook fired after each successful Push, outside the queue
+  /// lock (the hook may take other locks — e.g. the scheduler's — without
+  /// inverting against the sched-mu -> queue-mu order used by size()).
+  /// Must be set before concurrent pushers exist; not synchronized itself.
+  void set_ready_notifier(std::function<void()> notifier) {
+    ready_notifier_ = std::move(notifier);
+  }
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
@@ -86,6 +98,7 @@ class AdmissionQueue {
   std::condition_variable cv_;  // wakes the dispatcher on push/close
   std::deque<PendingRequest> queue_;
   bool closed_ = false;
+  std::function<void()> ready_notifier_;  // scheduler wakeup, post-Push
 };
 
 }  // namespace server

@@ -15,10 +15,11 @@ LoopbackClient::LoopbackClient(OreoServer* server)
 
 LoopbackClient::~LoopbackClient() = default;
 
-uint64_t LoopbackClient::Send(uint32_t tenant_id, const Query& query) {
+uint64_t LoopbackClient::Send(uint32_t tenant_id, const Query& query,
+                              uint64_t deadline_us) {
   OREO_CHECK(session_ != nullptr) << "Send on a disconnected client";
   const uint64_t request_id = next_request_id_++;
-  session_->Feed(EncodeQueryFrame(request_id, tenant_id, query));
+  session_->Feed(EncodeQueryFrame(request_id, tenant_id, query, deadline_us));
   return request_id;
 }
 
@@ -48,24 +49,52 @@ Status LoopbackClient::ParseReceived() {
   while (recvbuf_.size() >= kHeaderBytes) {
     FrameHeader header;
     OREO_RETURN_NOT_OK(DecodeHeader(recvbuf_, max_payload_, &header));
-    if (header.type != static_cast<uint16_t>(MsgType::kReply)) {
-      return Status::Corruption("client received a non-reply frame");
-    }
     const size_t frame_bytes = kHeaderBytes + header.payload_len;
     if (recvbuf_.size() < frame_bytes) return Status::OK();  // partial frame
-    QueryReply reply;
-    OREO_RETURN_NOT_OK(DecodeReplyPayload(
-        std::string_view(recvbuf_).substr(kHeaderBytes, header.payload_len),
-        &reply));
-    ready_[header.request_id] = std::move(reply);
+    const std::string_view payload =
+        std::string_view(recvbuf_).substr(kHeaderBytes, header.payload_len);
+    if (header.type == static_cast<uint16_t>(MsgType::kReply)) {
+      QueryReply reply;
+      OREO_RETURN_NOT_OK(DecodeReplyPayload(payload, &reply));
+      ready_[header.request_id] = std::move(reply);
+    } else if (header.type == static_cast<uint16_t>(MsgType::kStatsReply)) {
+      StatsSnapshot snap;
+      OREO_RETURN_NOT_OK(DecodeStatsPayload(payload, &snap));
+      stats_ready_[header.request_id] = std::move(snap);
+    } else {
+      return Status::Corruption("client received a non-reply frame");
+    }
     recvbuf_.erase(0, frame_bytes);
   }
   return Status::OK();
 }
 
-Result<QueryReply> LoopbackClient::Call(uint32_t tenant_id,
-                                        const Query& query) {
-  return Wait(Send(tenant_id, query));
+Result<QueryReply> LoopbackClient::Call(uint32_t tenant_id, const Query& query,
+                                        uint64_t deadline_us) {
+  return Wait(Send(tenant_id, query, deadline_us));
+}
+
+Result<StatsSnapshot> LoopbackClient::FetchStats() {
+  OREO_CHECK(session_ != nullptr) << "FetchStats on a disconnected client";
+  const uint64_t request_id = next_request_id_++;
+  session_->Feed(EncodeStatsRequestFrame(request_id));
+  while (true) {
+    auto it = stats_ready_.find(request_id);
+    if (it != stats_ready_.end()) {
+      StatsSnapshot snap = std::move(it->second);
+      stats_ready_.erase(it);
+      return snap;
+    }
+    if (session_ == nullptr) {
+      return Status::Unavailable("connection dropped before the reply");
+    }
+    std::string bytes = session_->WaitResponses();
+    if (bytes.empty()) {
+      return Status::Unavailable("connection closed before the reply");
+    }
+    recvbuf_.append(bytes);
+    OREO_RETURN_NOT_OK(ParseReceived());
+  }
 }
 
 void LoopbackClient::Disconnect() { session_.reset(); }

@@ -35,7 +35,11 @@ class LoopbackClient {
   LoopbackClient& operator=(const LoopbackClient&) = delete;
 
   /// Sends one query to a tenant; returns the request id to Wait on.
-  uint64_t Send(uint32_t tenant_id, const Query& query);
+  /// `deadline_us` is the request's latency budget measured from server
+  /// receipt (0 = no deadline); an expired request answers
+  /// kDeadlineExceeded.
+  uint64_t Send(uint32_t tenant_id, const Query& query,
+                uint64_t deadline_us = 0);
 
   /// Blocks until the reply for `request_id` arrives and returns it — with
   /// whatever wire status the server assigned (backpressure, shutdown and
@@ -45,7 +49,12 @@ class LoopbackClient {
   Result<QueryReply> Wait(uint64_t request_id);
 
   /// Send + Wait in one round trip.
-  Result<QueryReply> Call(uint32_t tenant_id, const Query& query);
+  Result<QueryReply> Call(uint32_t tenant_id, const Query& query,
+                          uint64_t deadline_us = 0);
+
+  /// Round-trips a kStats frame: server totals + per-tenant scheduler
+  /// counters, through the same wire path as queries.
+  Result<StatsSnapshot> FetchStats();
 
   /// Simulates the client vanishing mid-stream: drops the connection with
   /// requests possibly still in flight. Subsequent Send/Wait fail.
@@ -64,6 +73,7 @@ class LoopbackClient {
   std::unique_ptr<ServerSession> session_;
   std::string recvbuf_;
   std::map<uint64_t, QueryReply> ready_;
+  std::map<uint64_t, StatsSnapshot> stats_ready_;
   uint64_t next_request_id_ = 1;
   uint32_t max_payload_;
 };

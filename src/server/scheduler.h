@@ -1,0 +1,203 @@
+// Weighted fair-share scheduling across tenants: a shared dispatcher pool
+// driven by deficit round-robin (DRR), replacing the thread-per-tenant
+// batcher model.
+//
+// Every tenant owns a bounded AdmissionQueue and a scheduling weight. The
+// FairScheduler holds one deficit counter per tenant — scheduling credit
+// measured in queries — and a pool of K dispatcher threads. A free worker
+// picks the next *eligible* tenant (ready: non-empty queue and no other
+// worker currently serving it; funded: deficit >= 1) by scanning a fixed
+// id-ordered ring from a cursor, forms a batch from that tenant's queue
+// under its own BatchPolicy, drives it through the tenant's
+// core::BatchSubmitter, and charges the executed count against the
+// deficit. When no ready tenant is funded, a refill round grants every
+// *active* tenant (queued or being served) `weight x quantum` credit and
+// zeroes the balance of idle tenants — so unused share redistributes
+// instead of banking, while over-served tenants carry negative balances
+// forward and long-run shares converge to the configured weights exactly.
+// The pick order is deterministic given the queue contents, which is what
+// the fairness wall pins.
+//
+// At most one worker serves a tenant at a time (the per-tenant busy flag),
+// so the engine's single-caller RunBatch contract holds by construction —
+// exactly as it did with one dedicated thread per tenant — while idle
+// tenants no longer hold threads hostage.
+//
+// Deadlines. A request may carry an absolute expiry (computed at admission
+// from the wire `deadline_us` budget). Expiry is checked at three points:
+// admission (rejected inline, nothing enqueued), batch formation (popped
+// requests whose expiry passed are answered without running), and reply
+// time (a query whose deadline passed *while the engine ran it* is still
+// executed — never cancelled, keeping executed streams bit-identical — and
+// answered kDeadlineExceeded with `executed = true` and the real outcome).
+//
+// Shutdown (Drain) keeps the ReorgPool discard contract: admission closes
+// (pushers bounce inline with kShutdown), in-flight batches complete and
+// answer normally, workers are joined, and every request still queued is
+// answered with a shutdown status before Drain returns — no reply callback
+// outlives the scheduler.
+#ifndef OREO_SERVER_SCHEDULER_H_
+#define OREO_SERVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "server/admission.h"
+
+namespace oreo {
+namespace server {
+
+/// Batch-formation and admission knobs of one tenant.
+struct BatchPolicy {
+  size_t max_batch = 64;        ///< N: dispatch when this many are waiting
+  uint64_t max_delay_us = 200;  ///< T: or after this long, whichever first
+  size_t max_queue = 1024;      ///< admission quota (backpressure beyond)
+};
+
+/// Test instrumentation shared by all tenants of a server.
+struct ServerTestHooks {
+  /// Runs on the dispatcher thread right after a batch is formed (expired
+  /// requests already filtered out), before the engine sees it — the
+  /// sentinel gate of the shutdown/robustness/fairness suites.
+  std::function<void(uint32_t tenant_id, size_t batch_size)> on_batch_start;
+
+  /// Replaces the scheduler's clock (microseconds, monotonic). The deadline
+  /// wall injects a fake clock here to make all three expiry checkpoints
+  /// deterministic. Must be thread-safe; unset = steady_clock.
+  std::function<uint64_t()> now_micros;
+};
+
+/// The shared DRR dispatcher pool serving every tenant of one server.
+class FairScheduler {
+ public:
+  struct Options {
+    size_t dispatchers = 2;  ///< worker threads shared by all tenants
+    /// Credit (in queries) granted per unit of weight at each refill round.
+    /// Larger values lower scheduling overhead but coarsen the grain at
+    /// which shares interleave; convergence is exact either way thanks to
+    /// carried negative balances.
+    uint32_t quantum = 64;
+  };
+
+  /// `hooks` may be null or empty and must outlive the scheduler when set.
+  FairScheduler(const Options& options, const ServerTestHooks* hooks);
+  /// Drains (idempotent with an explicit Drain) and joins.
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Registers a tenant (weight >= 1; `engine` must outlive the scheduler).
+  /// Only valid before Start.
+  void AddTenant(uint32_t tenant_id, uint32_t weight,
+                 core::OreoEngine* engine, const BatchPolicy& policy);
+
+  /// Starts the dispatcher pool. Call exactly once, after all AddTenant.
+  void Start();
+
+  /// Offers one request to a known tenant (caller pre-validates the id).
+  /// Never blocks; the reply callback fires exactly once — inline on the
+  /// submitting thread for rejections (backpressure, shutdown, deadline
+  /// already expired at admission) and from a dispatcher otherwise.
+  /// `request.expiry_us` must already be absolute (see ComputeExpiry).
+  AdmissionOutcome Submit(uint32_t tenant_id, PendingRequest request);
+
+  /// Graceful drain: close admission, complete in-flight batches, join the
+  /// pool, answer every still-queued request with a shutdown status. All
+  /// replies are delivered before Drain returns. Idempotent.
+  void Drain();
+
+  /// The scheduler's clock (test hook or steady_clock), microseconds.
+  uint64_t NowMicros() const;
+
+  /// Turns a wire deadline budget into an absolute expiry on this clock
+  /// (0 stays 0 = no deadline).
+  uint64_t ComputeExpiry(uint64_t deadline_us) const;
+
+  /// Query ids actually executed through the tenant's engine, in stream
+  /// order — the audit trail the loopback equivalence wall replays against
+  /// the library path. Empty for unknown tenants. Safe after Drain or
+  /// while quiescent.
+  std::vector<int64_t> executed_ids(uint32_t tenant_id) const;
+
+  /// Per-tenant scheduler counters (including the live deficit), id-ordered
+  /// — the payload of the kStats frame.
+  std::vector<TenantStats> tenant_stats() const;
+
+  size_t num_tenants() const { return tenants_.size(); }
+
+ private:
+  struct TenantState {
+    TenantState(uint32_t id_in, uint32_t weight_in, core::OreoEngine* engine_in,
+                const BatchPolicy& policy_in)
+        : id(id_in),
+          weight(weight_in),
+          engine(engine_in),
+          submitter(engine_in),
+          policy(policy_in),
+          queue(policy_in.max_queue) {}
+
+    const uint32_t id;
+    const uint32_t weight;
+    core::OreoEngine* engine;  // not owned
+    core::BatchSubmitter submitter;
+    const BatchPolicy policy;
+    AdmissionQueue queue;
+
+    // DRR state, guarded by the scheduler's mu_.
+    int64_t deficit = 0;
+    bool busy = false;  // a worker is serving this tenant right now
+
+    // Counters and the executed audit log, guarded by cmu (leaf lock,
+    // taken after mu_ where both are needed).
+    mutable std::mutex cmu;
+    std::vector<int64_t> executed_ids;
+    uint64_t admitted = 0;
+    uint64_t executed = 0;
+    uint64_t batches = 0;
+    uint64_t max_batch_observed = 0;
+    uint64_t rejected_backpressure = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t expired_admission = 0;
+    uint64_t expired_formation = 0;
+    uint64_t expired_reply = 0;
+  };
+
+  void WorkerLoop();
+  /// Blocks until a tenant is pickable (marking it busy) or drain begins
+  /// (returns nullptr). Runs refill rounds as needed.
+  TenantState* PickNext();
+  /// Releases the tenant (busy -> false) and charges `executed` queries
+  /// against its deficit.
+  void FinishServing(TenantState* tenant, size_t executed);
+  /// Serves one picked tenant: pop, filter expired, run, reply.
+  void ServeTenant(TenantState* tenant);
+
+  const Options options_;
+  const ServerTestHooks* hooks_;  // not owned, may be null
+
+  // Id-ordered ring; fixed after Start (lookup map + scan vector).
+  std::map<uint32_t, std::unique_ptr<TenantState>> tenants_;
+  std::vector<TenantState*> ring_;
+
+  mutable std::mutex mu_;        // guards deficit/busy/cursor_/draining_
+  std::condition_variable cv_;   // wakes workers on push/finish/drain
+  size_t cursor_ = 0;            // next ring position to scan from
+  bool draining_ = false;
+
+  std::vector<std::thread> workers_;
+  std::mutex drain_mu_;   // serializes Drain; guards drained_
+  bool drained_ = false;  // Drain already ran to completion
+};
+
+}  // namespace server
+}  // namespace oreo
+
+#endif  // OREO_SERVER_SCHEDULER_H_

@@ -33,12 +33,15 @@ Status OreoServer::Start() {
     return Status::InvalidArgument("no tenants registered");
   }
   OREO_RETURN_NOT_OK(registry_.InitAllAndFreeze());
+  FairScheduler::Options sched;
+  sched.dispatchers = options_.dispatchers;
+  sched.quantum = options_.scheduler_quantum;
+  scheduler_ = std::make_unique<FairScheduler>(sched, &hooks_);
   for (auto& [id, tenant] : registry_.tenants()) {
-    auto batcher = std::make_unique<TenantBatcher>(
-        id, tenant->engine(), tenant->config().batch, &hooks_);
-    batcher->Start();
-    batchers_.emplace(id, std::move(batcher));
+    scheduler_->AddTenant(id, tenant->config().weight, tenant->engine(),
+                          tenant->config().batch);
   }
+  scheduler_->Start();
   return Status::OK();
 }
 
@@ -46,9 +49,9 @@ void OreoServer::Shutdown() {
   if (!started_.load()) return;
   stopped_.store(true);
   // Drain serializes internally: a second concurrent Shutdown caller blocks
-  // on each batcher until the first caller's drain finishes, so "no callback
-  // outlives Shutdown" holds for every caller.
-  for (auto& [id, batcher] : batchers_) batcher->Drain();
+  // until the first caller's drain finishes, so "no callback outlives
+  // Shutdown" holds for every caller.
+  if (scheduler_) scheduler_->Drain();
 }
 
 std::unique_ptr<ServerSession> OreoServer::OpenSession() {
@@ -58,9 +61,9 @@ std::unique_ptr<ServerSession> OreoServer::OpenSession() {
 }
 
 void OreoServer::Submit(uint32_t tenant_id, Query query, uint64_t request_id,
-                        ReplyCallback on_reply) {
-  auto it = batchers_.find(tenant_id);
-  if (it == batchers_.end()) {
+                        uint64_t deadline_us, ReplyCallback on_reply) {
+  Tenant* tenant = registry_.Find(tenant_id);
+  if (tenant == nullptr) {
     unknown_tenant_.fetch_add(1, std::memory_order_relaxed);
     QueryReply reply;
     reply.status = ReplyStatus::kUnknownTenant;
@@ -69,13 +72,29 @@ void OreoServer::Submit(uint32_t tenant_id, Query query, uint64_t request_id,
     if (on_reply) on_reply(reply);
     return;
   }
+  // The wire codec can only check that a query is well-formed; whether its
+  // column indices exist is a per-tenant question answered here, before the
+  // engine can be asked to scan a column that isn't there.
+  const size_t columns = tenant->config().table->num_columns();
+  for (const Predicate& p : query.conjuncts) {
+    if (p.column < 0 || static_cast<size_t>(p.column) >= columns) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      QueryReply reply;
+      reply.status = ReplyStatus::kBadRequest;
+      reply.message = "predicate column " + std::to_string(p.column) +
+                      " out of range for tenant " + std::to_string(tenant_id);
+      if (on_reply) on_reply(reply);
+      return;
+    }
+  }
   PendingRequest request;
   request.request_id = request_id;
   request.query = std::move(query);
   request.on_reply = std::move(on_reply);
-  // The batcher answers rejected requests inline and admitted ones from its
+  request.expiry_us = scheduler_->ComputeExpiry(deadline_us);
+  // The scheduler answers rejected requests inline and admitted ones from a
   // dispatcher — either way the callback fires exactly once.
-  it->second->Submit(std::move(request));
+  scheduler_->Submit(tenant_id, std::move(request));
 }
 
 ServerStats OreoServer::stats() const {
@@ -84,8 +103,8 @@ ServerStats OreoServer::stats() const {
   out.rejected_unknown_tenant =
       unknown_tenant_.load(std::memory_order_relaxed);
   out.rejected_malformed = malformed_.load(std::memory_order_relaxed);
-  for (const auto& [id, batcher] : batchers_) {
-    TenantBatcher::Counters c = batcher->counters();
+  if (!scheduler_) return out;
+  for (const TenantStats& c : scheduler_->tenant_stats()) {
     out.admitted += c.admitted;
     out.executed += c.executed;
     out.batches += c.batches;
@@ -93,14 +112,23 @@ ServerStats OreoServer::stats() const {
         std::max(out.max_batch_observed, c.max_batch_observed);
     out.rejected_backpressure += c.rejected_backpressure;
     out.rejected_shutdown += c.rejected_shutdown;
+    out.expired_admission += c.expired_admission;
+    out.expired_formation += c.expired_formation;
+    out.expired_reply += c.expired_reply;
   }
   return out;
 }
 
+StatsSnapshot OreoServer::stats_snapshot() const {
+  StatsSnapshot snap;
+  snap.server = stats();
+  if (scheduler_) snap.tenants = scheduler_->tenant_stats();
+  return snap;
+}
+
 std::vector<int64_t> OreoServer::ExecutedIds(uint32_t tenant_id) const {
-  auto it = batchers_.find(tenant_id);
-  if (it == batchers_.end()) return {};
-  return it->second->executed_ids();
+  if (!scheduler_) return {};
+  return scheduler_->executed_ids(tenant_id);
 }
 
 core::OreoEngine* OreoServer::engine(uint32_t tenant_id) {

@@ -1,11 +1,12 @@
 // The multi-tenant query server: a fleet of OreoEngine instances (one per
 // table/tenant) behind the length-prefixed wire protocol, multiplexing any
-// number of concurrent client connections onto the engines' thread pools
-// via batched RunBatch submission.
+// number of concurrent client connections onto a shared dispatcher pool
+// scheduled by weighted deficit round-robin (see scheduler.h).
 //
 //   server::OreoServer srv;
 //   server::TenantConfig cfg;
 //   cfg.name = "telemetry"; cfg.table = &table; cfg.generator = &gen;
+//   cfg.weight = 3;                                // fair-share weight
 //   OREO_CHECK_OK(srv.AddTenant(1, cfg));
 //   OREO_CHECK_OK(srv.Start());
 //   server::LoopbackClient client(&srv);           // or a TCP transport
@@ -13,9 +14,9 @@
 //   srv.Shutdown();                                // graceful drain
 //
 // Life cycle: AddTenant* -> Start -> serve -> Shutdown (idempotent; the
-// destructor calls it). Shutdown drains every tenant batcher under the
-// ReorgPool discard contract: in-flight batches complete and answer OK,
-// queued requests answer kShutdown, and no reply callback survives past
+// destructor calls it). Shutdown drains the scheduler under the ReorgPool
+// discard contract: in-flight batches complete and answer OK, queued
+// requests answer kShutdown, and no reply callback survives past
 // Shutdown's return. Sessions may outlive their client (disconnect-safe via
 // the shared outbox) but not the server.
 #ifndef OREO_SERVER_SERVER_H_
@@ -23,11 +24,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
-#include "server/batcher.h"
+#include "server/scheduler.h"
 #include "server/session.h"
 #include "server/tenant_registry.h"
 #include "server/wire.h"
@@ -39,19 +39,12 @@ namespace server {
 struct ServerOptions {
   /// Per-frame payload ceiling enforced before buffering (see wire.h).
   uint32_t max_payload = kDefaultMaxPayload;
-};
 
-/// Aggregated serving counters (monotonic; snapshot via stats()).
-struct ServerStats {
-  uint64_t sessions_opened = 0;
-  uint64_t admitted = 0;
-  uint64_t executed = 0;
-  uint64_t batches = 0;
-  uint64_t max_batch_observed = 0;
-  uint64_t rejected_backpressure = 0;
-  uint64_t rejected_shutdown = 0;
-  uint64_t rejected_unknown_tenant = 0;
-  uint64_t rejected_malformed = 0;
+  /// Dispatcher threads shared by every tenant (the fair-share pool).
+  size_t dispatchers = 2;
+
+  /// DRR credit granted per unit of tenant weight at each refill round.
+  uint32_t scheduler_quantum = 64;
 };
 
 class OreoServer {
@@ -70,11 +63,11 @@ class OreoServer {
   void set_test_hooks(ServerTestHooks hooks);
 
   /// Builds every tenant's engine (and physical store when configured) and
-  /// starts one dispatcher per tenant.
+  /// starts the shared dispatcher pool.
   Status Start();
 
   /// Graceful drain, idempotent: stops admission, completes in-flight
-  /// batches, answers queued requests with kShutdown, joins dispatchers.
+  /// batches, answers queued requests with kShutdown, joins the pool.
   /// Every reply is delivered before Shutdown returns.
   void Shutdown();
 
@@ -85,12 +78,24 @@ class OreoServer {
   std::unique_ptr<ServerSession> OpenSession();
 
   /// Request entry point used by sessions (and by in-process transports).
-  /// `on_reply` fires exactly once — inline on rejection, from the tenant
+  /// `deadline_us` is the request's latency budget from this moment
+  /// (0 = none). `on_reply` fires exactly once — inline on rejection
+  /// (including a deadline that already expired at admission), from a
   /// dispatcher on execution or drain.
   void Submit(uint32_t tenant_id, Query query, uint64_t request_id,
-              ReplyCallback on_reply);
+              uint64_t deadline_us, ReplyCallback on_reply);
+
+  /// Deadline-less convenience overload.
+  void Submit(uint32_t tenant_id, Query query, uint64_t request_id,
+              ReplyCallback on_reply) {
+    Submit(tenant_id, std::move(query), request_id, /*deadline_us=*/0,
+           std::move(on_reply));
+  }
 
   ServerStats stats() const;
+
+  /// Server totals plus per-tenant scheduler counters — the kStats payload.
+  StatsSnapshot stats_snapshot() const;
 
   /// The tenant's executed query-id stream (audit hook for the loopback
   /// equivalence wall). Empty when the tenant is unknown.
@@ -112,7 +117,7 @@ class OreoServer {
   TenantRegistry registry_;
   // Declared after the registry (and destroyed first): dispatcher threads
   // call into the engines the registry owns.
-  std::map<uint32_t, std::unique_ptr<TenantBatcher>> batchers_;
+  std::unique_ptr<FairScheduler> scheduler_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
   std::atomic<uint64_t> sessions_opened_{0};

@@ -83,16 +83,40 @@ void ServerSession::Feed(std::string_view bytes) {
 
 void ServerSession::DispatchFrame(const FrameHeader& header,
                                   std::string_view payload) {
+  if (header.version == kLegacyWireVersion) {
+    // Reject-old gracefully: a v1 frame is framed correctly (identical
+    // header layout), so it poisons only itself — the client gets a
+    // request-level upgrade hint and the stream survives.
+    EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
+              "protocol version 1 retired: upgrade to version " +
+                  std::to_string(kWireVersion));
+    server_->CountMalformed();
+    return;
+  }
+  if (header.type == static_cast<uint16_t>(MsgType::kStats)) {
+    if (!payload.empty()) {
+      EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
+                "stats request carries no payload");
+      server_->CountMalformed();
+      return;
+    }
+    // Counters are snapshotted inline on the reader thread — a stats probe
+    // never queues behind tenant work.
+    outbox_->Push(
+        EncodeStatsReplyFrame(header.request_id, server_->stats_snapshot()));
+    return;
+  }
   if (header.type != static_cast<uint16_t>(MsgType::kQuery)) {
     // Known-but-unexpected type on the server side (a stray kReply):
     // request-level error, stream survives.
     EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
-              "server expects query frames");
+              "server expects query or stats frames");
     server_->CountMalformed();
     return;
   }
   Query query;
-  Status decoded = DecodeQueryPayload(payload, &query);
+  uint64_t deadline_us = 0;
+  Status decoded = DecodeQueryPayload(payload, &query, &deadline_us);
   if (!decoded.ok()) {
     EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
               decoded.message());
@@ -104,7 +128,7 @@ void ServerSession::DispatchFrame(const FrameHeader& header,
   std::shared_ptr<ResponseOutbox> outbox = outbox_;
   const uint64_t request_id = header.request_id;
   const uint32_t tenant_id = header.tenant_id;
-  server_->Submit(tenant_id, std::move(query), request_id,
+  server_->Submit(tenant_id, std::move(query), request_id, deadline_us,
                   [outbox, request_id, tenant_id](const QueryReply& reply) {
                     outbox->Push(
                         EncodeReplyFrame(request_id, tenant_id, reply));

@@ -33,6 +33,10 @@ Status TenantRegistry::Add(uint32_t id, TenantConfig config) {
     return Status::InvalidArgument("tenant " + std::to_string(id) +
                                    ": table and generator are required");
   }
+  if (config.weight < 1) {
+    return Status::InvalidArgument("tenant " + std::to_string(id) +
+                                   ": scheduling weight must be >= 1");
+  }
   auto [it, inserted] = tenants_.emplace(
       id, std::make_unique<Tenant>(id, std::move(config)));
   (void)it;

@@ -17,7 +17,7 @@
 
 #include "core/engine.h"
 #include "core/oreo.h"
-#include "server/batcher.h"
+#include "server/scheduler.h"
 
 namespace oreo {
 namespace server {
@@ -36,6 +36,11 @@ struct TenantConfig {
 
   /// Batch-formation and admission-quota knobs.
   BatchPolicy batch;
+
+  /// Relative share of the dispatcher pool under saturation (>= 1). A
+  /// weight-3 tenant gets 3x the executed throughput of a weight-1 tenant
+  /// when both stay backlogged; idle tenants' shares redistribute.
+  uint32_t weight = 1;
 
   /// When non-empty, AttachPhysical here at server start: queries then also
   /// execute against the materialized layout and replies carry match

@@ -181,6 +181,20 @@ Status Malformed(const char* what) {
   return Status::InvalidArgument(std::string("malformed payload: ") + what);
 }
 
+std::string FinishFrame(MsgType type, uint64_t request_id, uint32_t tenant_id,
+                        const std::string& payload) {
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.request_id = request_id;
+  header.tenant_id = tenant_id;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendHeader(header, &frame);
+  frame.append(payload);
+  return frame;
+}
+
 }  // namespace
 
 const char* ReplyStatusName(ReplyStatus status) {
@@ -191,6 +205,7 @@ const char* ReplyStatusName(ReplyStatus status) {
     case ReplyStatus::kBadRequest: return "BAD_REQUEST";
     case ReplyStatus::kUnknownTenant: return "UNKNOWN_TENANT";
     case ReplyStatus::kInternal: return "INTERNAL";
+    case ReplyStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -208,6 +223,8 @@ Status ToStatus(ReplyStatus status, const std::string& message) {
       return Status::NotFound(message);
     case ReplyStatus::kInternal:
       return Status::Internal(message);
+    case ReplyStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
   }
   return Status::Internal(message);
 }
@@ -222,10 +239,11 @@ void AppendHeader(const FrameHeader& header, std::string* out) {
 }
 
 std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
-                             const Query& query) {
+                             const Query& query, uint64_t deadline_us) {
   std::string payload;
   PutI64(query.id, &payload);
   PutI32(query.template_id, &payload);
+  PutU64(deadline_us, &payload);
   PutU16(static_cast<uint16_t>(query.conjuncts.size()), &payload);
   for (const Predicate& p : query.conjuncts) {
     PutI32(p.column, &payload);
@@ -244,17 +262,7 @@ std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
         break;
     }
   }
-
-  FrameHeader header;
-  header.type = static_cast<uint16_t>(MsgType::kQuery);
-  header.request_id = request_id;
-  header.tenant_id = tenant_id;
-  header.payload_len = static_cast<uint32_t>(payload.size());
-  std::string frame;
-  frame.reserve(kHeaderBytes + payload.size());
-  AppendHeader(header, &frame);
-  frame.append(payload);
-  return frame;
+  return FinishFrame(MsgType::kQuery, request_id, tenant_id, payload);
 }
 
 std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
@@ -266,19 +274,51 @@ std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
   PutI32(reply.state, &payload);
   PutU8(reply.reorganized ? 1 : 0, &payload);
   PutU8(reply.has_physical ? 1 : 0, &payload);
+  PutU8(reply.executed ? 1 : 0, &payload);
   PutDoubleBits(reply.query_cost, &payload);
   PutU64(reply.match_count, &payload);
+  return FinishFrame(MsgType::kReply, request_id, tenant_id, payload);
+}
 
-  FrameHeader header;
-  header.type = static_cast<uint16_t>(MsgType::kReply);
-  header.request_id = request_id;
-  header.tenant_id = tenant_id;
-  header.payload_len = static_cast<uint32_t>(payload.size());
-  std::string frame;
-  frame.reserve(kHeaderBytes + payload.size());
-  AppendHeader(header, &frame);
-  frame.append(payload);
-  return frame;
+std::string EncodeStatsRequestFrame(uint64_t request_id) {
+  return FinishFrame(MsgType::kStats, request_id, /*tenant_id=*/0,
+                     std::string());
+}
+
+std::string EncodeStatsReplyFrame(uint64_t request_id,
+                                  const StatsSnapshot& snapshot) {
+  std::string payload;
+  PutU16(kStatsPayloadVersion, &payload);
+  const ServerStats& s = snapshot.server;
+  PutU64(s.sessions_opened, &payload);
+  PutU64(s.admitted, &payload);
+  PutU64(s.executed, &payload);
+  PutU64(s.batches, &payload);
+  PutU64(s.max_batch_observed, &payload);
+  PutU64(s.rejected_backpressure, &payload);
+  PutU64(s.rejected_shutdown, &payload);
+  PutU64(s.rejected_unknown_tenant, &payload);
+  PutU64(s.rejected_malformed, &payload);
+  PutU64(s.expired_admission, &payload);
+  PutU64(s.expired_formation, &payload);
+  PutU64(s.expired_reply, &payload);
+  PutU32(static_cast<uint32_t>(snapshot.tenants.size()), &payload);
+  for (const TenantStats& t : snapshot.tenants) {
+    PutU32(t.tenant_id, &payload);
+    PutU32(t.weight, &payload);
+    PutI64(t.deficit, &payload);
+    PutU64(t.admitted, &payload);
+    PutU64(t.executed, &payload);
+    PutU64(t.batches, &payload);
+    PutU64(t.max_batch_observed, &payload);
+    PutU64(t.rejected_backpressure, &payload);
+    PutU64(t.rejected_shutdown, &payload);
+    PutU64(t.expired_admission, &payload);
+    PutU64(t.expired_formation, &payload);
+    PutU64(t.expired_reply, &payload);
+  }
+  return FinishFrame(MsgType::kStatsReply, request_id, /*tenant_id=*/0,
+                     payload);
 }
 
 Status DecodeHeader(std::string_view data, uint32_t max_payload,
@@ -295,12 +335,17 @@ Status DecodeHeader(std::string_view data, uint32_t max_payload,
   if (h.magic != kWireMagic) {
     return Status::InvalidArgument("bad frame magic");
   }
-  if (h.version != kWireVersion) {
+  // Legacy (v1) frames share this exact header layout, so framing stays
+  // intact; the session answers them per-request instead of dropping the
+  // stream. Anything else is unframeable.
+  if (h.version != kWireVersion && h.version != kLegacyWireVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(h.version));
   }
   if (h.type != static_cast<uint16_t>(MsgType::kQuery) &&
-      h.type != static_cast<uint16_t>(MsgType::kReply)) {
+      h.type != static_cast<uint16_t>(MsgType::kStats) &&
+      h.type != static_cast<uint16_t>(MsgType::kReply) &&
+      h.type != static_cast<uint16_t>(MsgType::kStatsReply)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(h.type));
   }
@@ -312,7 +357,8 @@ Status DecodeHeader(std::string_view data, uint32_t max_payload,
   return Status::OK();
 }
 
-Status DecodeQueryPayload(std::string_view payload, Query* out) {
+Status DecodeQueryPayload(std::string_view payload, Query* out,
+                          uint64_t* deadline_us) {
   ByteReader r(payload);
   Query q;
   uint16_t num_conjuncts;
@@ -320,6 +366,8 @@ Status DecodeQueryPayload(std::string_view payload, Query* out) {
   int32_t template_id;
   if (!r.I32(&template_id)) return Malformed("template id");
   q.template_id = template_id;
+  uint64_t deadline = 0;
+  if (!r.U64(&deadline)) return Malformed("deadline");
   if (!r.U16(&num_conjuncts)) return Malformed("conjunct count");
   if (num_conjuncts > kMaxConjuncts) return Malformed("too many conjuncts");
   q.conjuncts.reserve(num_conjuncts);
@@ -356,6 +404,7 @@ Status DecodeQueryPayload(std::string_view payload, Query* out) {
   }
   if (!r.exhausted()) return Malformed("trailing bytes");
   *out = std::move(q);
+  if (deadline_us != nullptr) *deadline_us = deadline;
   return Status::OK();
 }
 
@@ -363,7 +412,8 @@ Status DecodeReplyPayload(std::string_view payload, QueryReply* out) {
   ByteReader r(payload);
   QueryReply reply;
   uint8_t status;
-  if (!r.U8(&status) || status > static_cast<uint8_t>(ReplyStatus::kInternal)) {
+  if (!r.U8(&status) ||
+      status > static_cast<uint8_t>(ReplyStatus::kDeadlineExceeded)) {
     return Malformed("reply status");
   }
   reply.status = static_cast<ReplyStatus>(status);
@@ -378,10 +428,49 @@ Status DecodeReplyPayload(std::string_view payload, QueryReply* out) {
   reply.reorganized = flag != 0;
   if (!r.U8(&flag)) return Malformed("has_physical flag");
   reply.has_physical = flag != 0;
+  if (!r.U8(&flag)) return Malformed("executed flag");
+  reply.executed = flag != 0;
   if (!r.DoubleBits(&reply.query_cost)) return Malformed("query cost");
   if (!r.U64(&reply.match_count)) return Malformed("match count");
   if (!r.exhausted()) return Malformed("trailing bytes");
   *out = std::move(reply);
+  return Status::OK();
+}
+
+Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out) {
+  ByteReader r(payload);
+  StatsSnapshot snap;
+  uint16_t version;
+  if (!r.U16(&version)) return Malformed("stats version");
+  if (version != kStatsPayloadVersion) {
+    return Malformed("unknown stats payload version");
+  }
+  ServerStats& s = snap.server;
+  if (!r.U64(&s.sessions_opened) || !r.U64(&s.admitted) ||
+      !r.U64(&s.executed) || !r.U64(&s.batches) ||
+      !r.U64(&s.max_batch_observed) || !r.U64(&s.rejected_backpressure) ||
+      !r.U64(&s.rejected_shutdown) || !r.U64(&s.rejected_unknown_tenant) ||
+      !r.U64(&s.rejected_malformed) || !r.U64(&s.expired_admission) ||
+      !r.U64(&s.expired_formation) || !r.U64(&s.expired_reply)) {
+    return Malformed("server totals");
+  }
+  uint32_t tenant_count;
+  if (!r.U32(&tenant_count)) return Malformed("tenant count");
+  // No reserve with an attacker-controlled count: the per-record reads
+  // below fail on the first short field.
+  for (uint32_t i = 0; i < tenant_count; ++i) {
+    TenantStats t;
+    if (!r.U32(&t.tenant_id) || !r.U32(&t.weight) || !r.I64(&t.deficit) ||
+        !r.U64(&t.admitted) || !r.U64(&t.executed) || !r.U64(&t.batches) ||
+        !r.U64(&t.max_batch_observed) || !r.U64(&t.rejected_backpressure) ||
+        !r.U64(&t.rejected_shutdown) || !r.U64(&t.expired_admission) ||
+        !r.U64(&t.expired_formation) || !r.U64(&t.expired_reply)) {
+      return Malformed("tenant stats record");
+    }
+    snap.tenants.push_back(t);
+  }
+  if (!r.exhausted()) return Malformed("trailing bytes");
+  *out = std::move(snap);
   return Status::OK();
 }
 

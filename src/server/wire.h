@@ -15,23 +15,34 @@
 //       20     4  payload len  bytes following the header (<= max payload)
 //       24     n  payload      MsgType-specific body
 //
-// A kQuery payload is a serialized Query (id, template, conjuncts); a
-// kReply payload is a ReplyStatus plus the step outcome (serving state,
-// reorganized flag, the cost double transported as raw IEEE-754 bits so the
-// loopback equivalence wall can compare bit-for-bit, and physical match
-// counts when the tenant has a store attached).
+// Protocol version 2 (this one) extends version 1 with a per-request
+// `deadline_us` budget in the kQuery payload and the kStats/kStatsReply
+// frame pair. The header layout is unchanged across both versions, so a
+// version-1 frame is still *framed* correctly — the server answers it with
+// a request-level kBadRequest ("upgrade to version 2") and the stream
+// survives; only an unknown version poisons the stream.
+//
+// A kQuery payload is a serialized Query (id, template, deadline budget,
+// conjuncts); a kReply payload is a ReplyStatus plus the step outcome
+// (serving state, reorganized flag, the cost double transported as raw
+// IEEE-754 bits so the loopback equivalence wall can compare bit-for-bit,
+// and physical match counts when the tenant has a store attached). A
+// kStats request has an empty payload; its kStatsReply carries a versioned
+// binary StatsSnapshot (server totals + per-tenant scheduler counters).
 //
 // Decoding is strict: every length is bounds-checked against the enclosing
 // frame, enum values are validated, and trailing bytes after a payload are
 // an error. Malformed payloads poison only the request; a header that
-// cannot be trusted (bad magic/version, oversized declared payload) poisons
-// the whole stream, because framing can no longer be re-synchronized.
+// cannot be trusted (bad magic/unknown version, oversized declared
+// payload) poisons the whole stream, because framing can no longer be
+// re-synchronized.
 #ifndef OREO_SERVER_WIRE_H_
 #define OREO_SERVER_WIRE_H_
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "query/query.h"
@@ -40,7 +51,10 @@ namespace oreo {
 namespace server {
 
 constexpr uint32_t kWireMagic = 0x4F45524Fu;  // "OREO" in little-endian
-constexpr uint16_t kWireVersion = 1;
+constexpr uint16_t kWireVersion = 2;
+/// The retired version-1 protocol: recognized (its header frames
+/// identically) but answered with a request-level kBadRequest.
+constexpr uint16_t kLegacyWireVersion = 1;
 constexpr size_t kHeaderBytes = 24;
 
 /// Default ceiling for a frame's declared payload length. Servers may
@@ -52,19 +66,26 @@ constexpr size_t kMaxConjuncts = 64;
 constexpr size_t kMaxInListValues = 1024;
 constexpr size_t kMaxStringBytes = 1u << 16;
 
+/// Version tag of the kStatsReply payload (independent of the frame
+/// version: the stats schema can evolve without a protocol bump).
+constexpr uint16_t kStatsPayloadVersion = 1;
+
 enum class MsgType : uint16_t {
-  kQuery = 1,    ///< client -> server: run one query on a tenant's engine
-  kReply = 129,  ///< server -> client: status + step outcome
+  kQuery = 1,        ///< client -> server: run one query on a tenant's engine
+  kStats = 2,        ///< client -> server: snapshot serving counters
+  kReply = 129,      ///< server -> client: status + step outcome
+  kStatsReply = 130  ///< server -> client: versioned StatsSnapshot payload
 };
 
 /// Request disposition carried in every reply.
 enum class ReplyStatus : uint8_t {
   kOk = 0,
-  kBackpressure = 1,   ///< tenant queue full — retry later, nothing ran
-  kShutdown = 2,       ///< server draining — request did not run
-  kBadRequest = 3,     ///< malformed frame or payload
-  kUnknownTenant = 4,  ///< no engine registered under the tenant id
-  kInternal = 5,       ///< engine-side failure
+  kBackpressure = 1,      ///< tenant queue full — retry later, nothing ran
+  kShutdown = 2,          ///< server draining — request did not run
+  kBadRequest = 3,        ///< malformed frame or payload
+  kUnknownTenant = 4,     ///< no engine registered under the tenant id
+  kInternal = 5,          ///< engine-side failure
+  kDeadlineExceeded = 6,  ///< deadline_us budget elapsed (see QueryReply)
 };
 
 const char* ReplyStatusName(ReplyStatus status);
@@ -84,6 +105,13 @@ struct FrameHeader {
 };
 
 /// One query's outcome as carried on the wire.
+///
+/// A kDeadlineExceeded reply comes in two flavors, told apart by
+/// `executed`: the request expired while queued (admission or batch
+/// formation — nothing ran, the other fields are defaults), or its
+/// deadline passed while the engine was already running it (queries inside
+/// RunBatch are never cancelled, so the outcome fields are populated and
+/// the query is in the tenant's executed audit log).
 struct QueryReply {
   ReplyStatus status = ReplyStatus::kOk;
   std::string message;  ///< human-readable error detail; empty on kOk
@@ -91,7 +119,46 @@ struct QueryReply {
   bool reorganized = false;
   double query_cost = 0.0;  ///< c(state, q); bits survive the round trip
   bool has_physical = false;
+  bool executed = false;  ///< the engine ran this query (always on kOk)
   uint64_t match_count = 0;  ///< physical rows matched (0 without a store)
+};
+
+/// One tenant's scheduler counters as carried in a kStatsReply.
+struct TenantStats {
+  uint32_t tenant_id = 0;
+  uint32_t weight = 1;
+  int64_t deficit = 0;  ///< current DRR deficit (scheduling credit), queries
+  uint64_t admitted = 0;
+  uint64_t executed = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch_observed = 0;
+  uint64_t rejected_backpressure = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t expired_admission = 0;  ///< deadline already passed at admission
+  uint64_t expired_formation = 0;  ///< expired waiting in queue (never ran)
+  uint64_t expired_reply = 0;      ///< expired during execution (still ran)
+};
+
+/// Aggregated serving counters (monotonic; snapshot via OreoServer::stats).
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t admitted = 0;
+  uint64_t executed = 0;
+  uint64_t batches = 0;
+  uint64_t max_batch_observed = 0;
+  uint64_t rejected_backpressure = 0;
+  uint64_t rejected_shutdown = 0;
+  uint64_t rejected_unknown_tenant = 0;
+  uint64_t rejected_malformed = 0;
+  uint64_t expired_admission = 0;
+  uint64_t expired_formation = 0;
+  uint64_t expired_reply = 0;
+};
+
+/// The kStatsReply payload: server totals plus per-tenant scheduler state.
+struct StatsSnapshot {
+  ServerStats server;
+  std::vector<TenantStats> tenants;
 };
 
 // --- encoding -------------------------------------------------------------
@@ -99,30 +166,45 @@ struct QueryReply {
 /// Appends the 24-byte header to `out`.
 void AppendHeader(const FrameHeader& header, std::string* out);
 
-/// Serializes one query request frame (header + payload).
+/// Serializes one query request frame (header + payload). `deadline_us` is
+/// the request's latency budget in microseconds measured from server
+/// receipt; 0 means no deadline.
 std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
-                             const Query& query);
+                             const Query& query, uint64_t deadline_us = 0);
 
 /// Serializes one reply frame (header + payload).
 std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
                              const QueryReply& reply);
 
+/// Serializes a stats request frame (empty payload; tenant id 0).
+std::string EncodeStatsRequestFrame(uint64_t request_id);
+
+/// Serializes a stats reply frame (versioned binary snapshot payload).
+std::string EncodeStatsReplyFrame(uint64_t request_id,
+                                  const StatsSnapshot& snapshot);
+
 // --- decoding -------------------------------------------------------------
 
 /// Parses a header from the first kHeaderBytes of `data` (which must hold at
-/// least that many bytes). Validates magic, version, known type and
-/// `payload_len <= max_payload`. A failure here poisons the stream; `out`
-/// still holds the parsed (unvalidated) fields so errors can echo the
-/// request id best-effort.
+/// least that many bytes). Validates magic, version (current or legacy —
+/// the caller decides how to answer a legacy frame; both frame
+/// identically), known type and `payload_len <= max_payload`. A failure
+/// here poisons the stream; `out` still holds the parsed (unvalidated)
+/// fields so errors can echo the request id best-effort.
 Status DecodeHeader(std::string_view data, uint32_t max_payload,
                     FrameHeader* out);
 
 /// Parses a kQuery payload. Strict: every length bounds-checked, enums
-/// validated, no trailing bytes.
-Status DecodeQueryPayload(std::string_view payload, Query* out);
+/// validated, no trailing bytes. `deadline_us` (optional) receives the
+/// request's deadline budget (0 = none).
+Status DecodeQueryPayload(std::string_view payload, Query* out,
+                          uint64_t* deadline_us = nullptr);
 
 /// Parses a kReply payload (the client side of the round trip).
 Status DecodeReplyPayload(std::string_view payload, QueryReply* out);
+
+/// Parses a kStatsReply payload. Rejects unknown stats-payload versions.
+Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out);
 
 }  // namespace server
 }  // namespace oreo

@@ -4,8 +4,8 @@
 //
 // With many concurrent connections the *arrival order* at a tenant is
 // nondeterministic, so bit-identity is defined against the server's
-// executed order: the tenant batcher logs the query-id stream it actually
-// ran (TenantBatcher::executed_ids), and this wall replays exactly that
+// executed order: the fair scheduler logs the query-id stream it actually
+// ran (FairScheduler::executed_ids), and this wall replays exactly that
 // stream through a fresh library engine via RunBatch — valid because
 // batching is decision-invariant (pinned by batch_equivalence_test) — and
 // compares per-query serving states, reorganization decisions and costs
@@ -88,7 +88,11 @@ TEST(ServerEquivalenceTest, LoopbackWireStreamMatchesLibraryRunBatch) {
                    std::to_string(clients_per_tenant));
       const size_t per_client = kQueriesPerTenant / clients_per_tenant;
 
-      OreoServer srv;
+      // A multi-dispatcher pool: the wall must hold while several worker
+      // threads pick batches from the shared scheduler concurrently.
+      ServerOptions sopts;
+      sopts.dispatchers = 4;
+      OreoServer srv(sopts);
       for (uint32_t t = 0; t < tenants; ++t) {
         TenantConfig cfg;
         cfg.name = "tenant_" + std::to_string(t);

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <mutex>
+#include <random>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -234,6 +236,408 @@ TEST(ServerWireTest, ToStatusMapsEveryWireStatus) {
             StatusCode::kNotFound);
   EXPECT_EQ(ToStatus(ReplyStatus::kInternal, "m").code(),
             StatusCode::kInternal);
+}
+
+// ------------------------------------------------------- wire fuzzing ----
+
+// Seeded PRNG: failures reproduce. The generators below cover every shape
+// the v2 codec can carry, not just the handful the fixed tests use.
+Value RandomValue(std::mt19937_64& rng) {
+  switch (rng() % 3) {
+    case 0:
+      return Value(static_cast<int64_t>(rng()));
+    case 1: {
+      std::uniform_real_distribution<double> dist(-1e9, 1e9);
+      return Value(dist(rng));
+    }
+    default: {
+      std::string s(rng() % 12, '\0');
+      for (char& c : s) c = static_cast<char>('a' + rng() % 26);
+      return Value(std::move(s));
+    }
+  }
+}
+
+Predicate RandomPredicate(std::mt19937_64& rng) {
+  const int col = static_cast<int>(rng() % 4);
+  switch (rng() % 7) {
+    case 0:
+      return Predicate::Eq(col, RandomValue(rng));
+    case 1:
+      return Predicate::Lt(col, RandomValue(rng));
+    case 2:
+      return Predicate::Le(col, RandomValue(rng));
+    case 3:
+      return Predicate::Gt(col, RandomValue(rng));
+    case 4:
+      return Predicate::Ge(col, RandomValue(rng));
+    case 5:
+      return Predicate::Between(col, RandomValue(rng), RandomValue(rng));
+    default: {
+      std::vector<Value> in;
+      const size_t n = 1 + rng() % 4;
+      for (size_t i = 0; i < n; ++i) in.push_back(RandomValue(rng));
+      return Predicate::In(col, std::move(in));
+    }
+  }
+}
+
+Query RandomQuery(std::mt19937_64& rng) {
+  Query q;
+  q.id = static_cast<int64_t>(rng());
+  q.template_id = static_cast<int>(rng() % 16) - 1;
+  const size_t n = rng() % 5;  // 0 conjuncts = full scan, also legal
+  for (size_t i = 0; i < n; ++i) q.conjuncts.push_back(RandomPredicate(rng));
+  return q;
+}
+
+void ExpectSameQuery(const Query& a, const Query& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.template_id, b.template_id);
+  ASSERT_EQ(a.conjuncts.size(), b.conjuncts.size());
+  for (size_t i = 0; i < a.conjuncts.size(); ++i) {
+    EXPECT_EQ(a.conjuncts[i].column, b.conjuncts[i].column);
+    EXPECT_EQ(a.conjuncts[i].op, b.conjuncts[i].op);
+    EXPECT_TRUE(a.conjuncts[i].value == b.conjuncts[i].value);
+    EXPECT_TRUE(a.conjuncts[i].value2 == b.conjuncts[i].value2);
+    ASSERT_EQ(a.conjuncts[i].in_list.size(), b.conjuncts[i].in_list.size());
+    for (size_t j = 0; j < a.conjuncts[i].in_list.size(); ++j) {
+      EXPECT_TRUE(a.conjuncts[i].in_list[j] == b.conjuncts[i].in_list[j]);
+    }
+  }
+}
+
+TEST(ServerWireFuzzTest, RandomizedQueryFramesRoundTripWithDeadlines) {
+  std::mt19937_64 rng(20240801);
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    const Query q = RandomQuery(rng);
+    const uint64_t deadline = (rng() % 3 == 0) ? 0 : rng();
+    const std::string frame = EncodeQueryFrame(rng(), rng() % 100, q, deadline);
+
+    FrameHeader header;
+    ASSERT_TRUE(DecodeHeader(frame, kDefaultMaxPayload, &header).ok());
+    ASSERT_EQ(frame.size(), kHeaderBytes + header.payload_len);
+    Query out;
+    uint64_t deadline_out = 1;  // poisoned: must be overwritten
+    ASSERT_TRUE(DecodeQueryPayload(std::string_view(frame).substr(kHeaderBytes),
+                                   &out, &deadline_out)
+                    .ok());
+    ExpectSameQuery(q, out);
+    EXPECT_EQ(deadline_out, deadline);
+  }
+}
+
+TEST(ServerWireFuzzTest, RandomizedReplyFramesRoundTripEveryStatus) {
+  std::mt19937_64 rng(20240802);
+  std::uniform_real_distribution<double> cost(-1e12, 1e12);
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    QueryReply reply;
+    reply.status = static_cast<ReplyStatus>(rng() % 7);  // kOk..kDeadline
+    std::string msg(rng() % 40, '\0');
+    for (char& c : msg) c = static_cast<char>(' ' + rng() % 90);
+    reply.message = std::move(msg);
+    reply.state = static_cast<int32_t>(rng() % 64) - 1;
+    reply.reorganized = rng() % 2 == 0;
+    reply.query_cost = cost(rng);
+    reply.has_physical = rng() % 2 == 0;
+    reply.executed = rng() % 2 == 0;
+    reply.match_count = rng();
+    const std::string frame = EncodeReplyFrame(rng(), rng() % 100, reply);
+
+    FrameHeader header;
+    ASSERT_TRUE(DecodeHeader(frame, kDefaultMaxPayload, &header).ok());
+    QueryReply out;
+    ASSERT_TRUE(
+        DecodeReplyPayload(std::string_view(frame).substr(kHeaderBytes), &out)
+            .ok());
+    EXPECT_EQ(out.status, reply.status);
+    EXPECT_EQ(out.message, reply.message);
+    EXPECT_EQ(out.state, reply.state);
+    EXPECT_EQ(out.reorganized, reply.reorganized);
+    EXPECT_EQ(out.query_cost, reply.query_cost);  // exact bits
+    EXPECT_EQ(out.has_physical, reply.has_physical);
+    EXPECT_EQ(out.executed, reply.executed);
+    EXPECT_EQ(out.match_count, reply.match_count);
+  }
+}
+
+TEST(ServerWireFuzzTest, RandomizedStatsFramesRoundTrip) {
+  std::mt19937_64 rng(20240803);
+  for (int iter = 0; iter < 100; ++iter) {
+    SCOPED_TRACE("iter=" + std::to_string(iter));
+    StatsSnapshot snap;
+    uint64_t* server_fields[] = {
+        &snap.server.sessions_opened,       &snap.server.admitted,
+        &snap.server.executed,              &snap.server.batches,
+        &snap.server.max_batch_observed,    &snap.server.rejected_backpressure,
+        &snap.server.rejected_shutdown,     &snap.server.rejected_unknown_tenant,
+        &snap.server.rejected_malformed,    &snap.server.expired_admission,
+        &snap.server.expired_formation,     &snap.server.expired_reply,
+    };
+    for (uint64_t* f : server_fields) *f = rng();
+    const size_t tenants = rng() % 6;  // 0 tenants is legal (pre-Start)
+    for (size_t t = 0; t < tenants; ++t) {
+      TenantStats ts;
+      ts.tenant_id = static_cast<uint32_t>(rng());
+      ts.weight = static_cast<uint32_t>(rng() % 1000 + 1);
+      ts.deficit = static_cast<int64_t>(rng());  // may be negative
+      ts.admitted = rng();
+      ts.executed = rng();
+      ts.batches = rng();
+      ts.max_batch_observed = rng();
+      ts.rejected_backpressure = rng();
+      ts.rejected_shutdown = rng();
+      ts.expired_admission = rng();
+      ts.expired_formation = rng();
+      ts.expired_reply = rng();
+      snap.tenants.push_back(ts);
+    }
+    const std::string frame = EncodeStatsReplyFrame(rng(), snap);
+
+    FrameHeader header;
+    ASSERT_TRUE(DecodeHeader(frame, kDefaultMaxPayload, &header).ok());
+    EXPECT_EQ(header.type, static_cast<uint16_t>(MsgType::kStatsReply));
+    StatsSnapshot out;
+    ASSERT_TRUE(
+        DecodeStatsPayload(std::string_view(frame).substr(kHeaderBytes), &out)
+            .ok());
+    for (uint64_t* f : server_fields) {
+      // Pointer arithmetic into `out.server` mirrors the field list above.
+      const size_t off = reinterpret_cast<const char*>(f) -
+                         reinterpret_cast<const char*>(&snap.server);
+      EXPECT_EQ(*reinterpret_cast<const uint64_t*>(
+                    reinterpret_cast<const char*>(&out.server) + off),
+                *f);
+    }
+    ASSERT_EQ(out.tenants.size(), snap.tenants.size());
+    for (size_t t = 0; t < tenants; ++t) {
+      EXPECT_EQ(out.tenants[t].tenant_id, snap.tenants[t].tenant_id);
+      EXPECT_EQ(out.tenants[t].weight, snap.tenants[t].weight);
+      EXPECT_EQ(out.tenants[t].deficit, snap.tenants[t].deficit);
+      EXPECT_EQ(out.tenants[t].admitted, snap.tenants[t].admitted);
+      EXPECT_EQ(out.tenants[t].executed, snap.tenants[t].executed);
+      EXPECT_EQ(out.tenants[t].expired_reply, snap.tenants[t].expired_reply);
+    }
+  }
+}
+
+// Byte-mutation corpus, codec level: flip random bytes in valid payloads and
+// decode. The decoders may accept (the flip hit a value byte) or reject, but
+// must never crash, over-read, or loop — ASan/UBSan CI checks the half a
+// return code can't express.
+TEST(ServerWireFuzzTest, MutatedPayloadsNeverCrashTheDecoders) {
+  std::mt19937_64 rng(20240804);
+  const Query q = RandomQuery(rng);
+  QueryReply reply;
+  reply.status = ReplyStatus::kOk;
+  reply.message = "fine";
+  reply.executed = true;
+  StatsSnapshot snap;
+  snap.tenants.resize(3);
+  const std::string corpus[] = {
+      EncodeQueryFrame(1, 1, q, 12345),
+      EncodeReplyFrame(2, 1, reply),
+      EncodeStatsReplyFrame(3, snap),
+  };
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string frame = corpus[iter % 3];
+    const size_t payload_len = frame.size() - kHeaderBytes;
+    if (payload_len == 0) continue;
+    const size_t flips = 1 + rng() % 4;
+    for (size_t f = 0; f < flips; ++f) {
+      frame[kHeaderBytes + rng() % payload_len] ^=
+          static_cast<char>(1 + rng() % 255);
+    }
+    const std::string_view payload =
+        std::string_view(frame).substr(kHeaderBytes);
+    // Outcomes are unconstrained; surviving the call is the contract.
+    Query q_out;
+    uint64_t deadline_out = 0;
+    DecodeQueryPayload(payload, &q_out, &deadline_out).ok();
+    QueryReply r_out;
+    DecodeReplyPayload(payload, &r_out).ok();
+    StatsSnapshot s_out;
+    DecodeStatsPayload(payload, &s_out).ok();
+  }
+}
+
+// Byte-mutation corpus, session level: a mutated frame fed to a live session
+// poisons at most that stream — the server survives and keeps serving new
+// connections. (Replies are not asserted per-mutation: a mutated length
+// field legitimately leaves the session waiting for bytes that never come.)
+TEST_F(ServerRobustnessTest, MutatedFramesPoisonAtMostTheirStream) {
+  StartServer(BatchPolicy{});
+  std::mt19937_64 rng(20240805);
+  const std::string good = EncodeQueryFrame(7, kTenant, RangeQuery(7, 0, 10));
+  const std::string stats = EncodeStatsRequestFrame(8);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string frame = (iter % 2 == 0) ? good : stats;
+    const size_t flips = 1 + rng() % 4;
+    for (size_t f = 0; f < flips; ++f) {
+      frame[rng() % frame.size()] ^= static_cast<char>(1 + rng() % 255);
+    }
+    std::unique_ptr<ServerSession> session = srv_->OpenSession();
+    session->Feed(frame);
+    session->TakeResponses();  // drain whatever the server said, if anything
+  }
+  // Blast radius check: a fresh connection still serves normally.
+  LoopbackClient client(srv_.get());
+  Result<QueryReply> reply = client.Call(kTenant, RangeQuery(1, 0, 10));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, ReplyStatus::kOk) << reply->message;
+  srv_->Shutdown();
+}
+
+// ---------------------------------------------------- protocol versioning --
+
+TEST_F(ServerRobustnessTest, LegacyV1FramesGetUpgradeHintNotPoison) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+
+  // A v1 frame has the identical header layout, so it is framed correctly
+  // and must poison only itself: request-level reply, stream survives.
+  std::string v1 = EncodeQueryFrame(41, kTenant, RangeQuery(41, 0, 10));
+  v1[4] = 1;  // version byte: rewrite v2 -> v1
+  session->Feed(v1);
+  uint64_t request_id = 0;
+  QueryReply reply = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest);
+  EXPECT_EQ(request_id, 41u);
+  EXPECT_NE(reply.message.find("upgrade to version"), std::string::npos)
+      << reply.message;
+  EXPECT_FALSE(session->broken());
+
+  // The same connection keeps serving v2 traffic.
+  session->Feed(EncodeQueryFrame(42, kTenant, RangeQuery(42, 0, 10)));
+  QueryReply good = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(good.status, ReplyStatus::kOk);
+  EXPECT_EQ(request_id, 42u);
+
+  srv_->Shutdown();
+  EXPECT_EQ(srv_->stats().rejected_malformed, 1u);
+  EXPECT_EQ(srv_->stats().executed, 1u);
+}
+
+TEST_F(ServerRobustnessTest, StatsRequestWithPayloadIsRequestLevelError) {
+  StartServer(BatchPolicy{});
+  std::unique_ptr<ServerSession> session = srv_->OpenSession();
+
+  // kStats is defined payload-free; trailing bytes are a malformed request,
+  // not a framing failure.
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(MsgType::kStats);
+  header.request_id = 51;
+  header.tenant_id = 0;
+  header.payload_len = 1;
+  std::string frame;
+  AppendHeader(header, &frame);
+  frame += 'x';
+  session->Feed(frame);
+  uint64_t request_id = 0;
+  QueryReply reply = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest);
+  EXPECT_EQ(request_id, 51u);
+  EXPECT_FALSE(session->broken());
+
+  // A well-formed query on the same stream still executes.
+  session->Feed(EncodeQueryFrame(52, kTenant, RangeQuery(52, 0, 10)));
+  QueryReply good = WaitOneReply(session.get(), &request_id);
+  EXPECT_EQ(good.status, ReplyStatus::kOk);
+  srv_->Shutdown();
+}
+
+// ------------------------------------------------- admission queue edges --
+
+TEST(AdmissionQueueEdgeTest, CapacityZeroCoercesToOne) {
+  // A zero quota would deadlock every tenant; the queue coerces it to the
+  // smallest workable quota instead.
+  AdmissionQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+
+  PendingRequest r1;
+  r1.request_id = 1;
+  EXPECT_EQ(queue.Push(&r1), AdmissionOutcome::kAdmitted);
+  PendingRequest r2;
+  r2.request_id = 2;
+  EXPECT_EQ(queue.Push(&r2), AdmissionOutcome::kBackpressure);
+
+  std::vector<PendingRequest> out;
+  bool closed = false;
+  EXPECT_EQ(queue.PopBatch(8, 0, &out, &closed), 1u);
+  EXPECT_FALSE(closed);
+  EXPECT_EQ(out[0].request_id, 1u);
+
+  queue.Close();
+  PendingRequest r3;
+  EXPECT_EQ(queue.Push(&r3), AdmissionOutcome::kShutdown);
+  EXPECT_TRUE(queue.DrainRemaining().empty());
+}
+
+TEST(AdmissionQueueEdgeTest, CapacityOneServesOneAtATime) {
+  AdmissionQueue queue(1);
+  EXPECT_EQ(queue.capacity(), 1u);
+  // Admit/pop cycles at quota one: each pop frees exactly one slot.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    PendingRequest r;
+    r.request_id = i;
+    ASSERT_EQ(queue.Push(&r), AdmissionOutcome::kAdmitted) << i;
+    PendingRequest overflow;
+    overflow.request_id = 100 + i;
+    EXPECT_EQ(queue.Push(&overflow), AdmissionOutcome::kBackpressure) << i;
+    std::vector<PendingRequest> out;
+    bool closed = false;
+    ASSERT_EQ(queue.PopBatch(4, 0, &out, &closed), 1u) << i;
+    EXPECT_EQ(out[0].request_id, i);
+  }
+  queue.Close();
+  std::vector<PendingRequest> out;
+  bool closed = false;
+  EXPECT_EQ(queue.PopBatch(4, 0, &out, &closed), 0u);
+  EXPECT_TRUE(closed);
+}
+
+TEST(AdmissionQueueEdgeTest, ConcurrentPushShutdownRaceLosesNoRequest) {
+  // Producers hammer Push while the owner closes the queue: every offered
+  // request must get exactly one disposition, and exactly the admitted ones
+  // must come back out of DrainRemaining (TSan checks the memory half).
+  AdmissionQueue queue(64);
+  constexpr int kProducers = 4;
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> backpressure{0};
+  std::atomic<int> saw_shutdown{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      uint64_t next = static_cast<uint64_t>(p) * 1000000;
+      while (true) {
+        PendingRequest r;
+        r.request_id = ++next;
+        const AdmissionOutcome outcome = queue.Push(&r);
+        if (outcome == AdmissionOutcome::kAdmitted) {
+          ++admitted;
+        } else if (outcome == AdmissionOutcome::kBackpressure) {
+          ++backpressure;
+        } else {
+          ++saw_shutdown;
+          return;  // closed: the race completed for this producer
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.Close();
+  for (std::thread& t : producers) t.join();
+
+  EXPECT_EQ(saw_shutdown.load(), kProducers);
+  const std::vector<PendingRequest> drained = queue.DrainRemaining();
+  EXPECT_EQ(drained.size(), admitted.load())
+      << "admitted and drained must balance exactly";
+  EXPECT_LE(drained.size(), queue.capacity());
+  // Close is a point in time: nothing sneaks in afterwards.
+  PendingRequest late;
+  EXPECT_EQ(queue.Push(&late), AdmissionOutcome::kShutdown);
 }
 
 // ------------------------------------------------------ stream poisoning --

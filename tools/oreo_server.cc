@@ -12,9 +12,14 @@
 //
 // With --port the tool additionally accepts real TCP connections speaking
 // the same protocol (one reader + one writer thread per connection) until
-// interrupted:
+// interrupted; --port 0 binds an ephemeral port and prints it (the CI
+// smoke test relies on that line):
 //
 //   ./build/tools/oreo_server --port 7447
+//
+// --weights sets per-tenant fair-share weights (comma-separated),
+// --dispatchers sizes the shared scheduler pool, and --stats dumps the
+// kStats wire snapshot before shutdown.
 #include <algorithm>
 #include <csignal>
 #include <cstdint>
@@ -62,10 +67,13 @@ struct Args {
   size_t rows = 20000;
   size_t queries = 2000;
   int clients = 4;
-  int port = 0;  // 0 = loopback demo only
+  int port = -1;  // -1 = loopback demo only; 0 = ephemeral TCP port
   size_t max_batch = 64;
   uint64_t max_delay_us = 200;
   size_t max_queue = 1024;
+  size_t dispatchers = 2;
+  std::vector<uint32_t> weights;  // per-tenant fair-share weights
+  bool print_stats = false;       // dump the kStats snapshot at exit
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -95,11 +103,31 @@ Args ParseArgs(int argc, char** argv) {
     else if (flag == "--max-batch") args.max_batch = std::strtoull(next(), nullptr, 10);
     else if (flag == "--max-delay-us") args.max_delay_us = std::strtoull(next(), nullptr, 10);
     else if (flag == "--max-queue") args.max_queue = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--dispatchers") args.dispatchers = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--weights") {
+      // Comma-separated per-tenant weights, e.g. --weights 3,1.
+      std::string spec = next();
+      size_t start = 0;
+      while (start <= spec.size()) {
+        const size_t comma = spec.find(',', start);
+        const std::string tok =
+            spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!tok.empty()) {
+          args.weights.push_back(
+              static_cast<uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
+    else if (flag == "--stats") args.print_stats = true;
     else {
       std::fprintf(stderr,
                    "usage: oreo_server [--tenants N] [--rows R] [--queries Q]"
-                   " [--clients C] [--port P] [--max-batch N]"
-                   " [--max-delay-us T] [--max-queue N]\n");
+                   " [--clients C] [--port P (0 = ephemeral)] [--max-batch N]"
+                   " [--max-delay-us T] [--max-queue N] [--dispatchers K]"
+                   " [--weights W1,W2,...] [--stats]\n");
       std::exit(flag == "--help" ? 0 : 2);
     }
   }
@@ -160,7 +188,15 @@ void RunTcpListener(server::OreoServer* srv, int port) {
     ::close(listen_fd);
     return;
   }
+  // Report the bound port: with --port 0 the kernel picked an ephemeral one
+  // (the TCP smoke test parses this line).
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port = static_cast<int>(ntohs(addr.sin_port));
+  }
   std::printf("listening on 127.0.0.1:%d (Ctrl-C to stop)\n", port);
+  std::fflush(stdout);
   std::vector<std::thread> conns;
   while (!g_stop) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
@@ -189,7 +225,9 @@ int main(int argc, char** argv) {
   }
   QdTreeGenerator generator;
 
-  server::OreoServer srv;
+  server::ServerOptions sopts;
+  sopts.dispatchers = args.dispatchers;
+  server::OreoServer srv(sopts);
   for (int t = 0; t < args.tenants; ++t) {
     server::TenantConfig cfg;
     cfg.name = "telemetry_" + std::to_string(t);
@@ -200,12 +238,15 @@ int main(int argc, char** argv) {
     cfg.batch.max_batch = args.max_batch;
     cfg.batch.max_delay_us = args.max_delay_us;
     cfg.batch.max_queue = args.max_queue;
+    if (static_cast<size_t>(t) < args.weights.size()) {
+      cfg.weight = std::max<uint32_t>(1, args.weights[t]);
+    }
     OREO_CHECK_OK(srv.AddTenant(static_cast<uint32_t>(t + 1), cfg));
   }
   OREO_CHECK_OK(srv.Start());
-  std::printf("serving %d tenant(s), batch policy: max_batch=%zu "
-              "max_delay_us=%llu max_queue=%zu\n",
-              args.tenants, args.max_batch,
+  std::printf("serving %d tenant(s) over %zu dispatcher(s), batch policy: "
+              "max_batch=%zu max_delay_us=%llu max_queue=%zu\n",
+              args.tenants, args.dispatchers, args.max_batch,
               static_cast<unsigned long long>(args.max_delay_us),
               args.max_queue);
 
@@ -239,7 +280,28 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : clients) t.join();
 
-  if (args.port > 0) RunTcpListener(&srv, args.port);
+  if (args.port >= 0) RunTcpListener(&srv, args.port);
+
+  if (args.print_stats) {
+    // Fetch through the wire (a real kStats round trip), not the in-process
+    // accessor: --stats doubles as coverage of the stats frame itself.
+    server::LoopbackClient stats_client(&srv);
+    Result<server::StatsSnapshot> snap = stats_client.FetchStats();
+    OREO_CHECK(snap.ok()) << snap.status().ToString();
+    std::printf("\nscheduler stats (wire snapshot):\n");
+    for (const server::TenantStats& t : snap->tenants) {
+      std::printf("  tenant %u: weight=%u deficit=%lld admitted=%llu "
+                  "executed=%llu batches=%llu expired(adm/form/reply)="
+                  "%llu/%llu/%llu\n",
+                  t.tenant_id, t.weight, static_cast<long long>(t.deficit),
+                  static_cast<unsigned long long>(t.admitted),
+                  static_cast<unsigned long long>(t.executed),
+                  static_cast<unsigned long long>(t.batches),
+                  static_cast<unsigned long long>(t.expired_admission),
+                  static_cast<unsigned long long>(t.expired_formation),
+                  static_cast<unsigned long long>(t.expired_reply));
+    }
+  }
 
   srv.Shutdown();
   server::ServerStats stats = srv.stats();
@@ -259,6 +321,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.rejected_shutdown),
               static_cast<unsigned long long>(stats.rejected_unknown_tenant),
               static_cast<unsigned long long>(stats.rejected_malformed));
+  std::printf("  deadline expiries: admission %llu, formation %llu, "
+              "reply %llu\n",
+              static_cast<unsigned long long>(stats.expired_admission),
+              static_cast<unsigned long long>(stats.expired_formation),
+              static_cast<unsigned long long>(stats.expired_reply));
   for (int t = 0; t < args.tenants; ++t) {
     core::OreoEngine* engine = srv.engine(static_cast<uint32_t>(t + 1));
     std::printf("  tenant %d: query cost %.1f, reorg cost %.1f, %lld "

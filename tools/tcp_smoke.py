@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""CI smoke test for oreo_server's TCP path.
+
+Launches the server tool on an ephemeral port, speaks the v2 wire protocol
+over a real socket — a query round trip, a kStats round trip, and a
+graceful v1 rejection — then SIGINTs the process and checks it drains
+cleanly. This is the only coverage the TCP listener gets (unit and wall
+tests drive loopback sessions), so it deliberately exercises the socket
+reader/writer threads and the signal-driven shutdown.
+
+Usage: python3 tools/tcp_smoke.py ./build/tools/oreo_server
+"""
+
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+MAGIC = 0x4F45524F  # "OREO"
+VERSION = 2
+LEGACY_VERSION = 1
+HEADER = struct.Struct("<IHHQII")  # magic, version, type, req id, tenant, len
+MSG_QUERY = 1
+MSG_STATS = 2
+MSG_REPLY = 129
+MSG_STATS_REPLY = 130
+STATUS_OK = 0
+STATUS_BAD_REQUEST = 3
+
+SERVER_STAT_FIELDS = 12  # u64 counters in the stats payload, in wire order
+TENANT_STAT_U64S = 9  # per-tenant u64 counters after id/weight/deficit
+
+
+def frame(msg_type, request_id, tenant_id, payload=b"", version=VERSION):
+    return (
+        HEADER.pack(MAGIC, version, msg_type, request_id, tenant_id,
+                    len(payload))
+        + payload
+    )
+
+
+def query_payload(query_id, deadline_us=0):
+    # i64 id, i32 template, u64 deadline, u16 conjuncts (0 = full scan).
+    return struct.pack("<qiQH", query_id, -1, deadline_us, 0)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise AssertionError(f"connection closed after {len(buf)}/{n} bytes")
+        buf += chunk
+    return buf
+
+
+def read_reply(sock):
+    header = HEADER.unpack(recv_exact(sock, HEADER.size))
+    magic, version, msg_type, request_id, tenant_id, payload_len = header
+    assert magic == MAGIC, f"bad magic {magic:#x}"
+    assert version == VERSION, f"bad version {version}"
+    payload = recv_exact(sock, payload_len)
+    return msg_type, request_id, tenant_id, payload
+
+
+def parse_query_reply(payload):
+    status, msg_len = struct.unpack_from("<BI", payload, 0)
+    off = 5
+    message = payload[off : off + msg_len].decode()
+    off += msg_len
+    state, reorganized, has_physical, executed = struct.unpack_from(
+        "<iBBB", payload, off
+    )
+    return status, message, state, bool(executed)
+
+
+def parse_stats_reply(payload):
+    (stats_version,) = struct.unpack_from("<H", payload, 0)
+    assert stats_version == 1, f"unknown stats payload version {stats_version}"
+    off = 2
+    server = struct.unpack_from(f"<{SERVER_STAT_FIELDS}Q", payload, off)
+    off += 8 * SERVER_STAT_FIELDS
+    (tenant_count,) = struct.unpack_from("<I", payload, off)
+    off += 4
+    tenants = []
+    for _ in range(tenant_count):
+        tenant_id, weight = struct.unpack_from("<II", payload, off)
+        off += 8
+        (deficit,) = struct.unpack_from("<q", payload, off)
+        off += 8
+        counters = struct.unpack_from(f"<{TENANT_STAT_U64S}Q", payload, off)
+        off += 8 * TENANT_STAT_U64S
+        tenants.append((tenant_id, weight, deficit, counters))
+    assert off == len(payload), f"trailing stats bytes: {len(payload) - off}"
+    return server, tenants
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <path-to-oreo_server>")
+    server_bin = sys.argv[1]
+
+    proc = subprocess.Popen(
+        [
+            server_bin,
+            "--tenants", "2",
+            "--clients", "2",
+            "--queries", "60",
+            "--rows", "2000",
+            "--weights", "3,1",
+            "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    output_lines = []
+    port_found = threading.Event()
+    port = [None]
+
+    def pump():
+        for line in proc.stdout:
+            output_lines.append(line)
+            m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if m:
+                port[0] = int(m.group(1))
+                port_found.set()
+        port_found.set()  # EOF: unblock the waiter even on early exit
+
+    reader = threading.Thread(target=pump, daemon=True)
+    reader.start()
+
+    try:
+        if not port_found.wait(timeout=120) or port[0] is None:
+            raise AssertionError("server never printed its listen port")
+
+        sock = socket.create_connection(("127.0.0.1", port[0]), timeout=30)
+        sock.settimeout(30)
+
+        # 1. A real-socket query round trip (tenant 1, full scan).
+        sock.sendall(frame(MSG_QUERY, 7, 1, query_payload(1001)))
+        msg_type, request_id, _, payload = read_reply(sock)
+        assert msg_type == MSG_REPLY, f"expected kReply, got {msg_type}"
+        assert request_id == 7, f"request id echo broken: {request_id}"
+        status, message, _, executed = parse_query_reply(payload)
+        assert status == STATUS_OK, f"query failed: {message!r}"
+        assert executed, "kOk reply must carry executed=true"
+
+        # 2. A query with a generous deadline budget still succeeds.
+        sock.sendall(
+            frame(MSG_QUERY, 8, 1, query_payload(1002, deadline_us=10**9))
+        )
+        msg_type, request_id, _, payload = read_reply(sock)
+        status, message, _, _ = parse_query_reply(payload)
+        assert (msg_type, request_id) == (MSG_REPLY, 8)
+        assert status == STATUS_OK, f"deadline query failed: {message!r}"
+
+        # 3. kStats round trip: counters include the loopback demo's work.
+        sock.sendall(frame(MSG_STATS, 9, 0))
+        msg_type, request_id, _, payload = read_reply(sock)
+        assert msg_type == MSG_STATS_REPLY, f"expected kStatsReply: {msg_type}"
+        assert request_id == 9
+        server, tenants = parse_stats_reply(payload)
+        # Third u64: requests executed. The two loopback demo clients ran 60
+        # queries each before the listener came up, plus our two socket ones.
+        executed_total = server[2]
+        assert executed_total >= 122, f"executed={executed_total}, expected >=122"
+        assert len(tenants) == 2, f"tenant count {len(tenants)}"
+        weights = {t[0]: t[1] for t in tenants}
+        assert weights == {1: 3, 2: 1}, f"weights on the wire: {weights}"
+
+        # 4. A v1 frame gets a request-level upgrade hint, not a poisoned
+        # stream: the same connection keeps serving afterwards.
+        sock.sendall(
+            frame(MSG_QUERY, 10, 1, query_payload(1003),
+                  version=LEGACY_VERSION)
+        )
+        msg_type, request_id, _, payload = read_reply(sock)
+        status, message, _, _ = parse_query_reply(payload)
+        assert (msg_type, request_id) == (MSG_REPLY, 10)
+        assert status == STATUS_BAD_REQUEST, f"v1 status {status}"
+        assert "upgrade" in message, f"v1 hint missing: {message!r}"
+        sock.sendall(frame(MSG_QUERY, 11, 1, query_payload(1004)))
+        msg_type, request_id, _, payload = read_reply(sock)
+        status, message, _, _ = parse_query_reply(payload)
+        assert (msg_type, request_id, status) == (MSG_REPLY, 11, STATUS_OK), (
+            f"stream did not survive the v1 frame: {status} {message!r}"
+        )
+
+        sock.close()
+
+        # 5. SIGINT drains: the process exits 0 and prints its final stats.
+        proc.send_signal(signal.SIGINT)
+        rc = proc.wait(timeout=120)
+        reader.join(timeout=30)
+        assert rc == 0, f"server exited {rc} on SIGINT"
+        tail = "".join(output_lines)
+        assert "server stats:" in tail, "final stats block missing"
+    except BaseException:
+        proc.kill()
+        proc.wait()
+        sys.stdout.write("".join(output_lines))
+        raise
+
+    print(f"tcp_smoke: OK (port {port[0]}, {executed_total} queries executed)")
+
+
+if __name__ == "__main__":
+    main()
