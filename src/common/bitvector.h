@@ -1,5 +1,9 @@
 // Dense fixed-size bit vector with fast intersection primitives. Used by the
-// greedy Qd-tree builder to evaluate split gains over sample-row sets.
+// greedy Qd-tree builder to evaluate split gains over sample-row sets, and as
+// the selection-bitmap type of the vectorized predicate kernels
+// (query/kernels.h): kernels fill whole words at a time through
+// mutable_words(), conjuncts combine with AndAssign, CountMatches is Count()
+// (popcount) and row-id extraction is ToIndices() (branchless ctz walk).
 #ifndef OREO_COMMON_BITVECTOR_H_
 #define OREO_COMMON_BITVECTOR_H_
 
@@ -55,6 +59,38 @@ class BitVector {
       out->words_[i] = words_[i] & other.words_[i];
     }
   }
+
+  /// *this &= other.
+  void AndAssign(const BitVector& other) {
+    OREO_DCHECK(n_ == other.n_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// *this |= other.
+  void OrAssign(const BitVector& other) {
+    OREO_DCHECK(n_ == other.n_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Sets every bit (the tail bits past n stay clear, so Count() == n).
+  void SetAll() {
+    if (words_.empty()) return;
+    for (uint64_t& w : words_) w = ~0ULL;
+    const size_t tail = n_ & 63;
+    if (tail != 0) words_.back() = (1ULL << tail) - 1;
+  }
+
+  /// Clears every bit.
+  void ClearAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  // Word-level access for the vectorized kernels. Word i covers bits
+  // [64*i, 64*i + 63]; writers must keep the tail bits of the last word
+  // clear (Count()/ToIndices() assume it).
+  size_t num_words() const { return words_.size(); }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
 
   /// out = *this & ~other.
   void AndNotInto(const BitVector& other, BitVector* out) const {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/simd.h"
 #include "core/background.h"
 #include "core/engine.h"
 #include "core/layout_manager.h"
@@ -88,6 +89,12 @@ struct OreoOptions {
   /// zone-map-surviving partitions of a batch's later queries. Serving
   /// results stay bit-identical with the cache on or off.
   std::shared_ptr<SharedBlockCache> shared_cache;
+  /// Scan-kernel dispatch (common/simd.h): kAuto runs the vectorized
+  /// predicate/decode/lookup kernels, kScalar pins the scalar reference
+  /// implementations. Results are bit-identical either way (the OREO_FORCE_
+  /// SCALAR env var still wins over this knob). The mode is process-wide:
+  /// a non-kAuto value is applied globally at engine construction.
+  simd::KernelMode kernel_mode = simd::KernelMode::kAuto;
   uint64_t seed = 42;  ///< master seed; sub-components derive their own
 };
 

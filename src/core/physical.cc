@@ -238,9 +238,10 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
     if (prep.projected.conjuncts.empty()) {
       matches[i] = part->num_rows();
     } else {
-      for (uint32_t r = 0; r < part->num_rows(); ++r) {
-        if (prep.projected.Matches(*part, r)) ++matches[i];
-      }
+      // Vectorized predicate kernels (query/kernels.h): each projected
+      // column is touched once per conjunct as a flat array, not
+      // dereferenced per row.
+      matches[i] = CountMatches(*part, prep.projected);
     }
   });
   // Flat order is (stream order, partition order), so the first error

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace oreo {
 
@@ -12,6 +13,7 @@ SortedLayout::SortedLayout(int column, std::string column_name,
       column_name_(std::move(column_name)),
       boundaries_(std::move(boundaries)) {
   OREO_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  boundary_index_ = EytzingerIndex<double>(boundaries_);
 }
 
 std::string SortedLayout::Describe() const {
@@ -28,6 +30,16 @@ std::vector<uint32_t> SortedLayout::Assign(const Table& table) const {
              static_cast<size_t>(column_) < table.num_columns());
   const Column& col = table.column(static_cast<size_t>(column_));
   std::vector<uint32_t> out(table.num_rows());
+  if (simd::VectorEnabled()) {
+    // Materialize the probe values once, then batch the boundary lookups so
+    // their cache misses overlap (see EytzingerIndex::LowerBoundBatch).
+    std::vector<double> probes(table.num_rows());
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      probes[r] = col.GetNumeric(r);
+    }
+    boundary_index_.LowerBoundBatch(probes.data(), probes.size(), out.data());
+    return out;
+  }
   for (uint32_t r = 0; r < table.num_rows(); ++r) {
     double v = col.GetNumeric(r);
     auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), v);

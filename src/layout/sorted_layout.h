@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/eytzinger.h"
 #include "layout/layout.h"
 
 namespace oreo {
@@ -34,6 +35,10 @@ class SortedLayout : public Layout {
   int column_;
   std::string column_name_;
   std::vector<double> boundaries_;
+  // BFS-layout mirror of boundaries_, built once at construction; Assign
+  // dispatches to its branchless LowerBound (identical ranks) when the
+  // vectorized kernels are enabled.
+  EytzingerIndex<double> boundary_index_;
 };
 
 /// Generates SortedLayouts on a fixed column (ignores the workload).

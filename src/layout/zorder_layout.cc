@@ -4,6 +4,7 @@
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace oreo {
 
@@ -27,6 +28,11 @@ ZOrderLayout::ZOrderLayout(std::vector<int> columns,
       OREO_DCHECK(std::is_sorted(d.numeric.begin(), d.numeric.end()));
     }
   }
+  dim_index_.reserve(dims_.size());
+  for (const ZOrderDimension& d : dims_) {
+    dim_index_.emplace_back(d.is_string ? std::vector<double>{} : d.numeric);
+  }
+  code_index_ = EytzingerIndex<uint64_t>(code_boundaries_);
 }
 
 std::string ZOrderLayout::Describe() const {
@@ -55,6 +61,8 @@ uint32_t ZOrderLayout::RankOf(const Table& table, uint32_t row,
         std::upper_bound(d.strings.begin(), d.strings.end(),
                          col.GetString(row)) -
         d.strings.begin());
+  } else if (simd::VectorEnabled()) {
+    pos = dim_index_[dim].UpperBound(col.GetNumeric(row));
   } else {
     pos = static_cast<size_t>(
         std::upper_bound(d.numeric.begin(), d.numeric.end(),
@@ -75,6 +83,15 @@ uint64_t ZOrderLayout::CodeForRow(const Table& table, uint32_t row) const {
 
 std::vector<uint32_t> ZOrderLayout::Assign(const Table& table) const {
   std::vector<uint32_t> out(table.num_rows());
+  if (simd::VectorEnabled()) {
+    // Codes first, then batched boundary lookups (overlapped cache misses).
+    std::vector<uint64_t> codes(table.num_rows());
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      codes[r] = CodeForRow(table, r);
+    }
+    code_index_.LowerBoundBatch(codes.data(), codes.size(), out.data());
+    return out;
+  }
   for (uint32_t r = 0; r < table.num_rows(); ++r) {
     uint64_t code = CodeForRow(table, r);
     auto it = std::lower_bound(code_boundaries_.begin(),

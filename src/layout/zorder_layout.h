@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/eytzinger.h"
 #include "layout/layout.h"
 
 namespace oreo {
@@ -53,6 +54,13 @@ class ZOrderLayout : public Layout {
   std::vector<ZOrderDimension> dims_;
   int bits_per_dim_;
   std::vector<uint64_t> code_boundaries_;
+  // Branchless BFS-layout mirrors of the sorted arrays above, built once at
+  // construction and used when the vectorized kernels are enabled. String
+  // dimensions keep std::upper_bound (ranking strings is dominated by the
+  // comparisons themselves, not branch misses); dim_index_[d] is empty for
+  // them.
+  std::vector<EytzingerIndex<double>> dim_index_;
+  EytzingerIndex<uint64_t> code_index_;
 };
 
 /// Workload-aware Z-order generator: chooses the `num_columns` most

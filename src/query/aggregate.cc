@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "query/kernels.h"
 
 namespace oreo {
 
@@ -57,9 +58,10 @@ void Aggregator::FoldRow(const Table& table, uint32_t row) {
 }
 
 void Aggregator::Consume(const Table& table, const Query& query) {
-  for (uint32_t r = 0; r < table.num_rows(); ++r) {
-    if (query.Matches(table, r)) FoldRow(table, r);
-  }
+  // Kernel-evaluated selection, then a fold over the surviving rows in
+  // ascending order — the same order the old row-at-a-time loop folded in,
+  // so floating-point accumulators are bit-identical.
+  ConsumeRows(table, KernelMatchingRowIds(table, query));
 }
 
 void Aggregator::ConsumeRows(const Table& table,

@@ -1,0 +1,373 @@
+#include "query/kernels.h"
+
+#include <cstddef>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/simd.h"
+#include "storage/column.h"
+
+namespace oreo {
+
+namespace kernel_detail {
+
+void Int64RangeWordsPortable(const int64_t* v, size_t n, int64_t lo,
+                             int64_t hi, uint64_t* words) {
+  const size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    const int64_t* p = v + w * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      bits |= static_cast<uint64_t>(p[b] >= lo && p[b] <= hi) << b;
+    }
+    words[w] = bits;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const int64_t* p = v + full * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      bits |= static_cast<uint64_t>(p[b] >= lo && p[b] <= hi) << b;
+    }
+    words[full] = bits;
+  }
+}
+
+namespace {
+
+// Word-filling skeleton shared by the double comparisons: `cmp` is a
+// branchless per-element predicate the compiler can vectorize.
+template <typename Cmp>
+void FillDoubleWords(const double* v, size_t n, uint64_t* words, Cmp cmp) {
+  const size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    const double* p = v + w * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      bits |= static_cast<uint64_t>(cmp(p[b])) << b;
+    }
+    words[w] = bits;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const double* p = v + full * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      bits |= static_cast<uint64_t>(cmp(p[b])) << b;
+    }
+    words[full] = bits;
+  }
+}
+
+}  // namespace
+
+void DoubleCmpWordsPortable(const double* v, size_t n, DoubleCmp op, double a,
+                            double b, uint64_t* words) {
+  // Plain C comparisons: false on NaN operands, exactly like the ordered
+  // quiet (_CMP_*_OQ) AVX2 predicates the vector backend uses.
+  switch (op) {
+    case DoubleCmp::kLt:
+      FillDoubleWords(v, n, words, [a](double x) { return x < a; });
+      return;
+    case DoubleCmp::kLe:
+      FillDoubleWords(v, n, words, [a](double x) { return x <= a; });
+      return;
+    case DoubleCmp::kGt:
+      FillDoubleWords(v, n, words, [a](double x) { return x > a; });
+      return;
+    case DoubleCmp::kGe:
+      FillDoubleWords(v, n, words, [a](double x) { return x >= a; });
+      return;
+    case DoubleCmp::kEq:
+      FillDoubleWords(v, n, words, [a](double x) { return x == a; });
+      return;
+    case DoubleCmp::kBetween:
+      FillDoubleWords(v, n, words,
+                      [a, b](double x) { return x >= a && x <= b; });
+      return;
+  }
+}
+
+void CodeTableWordsPortable(const uint32_t* codes, size_t n,
+                            const uint8_t* match, uint64_t* words) {
+  const size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    const uint32_t* p = codes + w * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < 64; ++b) {
+      bits |= static_cast<uint64_t>(match[p[b]] != 0) << b;
+    }
+    words[w] = bits;
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const uint32_t* p = codes + full * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      bits |= static_cast<uint64_t>(match[p[b]] != 0) << b;
+    }
+    words[full] = bits;
+  }
+}
+
+}  // namespace kernel_detail
+
+namespace {
+
+using kernel_detail::DoubleCmp;
+
+void Int64RangeWords(const int64_t* v, size_t n, int64_t lo, int64_t hi,
+                     uint64_t* words) {
+#ifdef OREO_WITH_AVX2
+  if (simd::HasAvx2()) {
+    kernel_detail::Int64RangeWordsAvx2(v, n, lo, hi, words);
+    return;
+  }
+#endif
+  kernel_detail::Int64RangeWordsPortable(v, n, lo, hi, words);
+}
+
+void DoubleCmpWords(const double* v, size_t n, DoubleCmp op, double a,
+                    double b, uint64_t* words) {
+#ifdef OREO_WITH_AVX2
+  if (simd::HasAvx2()) {
+    kernel_detail::DoubleCmpWordsAvx2(v, n, op, a, b, words);
+    return;
+  }
+#endif
+  kernel_detail::DoubleCmpWordsPortable(v, n, op, a, b, words);
+}
+
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+// lo > hi: matches nothing (the range kernel yields all-zero naturally).
+constexpr std::pair<int64_t, int64_t> kEmptyRange{kI64Max, kI64Min};
+
+// Every int64 comparison is one inclusive range; kIn is a union of
+// single-point ranges. The INT64_MIN/MAX guards avoid signed overflow on the
+// open-bound adjustment.
+std::pair<int64_t, int64_t> Int64Range(CompareOp op, int64_t v, int64_t v2) {
+  switch (op) {
+    case CompareOp::kEq:
+      return {v, v};
+    case CompareOp::kLt:
+      return v == kI64Min ? kEmptyRange : std::pair<int64_t, int64_t>{kI64Min, v - 1};
+    case CompareOp::kLe:
+      return {kI64Min, v};
+    case CompareOp::kGt:
+      return v == kI64Max ? kEmptyRange : std::pair<int64_t, int64_t>{v + 1, kI64Max};
+    case CompareOp::kGe:
+      return {v, kI64Max};
+    case CompareOp::kBetween:
+      return {v, v2};
+    case CompareOp::kIn:
+      break;  // handled by the caller
+  }
+  OREO_CHECK(false) << "not a range op";
+  return kEmptyRange;
+}
+
+void EvalInt64Predicate(const Column& col, const Predicate& p,
+                        BitVector* out) {
+  const int64_t* v = col.ints().data();
+  const size_t n = col.ints().size();
+  uint64_t* words = out->mutable_words();
+  if (p.op == CompareOp::kIn) {
+    // Union of equality bitmaps; an empty IN-list matches nothing.
+    out->ClearAll();
+    BitVector scratch(n);
+    for (const Value& lit : p.in_list) {
+      const int64_t x = lit.AsInt64();
+      Int64RangeWords(v, n, x, x, scratch.mutable_words());
+      out->OrAssign(scratch);
+    }
+    return;
+  }
+  const auto [lo, hi] = Int64Range(p.op, p.value.AsInt64(),
+                                   p.op == CompareOp::kBetween
+                                       ? p.value2.AsInt64()
+                                       : int64_t{0});
+  Int64RangeWords(v, n, lo, hi, words);
+}
+
+void EvalDoublePredicate(const Column& col, const Predicate& p,
+                         BitVector* out) {
+  const double* v = col.doubles().data();
+  const size_t n = col.doubles().size();
+  uint64_t* words = out->mutable_words();
+  switch (p.op) {
+    case CompareOp::kEq:
+      DoubleCmpWords(v, n, DoubleCmp::kEq, p.value.AsDouble(), 0.0, words);
+      return;
+    case CompareOp::kLt:
+      DoubleCmpWords(v, n, DoubleCmp::kLt, p.value.AsDouble(), 0.0, words);
+      return;
+    case CompareOp::kLe:
+      DoubleCmpWords(v, n, DoubleCmp::kLe, p.value.AsDouble(), 0.0, words);
+      return;
+    case CompareOp::kGt:
+      DoubleCmpWords(v, n, DoubleCmp::kGt, p.value.AsDouble(), 0.0, words);
+      return;
+    case CompareOp::kGe:
+      DoubleCmpWords(v, n, DoubleCmp::kGe, p.value.AsDouble(), 0.0, words);
+      return;
+    case CompareOp::kBetween:
+      DoubleCmpWords(v, n, DoubleCmp::kBetween, p.value.AsDouble(),
+                     p.value2.AsDouble(), words);
+      return;
+    case CompareOp::kIn: {
+      out->ClearAll();
+      BitVector scratch(n);
+      for (const Value& lit : p.in_list) {
+        DoubleCmpWords(v, n, DoubleCmp::kEq, lit.AsDouble(), 0.0,
+                       scratch.mutable_words());
+        out->OrAssign(scratch);
+      }
+      return;
+    }
+  }
+}
+
+// Same semantics as Predicate::Matches' string_view branch, evaluated on one
+// cell value.
+bool StringPredicateMatches(const Predicate& p, std::string_view cell) {
+  switch (p.op) {
+    case CompareOp::kEq:
+      return cell == std::string_view(p.value.AsString());
+    case CompareOp::kLt:
+      return cell < std::string_view(p.value.AsString());
+    case CompareOp::kLe:
+      return cell <= std::string_view(p.value.AsString());
+    case CompareOp::kGt:
+      return cell > std::string_view(p.value.AsString());
+    case CompareOp::kGe:
+      return cell >= std::string_view(p.value.AsString());
+    case CompareOp::kBetween:
+      return std::string_view(p.value.AsString()) <= cell &&
+             cell <= std::string_view(p.value2.AsString());
+    case CompareOp::kIn:
+      for (const Value& v : p.in_list) {
+        if (cell == std::string_view(v.AsString())) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void EvalStringPredicate(const Column& col, const Predicate& p,
+                         BitVector* out) {
+  // Dictionary codes are insertion-ordered, not sorted, so comparisons must
+  // act on the strings: evaluate the predicate once per dictionary entry,
+  // then map every row's code through the resulting table.
+  const std::vector<std::string>& dict = col.dictionary();
+  std::vector<uint8_t> match(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    match[i] =
+        StringPredicateMatches(p, std::string_view(dict[i])) ? 1 : 0;
+  }
+  kernel_detail::CodeTableWordsPortable(col.codes().data(), col.codes().size(),
+                                        match.data(), out->mutable_words());
+}
+
+void EvalPredicateBitmapVector(const Table& table, const Predicate& p,
+                               BitVector* out) {
+  const Column& col = table.column(static_cast<size_t>(p.column));
+  switch (col.type()) {
+    case DataType::kInt64:
+      EvalInt64Predicate(col, p, out);
+      return;
+    case DataType::kDouble:
+      EvalDoublePredicate(col, p, out);
+      return;
+    case DataType::kString:
+      EvalStringPredicate(col, p, out);
+      return;
+  }
+}
+
+}  // namespace
+
+BitVector EvalPredicateBitmap(const Table& table, const Predicate& p) {
+  const size_t n = table.num_rows();
+  BitVector out(n);
+  if (n == 0) return out;
+  OREO_DCHECK(p.column >= 0 &&
+              static_cast<size_t>(p.column) < table.num_columns());
+  if (simd::VectorEnabled()) {
+    EvalPredicateBitmapVector(table, p, &out);
+    return out;
+  }
+  // Scalar reference: row at a time through the generic matcher.
+  for (uint32_t r = 0; r < n; ++r) {
+    if (p.Matches(table, r)) out.Set(r);
+  }
+  return out;
+}
+
+BitVector EvalQueryBitmap(const Table& table, const Query& query) {
+  const size_t n = table.num_rows();
+  if (query.conjuncts.empty()) {
+    BitVector out(n);
+    out.SetAll();
+    return out;
+  }
+  if (!simd::VectorEnabled()) {
+    BitVector out(n);
+    for (uint32_t r = 0; r < n; ++r) {
+      if (query.Matches(table, r)) out.Set(r);
+    }
+    return out;
+  }
+  BitVector out = EvalPredicateBitmap(table, query.conjuncts[0]);
+  for (size_t i = 1; i < query.conjuncts.size(); ++i) {
+    out.AndAssign(EvalPredicateBitmap(table, query.conjuncts[i]));
+  }
+  return out;
+}
+
+uint64_t KernelCountMatches(const Table& table, const Query& query) {
+  if (!simd::VectorEnabled()) {
+    uint64_t count = 0;
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      if (query.Matches(table, r)) ++count;
+    }
+    return count;
+  }
+  return EvalQueryBitmap(table, query).Count();
+}
+
+uint64_t KernelCountMatches(const Table& table,
+                            const std::vector<uint32_t>& row_ids,
+                            const Query& query) {
+  // For a dense-enough subset the full bitmap amortizes; for sparse subsets
+  // the per-row path wins. The cutover depends only on sizes, so the choice
+  // (and of course the result) is deterministic.
+  if (simd::VectorEnabled() && table.num_rows() > 0 &&
+      row_ids.size() * 8 >= table.num_rows()) {
+    const BitVector bits = EvalQueryBitmap(table, query);
+    uint64_t count = 0;
+    for (uint32_t id : row_ids) count += bits.Get(id) ? 1 : 0;
+    return count;
+  }
+  uint64_t count = 0;
+  for (uint32_t id : row_ids) {
+    if (query.Matches(table, id)) ++count;
+  }
+  return count;
+}
+
+std::vector<uint32_t> KernelMatchingRowIds(const Table& table,
+                                           const Query& query) {
+  if (!simd::VectorEnabled()) {
+    std::vector<uint32_t> out;
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      if (query.Matches(table, r)) out.push_back(r);
+    }
+    return out;
+  }
+  return EvalQueryBitmap(table, query).ToIndices();
+}
+
+}  // namespace oreo

@@ -1,0 +1,122 @@
+// AVX2 backends for the word-filling compare kernels. This translation unit
+// is the only one compiled with -mavx2 (see src/CMakeLists.txt); nothing here
+// executes unless simd::HasAvx2() confirmed CPU support at runtime, so the
+// rest of the binary stays runnable on the plain x86-64 baseline.
+//
+// Bit-identity with the portable kernels: integer compares are exact, and the
+// ordered-quiet (_CMP_*_OQ) predicates return false on NaN operands exactly
+// like the C comparisons in DoubleCmpWordsPortable.
+#ifdef OREO_WITH_AVX2
+
+#include <immintrin.h>
+
+#include "query/kernels.h"
+
+namespace oreo {
+namespace kernel_detail {
+
+namespace {
+
+// bit i of the returned nibble-composed word = row i of the 64-row block.
+// Each _mm256_movemask_pd grabs the sign bit (== full compare result) of 4
+// 64-bit lanes.
+inline uint64_t Int64RangeBlock(const int64_t* p, __m256i lov, __m256i hiv) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i * 4));
+    // out-of-range = (lo > x) | (x > hi); invert the 4-lane mask.
+    const __m256i out = _mm256_or_si256(_mm256_cmpgt_epi64(lov, x),
+                                        _mm256_cmpgt_epi64(x, hiv));
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(out))) ^
+        0xFu;
+    bits |= static_cast<uint64_t>(m) << (i * 4);
+  }
+  return bits;
+}
+
+template <int Imm>
+inline uint64_t DoubleCmpBlock(const double* p, __m256d av) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    const __m256d x = _mm256_loadu_pd(p + i * 4);
+    const unsigned m =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(x, av, Imm)));
+    bits |= static_cast<uint64_t>(m) << (i * 4);
+  }
+  return bits;
+}
+
+inline uint64_t DoubleBetweenBlock(const double* p, __m256d av, __m256d bv) {
+  uint64_t bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    const __m256d x = _mm256_loadu_pd(p + i * 4);
+    const __m256d in = _mm256_and_pd(_mm256_cmp_pd(x, av, _CMP_GE_OQ),
+                                     _mm256_cmp_pd(x, bv, _CMP_LE_OQ));
+    bits |= static_cast<uint64_t>(
+                static_cast<unsigned>(_mm256_movemask_pd(in)))
+            << (i * 4);
+  }
+  return bits;
+}
+
+}  // namespace
+
+void Int64RangeWordsAvx2(const int64_t* v, size_t n, int64_t lo, int64_t hi,
+                         uint64_t* words) {
+  const __m256i lov = _mm256_set1_epi64x(lo);
+  const __m256i hiv = _mm256_set1_epi64x(hi);
+  const size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    words[w] = Int64RangeBlock(v + w * 64, lov, hiv);
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    const int64_t* p = v + full * 64;
+    uint64_t bits = 0;
+    for (size_t b = 0; b < tail; ++b) {
+      bits |= static_cast<uint64_t>(p[b] >= lo && p[b] <= hi) << b;
+    }
+    words[full] = bits;
+  }
+}
+
+void DoubleCmpWordsAvx2(const double* v, size_t n, DoubleCmp op, double a,
+                        double b, uint64_t* words) {
+  const __m256d av = _mm256_set1_pd(a);
+  const __m256d bv = _mm256_set1_pd(b);
+  const size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    const double* p = v + w * 64;
+    switch (op) {
+      case DoubleCmp::kLt:
+        words[w] = DoubleCmpBlock<_CMP_LT_OQ>(p, av);
+        break;
+      case DoubleCmp::kLe:
+        words[w] = DoubleCmpBlock<_CMP_LE_OQ>(p, av);
+        break;
+      case DoubleCmp::kGt:
+        words[w] = DoubleCmpBlock<_CMP_GT_OQ>(p, av);
+        break;
+      case DoubleCmp::kGe:
+        words[w] = DoubleCmpBlock<_CMP_GE_OQ>(p, av);
+        break;
+      case DoubleCmp::kEq:
+        words[w] = DoubleCmpBlock<_CMP_EQ_OQ>(p, av);
+        break;
+      case DoubleCmp::kBetween:
+        words[w] = DoubleBetweenBlock(p, av, bv);
+        break;
+    }
+  }
+  const size_t tail = n & 63;
+  if (tail != 0) {
+    DoubleCmpWordsPortable(v + full * 64, tail, op, a, b, words + full);
+  }
+}
+
+}  // namespace kernel_detail
+}  // namespace oreo
+
+#endif  // OREO_WITH_AVX2

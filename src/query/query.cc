@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "query/kernels.h"
 
 namespace oreo {
 
@@ -36,19 +37,11 @@ std::string Query::ToString(const Schema* schema) const {
 
 uint64_t CountMatches(const Table& table, const std::vector<uint32_t>& row_ids,
                       const Query& query) {
-  uint64_t count = 0;
-  for (uint32_t r : row_ids) {
-    if (query.Matches(table, r)) ++count;
-  }
-  return count;
+  return KernelCountMatches(table, row_ids, query);
 }
 
 uint64_t CountMatches(const Table& table, const Query& query) {
-  uint64_t count = 0;
-  for (uint32_t r = 0; r < table.num_rows(); ++r) {
-    if (query.Matches(table, r)) ++count;
-  }
-  return count;
+  return KernelCountMatches(table, query);
 }
 
 double EstimateSelectivity(const Table& sample, const Query& query) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace oreo {
 
@@ -67,6 +68,82 @@ bool ReadRaw(std::string_view data, size_t* pos, T* v) {
   return true;
 }
 
+// Vectorized decode paths. The wire format is untouched (encoders above are
+// the single source of truth); these only read it faster. Both return the
+// exact bytes and the exact Status the scalar loops in DecodeInt64 produce —
+// corruption and truncation are detected at the same points with the same
+// messages — pinned by the codec fuzz cases in tests/kernels_test.cc.
+// `out` is unspecified on a non-OK return (true of the scalar paths too:
+// they leave a partially-filled vector).
+
+// RLE: run headers are varint-decoded as before, but each run is expanded
+// with one bulk fill (resize-with-value into the reserved buffer) — exactly
+// one write per element. Pre-sizing the whole vector would zero-fill n
+// elements and then overwrite them: double the memory traffic of a decode
+// that is bandwidth-bound to begin with.
+Status DecodeRleFast(std::string_view data, size_t n,
+                     std::vector<int64_t>* out) {
+  size_t pos = 0;
+  while (out->size() < n) {
+    uint64_t run, zz;
+    if (!GetVarint64(data, &pos, &run) || !GetVarint64(data, &pos, &zz)) {
+      return Status::Corruption("truncated RLE chunk");
+    }
+    // `run > n - size` rather than `size + run > n`: the subtraction cannot
+    // wrap (size <= n), so an absurd 2^64-scale run cannot slip past the
+    // bound check.
+    if (run == 0 || run > n - out->size()) {
+      return Status::Corruption("RLE run overflows row count");
+    }
+    out->resize(out->size() + run, ZigZagDecode(zz));
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes in RLE chunk");
+  }
+  return Status::OK();
+}
+
+// Delta-varint: sorted columns produce mostly small deltas, i.e. runs of
+// single-byte varints. Load 8 bytes at a time; when no continuation bit is
+// set, decode all 8 with an unrolled zigzag + prefix sum. Any byte with a
+// continuation bit drops to the scalar GetVarint64 for that one element, so
+// multi-byte varints, truncation and over-long encodings take exactly the
+// reference path.
+Status DecodeDeltaVarintFast(std::string_view data, size_t n,
+                             std::vector<int64_t>* out) {
+  out->resize(n);
+  int64_t* dst = out->data();
+  size_t pos = 0;
+  uint64_t prev = 0;  // wrapping accumulator, mirrors the encoder
+  size_t i = 0;
+  while (i < n) {
+    if (i + 8 <= n && pos + 8 <= data.size()) {
+      uint64_t w;
+      std::memcpy(&w, data.data() + pos, sizeof(w));
+      if ((w & 0x8080808080808080ULL) == 0) {
+        for (int b = 0; b < 8; ++b) {
+          const uint64_t zz = (w >> (b * 8)) & 0x7f;
+          prev += static_cast<uint64_t>(ZigZagDecode(zz));
+          dst[i + static_cast<size_t>(b)] = static_cast<int64_t>(prev);
+        }
+        pos += 8;
+        i += 8;
+        continue;
+      }
+    }
+    uint64_t zz;
+    if (!GetVarint64(data, &pos, &zz)) {
+      return Status::Corruption("truncated delta-varint chunk");
+    }
+    prev += static_cast<uint64_t>(ZigZagDecode(zz));
+    dst[i++] = static_cast<int64_t>(prev);
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes in delta-varint chunk");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void EncodeInt64(const std::vector<int64_t>& values, Encoding enc,
@@ -119,6 +196,7 @@ Status DecodeInt64(std::string_view data, Encoding enc, size_t n,
       return Status::OK();
     }
     case Encoding::kRle: {
+      if (simd::VectorEnabled()) return DecodeRleFast(data, n, out);
       size_t pos = 0;
       while (out->size() < n) {
         uint64_t run, zz;
@@ -137,6 +215,7 @@ Status DecodeInt64(std::string_view data, Encoding enc, size_t n,
       return Status::OK();
     }
     case Encoding::kDeltaVarint: {
+      if (simd::VectorEnabled()) return DecodeDeltaVarintFast(data, n, out);
       size_t pos = 0;
       uint64_t prev = 0;  // wrapping accumulator, mirrors the encoder
       for (size_t i = 0; i < n; ++i) {
@@ -223,6 +302,16 @@ Status DecodeStringDict(std::string_view data, size_t n,
     return Status::Corruption("dictionary code array size mismatch");
   }
   if (n > 0) std::memcpy(codes->data(), data.data() + pos, n * sizeof(uint32_t));
+  if (simd::VectorEnabled()) {
+    // Branchless max-scan (auto-vectorizes), one range check at the end —
+    // same verdict as the early-exit reference loop below.
+    uint32_t max_code = 0;
+    for (uint32_t c : *codes) max_code = c > max_code ? c : max_code;
+    if (n > 0 && max_code >= dict_size) {
+      return Status::Corruption("dictionary code out of range");
+    }
+    return Status::OK();
+  }
   for (uint32_t c : *codes) {
     if (c >= dict_size) return Status::Corruption("dictionary code out of range");
   }

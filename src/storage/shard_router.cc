@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace oreo {
 
@@ -131,6 +132,7 @@ ShardRouter ShardRouter::Build(const Table& table,
       prev_k = k;
       router.bounds_.push_back(distinct[k]);
     }
+    router.bounds_index_ = EytzingerIndex<Value>(router.bounds_);
   }
   return router;
 }
@@ -141,6 +143,9 @@ uint32_t ShardRouter::ShardOfValue(const Value& v) const {
     return static_cast<uint32_t>(HashValue(v) % num_shards_);
   }
   // Range: shard s covers (bounds_[s-1], bounds_[s]]; first bound >= v wins.
+  if (simd::VectorEnabled()) {
+    return static_cast<uint32_t>(bounds_index_.LowerBound(v));
+  }
   auto it = std::lower_bound(
       bounds_.begin(), bounds_.end(), v,
       [](const Value& bound, const Value& probe) { return bound < probe; });
@@ -402,6 +407,7 @@ Result<ShardRouter> ShardRouter::Deserialize(const std::string& text) {
           "shard router: bounds not strictly ascending");
     }
   }
+  router.bounds_index_ = EytzingerIndex<Value>(router.bounds_);
   return router;
 }
 

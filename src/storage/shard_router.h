@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/eytzinger.h"
 #include "common/status.h"
 #include "query/query.h"
 #include "storage/table.h"
@@ -105,6 +106,10 @@ class ShardRouter {
   /// shard unbounded above. Values above the last boundary go to the last
   /// shard.
   std::vector<Value> bounds_;
+  /// BFS-layout mirror of bounds_ (rebuilt by Build and Deserialize);
+  /// ShardOfValue dispatches to its branchless LowerBound when the
+  /// vectorized kernels are enabled.
+  EytzingerIndex<Value> bounds_index_;
 };
 
 }  // namespace oreo

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "core/oreo.h"
 #include "core/physical.h"
@@ -151,6 +152,50 @@ TEST(ParallelEquivalenceTest, OreoRunBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(serial.final_live_states, parallel.final_live_states);
     }
   }
+}
+
+// The kernel-mode dimension of the wall: the vectorized scan kernels
+// (query/kernels.h), codec fast paths and Eytzinger lookups must reproduce
+// the scalar reference implementations bit-for-bit — same partition CRCs,
+// same scan counters, same costs and switch decisions — at any thread count.
+TEST(ParallelEquivalenceTest, KernelModesBitIdentical) {
+  struct ScopedMode {
+    explicit ScopedMode(simd::KernelMode m) { simd::SetGlobalKernelMode(m); }
+    ~ScopedMode() { simd::SetGlobalKernelMode(simd::KernelMode::kAuto); }
+  };
+  for (uint64_t seed : {21u, 22u}) {
+    PhysicalFingerprint scalar_fp, vector_fp;
+    {
+      ScopedMode mode(simd::KernelMode::kScalar);
+      scalar_fp = RunPhysical(seed, /*num_threads=*/4);
+    }
+    {
+      ScopedMode mode(simd::KernelMode::kVector);
+      vector_fp = RunPhysical(seed, /*num_threads=*/4);
+    }
+    ASSERT_FALSE(scalar_fp.mat_crcs.empty());
+    EXPECT_TRUE(scalar_fp == vector_fp)
+        << "physical fingerprint diverged between kernel modes at seed "
+        << seed;
+  }
+  QdTreeGenerator gen;
+  Table t = testutil::MakeEventTable(3000, 5);
+  std::vector<Query> stream = testutil::MakeRangeWorkload(0, 3000, 150, 150, 6);
+  SimResult scalar_sim, vector_sim;
+  {
+    ScopedMode mode(simd::KernelMode::kScalar);
+    scalar_sim = RunOreo(5, 4, t, stream, gen);
+  }
+  {
+    ScopedMode mode(simd::KernelMode::kVector);
+    vector_sim = RunOreo(5, 4, t, stream, gen);
+  }
+  EXPECT_EQ(scalar_sim.query_cost, vector_sim.query_cost);
+  EXPECT_EQ(scalar_sim.reorg_cost, vector_sim.reorg_cost);
+  EXPECT_EQ(scalar_sim.num_switches, vector_sim.num_switches);
+  EXPECT_EQ(scalar_sim.serving_state, vector_sim.serving_state);
+  EXPECT_EQ(scalar_sim.switch_events, vector_sim.switch_events);
+  EXPECT_EQ(scalar_sim.cumulative, vector_sim.cumulative);
 }
 
 // ReplayPhysical ties the two layers together: same trace, same files, same
