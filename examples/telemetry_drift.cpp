@@ -1,12 +1,16 @@
-// Telemetry drift scenario (the paper's SuperCollider use case, SVI-A2):
-// an ingestion-log table whose query mix shifts between time-range scans,
-// per-collector investigations and failure hunts. Demonstrates the streaming
-// Step() API: the caller serves each query on the layout OREO reports and
-// kicks off background rewrites when Step says to reorganize.
+// Telemetry drift scenario (the paper's SuperCollider use case, SVI-A2),
+// now with *data* drift alongside workload drift: an ingestion-log table
+// that keeps growing while it is being queried. Demonstrates the streaming
+// Step() API together with the live-ingest subsystem — mutation batches
+// append fresh log records and tombstone stale ones mid-stream, each batch
+// becoming query-visible atomically at its Ingest() boundary, and the
+// engine folds the accumulated deltas back into a compact base when the
+// mutation debt crosses OreoOptions::fold_threshold.
 //
 // Run: ./build/examples/telemetry_drift [--queries=N]
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/oreo.h"
@@ -16,6 +20,23 @@
 
 using namespace oreo;
 
+namespace {
+
+// Slices `source` into consecutive ingest batches of `rows` rows each,
+// wrapping around when the source is exhausted — a stand-in for the live
+// collector feed.
+Table NextSlice(const Table& source, size_t rows, size_t* cursor) {
+  std::vector<uint32_t> ids;
+  ids.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    ids.push_back(static_cast<uint32_t>((*cursor + r) % source.num_rows()));
+  }
+  *cursor = (*cursor + rows) % source.num_rows();
+  return source.Take(ids);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   size_t num_queries = 12000;
   for (int i = 1; i < argc; ++i) {
@@ -23,8 +44,11 @@ int main(int argc, char** argv) {
     if (arg.rfind("--queries=", 0) == 0) num_queries = std::stoul(arg.substr(10));
   }
 
-  std::printf("Loading telemetry table (ingestion-log, 80k rows)...\n");
-  workloads::WorkloadDataset ds = workloads::MakeTelemetry(80000, 21);
+  std::printf("Loading telemetry table (ingestion-log, 60k rows seeded)...\n");
+  workloads::WorkloadDataset ds = workloads::MakeTelemetry(60000, 21);
+  // The "live feed": telemetry drawn from a different seed, so the appended
+  // rows drift away from the distribution the initial layout was built for.
+  workloads::WorkloadDataset feed = workloads::MakeTelemetry(30000, 77);
 
   workloads::WorkloadOptions wopts;
   wopts.num_queries = num_queries;
@@ -37,8 +61,21 @@ int main(int argc, char** argv) {
   opts.target_partitions = 24;
   auto oreo = core::MakeEngine(&ds.table, &generator, ds.time_column, opts);
 
-  std::printf("Streaming %zu queries through OREO (alpha=%.0f)...\n\n",
-              wl.queries.size(), opts.alpha);
+  // Every `kIngestEvery` queries one mutation batch arrives: fresh rows
+  // from the feed, and (each fourth batch) a purge of the highest-severity
+  // records that were visible before the batch.
+  const size_t kIngestEvery = 1500;
+  const size_t kIngestRows = 2000;
+  size_t feed_cursor = 0;
+  uint64_t ingest_batches = 0;
+  uint64_t rows_appended = 0, rows_deleted = 0, folds = 0;
+  uint64_t visible_rows = ds.table.num_rows();
+
+  std::printf("Streaming %zu queries through OREO (alpha=%.0f, "
+              "fold threshold=%.2f), ingesting %zu rows every %zu queries"
+              "...\n\n",
+              wl.queries.size(), opts.alpha, opts.fold_threshold, kIngestRows,
+              kIngestEvery);
   std::printf("%-9s %-18s %s\n", "query#", "event", "detail");
 
   size_t next_segment = 1;
@@ -54,6 +91,33 @@ int main(int argc, char** argv) {
                                    wl.segment_templates[next_segment])]
                       .name.c_str());
       ++next_segment;
+    }
+    // Data drift: one mutation batch per kIngestEvery queries.
+    if (q.id > 0 && static_cast<size_t>(q.id) % kIngestEvery == 0) {
+      core::IngestBatch batch;
+      batch.rows = NextSlice(feed.table, kIngestRows, &feed_cursor);
+      if (ingest_batches % 4 == 3) {
+        Query purge;
+        purge.conjuncts.push_back(
+            Predicate::Ge(/*severity=*/7, Value(int64_t{4})));
+        batch.deletes.push_back(std::move(purge));
+      }
+      Result<core::IngestResult> applied = oreo->Ingest(std::move(batch));
+      OREO_CHECK_OK(applied.status());
+      ++ingest_batches;
+      rows_appended += applied->rows_appended;
+      rows_deleted += applied->rows_deleted;
+      visible_rows = applied->visible_rows;
+      if (applied->folded) ++folds;
+      std::printf("%-9lld %-18s v%llu: +%llu rows, -%llu purged, "
+                  "%llu visible%s\n",
+                  static_cast<long long>(q.id),
+                  applied->folded ? "INGEST + FOLD" : "ingest",
+                  static_cast<unsigned long long>(applied->version),
+                  static_cast<unsigned long long>(applied->rows_appended),
+                  static_cast<unsigned long long>(applied->rows_deleted),
+                  static_cast<unsigned long long>(applied->visible_rows),
+                  applied->folded ? " (deltas compacted into the base)" : "");
     }
     core::OreoEngine::StepResult step = oreo->Step(q);
     window_cost += step.query_cost;
@@ -78,6 +142,13 @@ int main(int argc, char** argv) {
               oreo->total_query_cost(), oreo->total_reorg_cost(),
               static_cast<long long>(oreo->num_switches()),
               oreo->total_cost());
+  std::printf("Ingest: %llu batches (+%llu rows, -%llu purged), %llu folds, "
+              "%llu rows visible at the end\n",
+              static_cast<unsigned long long>(ingest_batches),
+              static_cast<unsigned long long>(rows_appended),
+              static_cast<unsigned long long>(rows_deleted),
+              static_cast<unsigned long long>(folds),
+              static_cast<unsigned long long>(visible_rows));
   std::printf("Candidate layouts generated: %zu admitted, %zu rejected by the "
               "epsilon-distance test\n",
               oreo->core(0).manager().candidates_admitted(),

@@ -168,6 +168,12 @@ class BackgroundReorganizer {
   /// Status of the most recently completed reorganization.
   Status last_status() const { return pool_.last_status(0); }
 
+  /// Points future Submits at a new source table. The live-ingest fold swaps
+  /// the engine's base table; jobs capture the table pointer at Submit, so
+  /// this is safe whenever the reorganizer is idle (the fold quiesces it
+  /// first). `table` must outlive subsequent runs.
+  void set_table(const Table* table) { table_ = table; }
+
  private:
   PhysicalStore* store_;
   const Table* table_;

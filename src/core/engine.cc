@@ -53,6 +53,11 @@ Result<PhysicalStore::BatchExec> BatchSubmitter::RunPhysical(
   return exec;
 }
 
+Result<IngestResult> BatchSubmitter::RunIngest(IngestBatch batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_->Ingest(std::move(batch));
+}
+
 std::unique_ptr<OreoEngine> MakeEngine(const Table* table,
                                        const LayoutGenerator* generator,
                                        int time_column,

@@ -33,6 +33,7 @@
 #include "core/physical.h"
 #include "core/simulator.h"
 #include "query/query.h"
+#include "storage/table.h"
 
 namespace oreo {
 namespace core {
@@ -92,6 +93,27 @@ struct EngineSimResult {
   double total_cost() const { return query_cost + reorg_cost; }
 };
 
+/// One live mutation batch: rows to append plus delete predicates. The
+/// deletes apply to the rows visible *before* the batch (rows appended by
+/// the same batch are exempt); an empty-conjunct delete query deletes every
+/// visible row. `rows` must match the engine table's schema (an empty table
+/// — zero rows — is fine for delete-only batches).
+struct IngestBatch {
+  Table rows;
+  std::vector<Query> deletes;
+};
+
+/// Outcome of one OreoEngine::Ingest call. The batch is the visibility unit:
+/// its mutations became query-visible atomically when the call returned.
+struct IngestResult {
+  uint64_t version = 0;        ///< monotonic batch version (facade-level
+                               ///< when sharded; per-shard logs advance too)
+  uint64_t rows_appended = 0;  ///< rows appended by this batch
+  uint64_t rows_deleted = 0;   ///< rows tombstoned by this batch
+  uint64_t visible_rows = 0;   ///< logical row count after the batch
+  bool folded = false;         ///< the batch triggered a compaction fold
+};
+
 /// Online data-layout reorganization behind one handle, logical and
 /// physical. Implemented by `Oreo` (num_shards == 1) and `ShardedOreo`.
 class OreoEngine {
@@ -126,6 +148,22 @@ class OreoEngine {
   /// merged accounting. Intended for a fresh instance.
   virtual EngineSimResult RunTrace(const std::vector<Query>& queries,
                                    bool record_trace = false) = 0;
+
+  // --- live ingest ---------------------------------------------------------
+
+  /// Applies one mutation batch: deletes tombstone currently visible rows
+  /// (word-AND of a kernel match bitmap, never a per-row branch), appended
+  /// rows are published as zone-mapped delta chunks, and everything becomes
+  /// query-visible atomically before the call returns — the Ingest call IS
+  /// the batch boundary, so visibility is a pure function of the request
+  /// interleaving (same external-synchronization contract as Step/RunBatch;
+  /// multiplexing front ends go through BatchSubmitter::RunIngest). When the
+  /// mutation debt crosses OreoOptions::fold_threshold the engine compacts:
+  /// tombstones drop out, delta chunks fold into the base, the physical
+  /// layout rematerializes, and the layout manager redraws its dataset
+  /// sample. Sharded engines route rows through their ShardRouter and apply
+  /// per-shard batches in ascending shard order.
+  virtual Result<IngestResult> Ingest(IngestBatch batch) = 0;
 
   // --- accounting ---------------------------------------------------------
 
@@ -212,6 +250,11 @@ class BatchSubmitter {
   /// receives the decision results. Requires AttachPhysical.
   Result<PhysicalStore::BatchExec> RunPhysical(
       const QueryBatch& batch, OreoEngine::BatchResult* logical = nullptr);
+
+  /// Applies one mutation batch under the submission lock, so ingest and
+  /// query batches from different producers interleave only at batch
+  /// boundaries — the deterministic-visibility granularity.
+  Result<IngestResult> RunIngest(IngestBatch batch);
 
   OreoEngine* engine() { return engine_; }
 

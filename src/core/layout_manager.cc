@@ -32,6 +32,7 @@ LayoutManager::LayoutManager(const Table* table,
       options_(options),
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
       rng_(options.seed),
+      ingest_rng_(options.seed ^ 0x7f4a7c15),
       window_(options.window_size),
       reservoir_(options.window_size, Rng(options.seed ^ 0x5bd1e995)),
       stats_(ToStatsOptions(options), Rng(options.seed ^ 0x2545f491)) {
@@ -246,6 +247,57 @@ void LayoutManager::PruneSimilarStates(int current_state,
       events->push_back(ManagerEvent{ManagerEvent::Kind::kRemoved, live[i]});
     }
   }
+}
+
+void LayoutManager::NoteIngest(const Table& chunk, uint64_t data_version,
+                               uint64_t visible_rows) {
+  stats_.NoteDataVersion(data_version);
+  const size_t sample_n = dataset_sample_.num_rows();
+  if (chunk.num_rows() == 0 || sample_n == 0 || visible_rows == 0) return;
+  // The chunk's slot budget: its share of the sample matches its share of
+  // the logical table. A chunk too small to earn one slot waits for the next
+  // fold's full redraw.
+  size_t k = static_cast<size_t>(
+      static_cast<uint64_t>(sample_n) * chunk.num_rows() / visible_rows);
+  k = std::min(k, sample_n);
+  if (k == 0) return;
+  Table incoming = chunk.SampleRows(k, &ingest_rng_);
+  // k distinct victim slots via partial Fisher-Yates over slot ids.
+  std::vector<uint32_t> slots(sample_n);
+  for (size_t i = 0; i < sample_n; ++i) slots[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(ingest_rng_.Uniform(
+                             static_cast<uint64_t>(sample_n - i)));
+    std::swap(slots[i], slots[j]);
+  }
+  std::vector<uint32_t> victims(slots.begin(),
+                                slots.begin() + static_cast<ptrdiff_t>(k));
+  std::sort(victims.begin(), victims.end());
+  std::vector<uint32_t> keep;
+  keep.reserve(sample_n - k);
+  size_t vi = 0;
+  for (uint32_t i = 0; i < sample_n; ++i) {
+    if (vi < victims.size() && victims[vi] == i) {
+      ++vi;
+      continue;
+    }
+    keep.push_back(i);
+  }
+  Table next = dataset_sample_.Take(keep);
+  next.Append(incoming);
+  dataset_sample_ = std::move(next);
+}
+
+void LayoutManager::OnDataFolded(const Table* table) {
+  table_ = table;
+  Rng sample_rng = rng_.Fork();
+  dataset_sample_ =
+      table_->SampleRows(options_.dataset_sample_rows, &sample_rng);
+  // Every cached (state, chunk) cost is stale at once: the registry's
+  // partitionings were just re-materialized over the folded table, and the
+  // sample-chunk versions cannot express a data change. Drop the cache
+  // wholesale; the next cadence recomputes from scratch.
+  cost_cache_.clear();
 }
 
 std::vector<ManagerEvent> LayoutManager::Observe(const Query& query,

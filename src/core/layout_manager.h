@@ -120,6 +120,31 @@ class LayoutManager {
   bool AdmitState(const LayoutInstance& candidate,
                   const std::vector<Query>& sample) const;
 
+  // ------------------------------------------------------- live ingest ----
+
+  /// Notes one committed ingest batch: stamps the workload sample with the
+  /// new data version and merges the appended chunk into the dataset sample
+  /// reservoir-style — the chunk earns floor(sample · chunk / visible) slots,
+  /// filled with a uniform draw from the chunk replacing uniformly chosen
+  /// victims (its share of the sample tracks its share of the logical
+  /// table). Candidate layouts therefore see drifted data between folds. A
+  /// dedicated deterministic Rng drives the merge, so the existing
+  /// generation/admission streams are untouched and pre-ingest runs stay
+  /// bit-identical. Deletes do not refresh the sample (their rows leave the
+  /// logical table; the stale sample rows only over-weight surviving
+  /// regions until the next fold's full redraw). Cached per-(state, chunk)
+  /// costs stay valid: state partitionings cover only the base table, which
+  /// an un-folded ingest never changes.
+  void NoteIngest(const Table& chunk, uint64_t data_version,
+                  uint64_t visible_rows);
+
+  /// Swaps the manager onto the fold result: `table` (which must outlive the
+  /// manager) replaces the base table, the dataset sample redraws in full,
+  /// and every cached cost vector is dropped — the registry's partitionings
+  /// were just re-materialized over the folded table, which the sample-chunk
+  /// versions cannot see.
+  void OnDataFolded(const Table* table);
+
  private:
   void Generate(const std::vector<Query>& workload, int current_state,
                 std::vector<ManagerEvent>* events);
@@ -165,6 +190,7 @@ class LayoutManager {
   LayoutManagerOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
+  Rng ingest_rng_;  ///< drives NoteIngest's sample merge, nothing else
   Table dataset_sample_;
   SlidingWindow<Query> window_;
   ReservoirSampler<Query> reservoir_;

@@ -38,7 +38,7 @@ mts::DumtsOptions ToDumtsOptions(const OreoOptions& o) {
 
 Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
            int time_column, const OreoOptions& options)
-    : options_(options), table_(table) {
+    : options_(options), table_(table), live_(table) {
   // Process-wide by design (see OreoOptions::kernel_mode): kernels have no
   // per-engine state, and results are bit-identical in every mode.
   if (options.kernel_mode != simd::KernelMode::kAuto) {
@@ -50,6 +50,11 @@ Oreo::Oreo(const Table* table, const LayoutGenerator* generator,
   strategy_ = std::make_unique<OreoStrategy>(&registry_, default_state_,
                                              ToDumtsOptions(options),
                                              options.mid_phase_policy);
+  // D-UMTS decides on the live cost matrix, so switch decisions account for
+  // un-folded delta chunks; without pending mutations LiveCost returns the
+  // registry cost exactly and nothing changes.
+  strategy_->set_cost_fn(
+      [this](int state, const Query& query) { return LiveCost(state, query); });
   physical_state_ = default_state_;
 }
 
@@ -74,7 +79,7 @@ Oreo::StepResult Oreo::Step(const Query& query) {
     physical_state_ = pending_.front().second;
     pending_.pop_front();
   }
-  double cost = registry_.Cost(physical_state_, query);
+  double cost = LiveCost(physical_state_, query);
   query_cost_ += cost;
   ++queries_seen_;
   return StepResult{physical_state_, switches_now > 0, cost};
@@ -124,6 +129,135 @@ EngineSimResult Oreo::RunTrace(const std::vector<Query>& queries,
   return result;
 }
 
+double Oreo::LiveCost(int state, const Query& query) const {
+  const double base_cost = registry_.Cost(state, query);
+  const uint64_t delta = live_.delta_rows();
+  // Exact-equality fast path: with no delta rows the live cost IS the base
+  // cost (tombstoned base rows are still physically scanned until the fold,
+  // so the scanned fraction is unchanged), keeping pre-ingest runs
+  // bit-identical.
+  if (delta == 0) return base_cost;
+  // Scanned fraction of the mutated store: the base contributes its usual
+  // fraction of B rows; every zone-map-surviving delta chunk is scanned in
+  // full (the delta term is state-independent, so it raises every state's
+  // cost equally — but D-UMTS phase counters fill by absolute cost, so it
+  // still belongs in the decision matrix). Stays in [0, 1]: D(q) <= Delta
+  // and c_base <= 1.
+  const double b = static_cast<double>(live_.base().num_rows());
+  const double d = static_cast<double>(live_.DeltaScanRows(query));
+  return (base_cost * b + d) / (b + static_cast<double>(delta));
+}
+
+Result<IngestResult> Oreo::Ingest(IngestBatch batch) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
+  const Schema& schema = live_.base().schema();
+  if (batch.rows.num_rows() > 0 && !batch.rows.schema().Equals(schema)) {
+    return Status::InvalidArgument(
+        "ingest rows do not match the table schema: expected " +
+        schema.ToString() + ", got " + batch.rows.schema().ToString());
+  }
+  for (const Query& q : batch.deletes) {
+    for (const Predicate& p : q.conjuncts) {
+      if (p.column < 0 ||
+          static_cast<size_t>(p.column) >= schema.num_fields()) {
+        return Status::InvalidArgument(
+            "delete predicate references column " + std::to_string(p.column) +
+            " of a " + std::to_string(schema.num_fields()) + "-column table");
+      }
+    }
+  }
+
+  const bool appended = batch.rows.num_rows() > 0;
+  ingest::LiveTable::ApplyStats stats = live_.Apply(
+      std::move(batch.rows), batch.deletes, mutation_log_.version() + 1);
+  ingest::MutationLog::BatchRecord rec =
+      mutation_log_.Commit(stats.rows_appended, stats.rows_deleted);
+
+  // Drift tracking: stamp the workload sample with the new data version and
+  // merge the published chunk into the manager's dataset sample, so the next
+  // generation cadence fits candidates to drifted data.
+  if (appended) {
+    manager_->NoteIngest(live_.deltas().back().rows, rec.version,
+                         live_.visible_rows());
+  } else {
+    manager_->NoteIngest(Table(), rec.version, live_.visible_rows());
+  }
+
+  IngestResult result;
+  result.version = rec.version;
+  result.rows_appended = rec.rows_appended;
+  result.rows_deleted = rec.rows_deleted;
+
+  if (live_.has_mutations() &&
+      live_.MutationFraction() >= options_.fold_threshold) {
+    OREO_RETURN_NOT_OK(Fold());
+    result.folded = true;
+  }
+  result.visible_rows = live_.visible_rows();
+  RefreshLiveView();
+  return result;
+}
+
+Status Oreo::Fold() {
+  // Quiesce first: in-flight background jobs hold pointers into registry
+  // instances and read their partitioning contents.
+  if (store_ != nullptr) WaitForReorgs();
+  live_.Fold();
+  const Table* folded = &live_.base();
+  // Every state — live AND removed — rematerializes over the folded table:
+  // recorded traces can replay removed states, and their partitionings must
+  // cover the new row set exactly.
+  registry_.RematerializeAll(*folded);
+  manager_->OnDataFolded(folded);
+  ++folds_;
+  if (store_ != nullptr) {
+    // A fold is compaction, not a layout switch: the same logical layout is
+    // rebuilt over the folded rows, so no alpha is charged and the D-UMTS
+    // state is untouched.
+    Result<PhysicalStore::Timing> timing =
+        store_->MaterializeLayout(*folded, registry_.Get(physical_state_));
+    if (!timing.ok()) return timing.status();
+    materialized_state_ = physical_state_;
+    pending_target_.reset();
+    failed_target_.reset();
+    snapshot_ = store_->GetSnapshot();
+    reorganizer_->set_table(folded);
+  }
+  return Status::OK();
+}
+
+void Oreo::RefreshLiveView() {
+  RebuildLiveView(store_ != nullptr ? snapshot_.instance
+                                    : live_view_instance_);
+}
+
+void Oreo::RebuildLiveView(const LayoutInstance* instance) {
+  live_view_instance_ = instance;
+  live_view_ = PhysicalStore::LiveScanView{};
+  live_view_active_ = instance != nullptr && live_.has_mutations();
+  if (!live_view_active_) return;
+  if (live_.has_base_tombstones()) {
+    // Per-partition live masks in the snapshot's file row order: bit j of
+    // partition pid covers the row stored at parts.partitions[pid][j].
+    const Partitioning& parts = instance->partitioning();
+    const BitVector& base_live = live_.base_live();
+    live_view_.partition_masks.reserve(parts.partitions.size());
+    for (const std::vector<uint32_t>& rows : parts.partitions) {
+      BitVector mask(rows.size());
+      for (size_t j = 0; j < rows.size(); ++j) {
+        if (base_live.Get(rows[j])) mask.Set(j);
+      }
+      live_view_.partition_masks.push_back(std::move(mask));
+    }
+  }
+  live_view_.deltas.reserve(live_.deltas().size());
+  for (const ingest::LiveTable::DeltaChunk& chunk : live_.deltas()) {
+    live_view_.deltas.push_back(
+        PhysicalStore::LiveScanView::Delta{&chunk.rows, &chunk.zones,
+                                           &chunk.live});
+  }
+}
+
 Oreo& Oreo::core(size_t shard) {
   OREO_CHECK_EQ(shard, 0u) << "the unsharded engine has exactly one core";
   return *this;
@@ -148,7 +282,7 @@ Status Oreo::AttachPhysical(const std::string& base_dir, size_t store_threads,
       WrapWithSharedCache(options_.shared_cache, options_.storage_backend,
                           /*shard=*/0));
   Result<PhysicalStore::Timing> timing =
-      store_->MaterializeLayout(*table_, registry_.Get(physical_state_));
+      store_->MaterializeLayout(live_.base(), registry_.Get(physical_state_));
   if (!timing.ok()) {
     store_.reset();
     return timing.status();
@@ -157,14 +291,18 @@ Status Oreo::AttachPhysical(const std::string& base_dir, size_t store_threads,
   pending_target_.reset();
   failed_target_.reset();
   snapshot_ = store_->GetSnapshot();
-  reorganizer_ = std::make_unique<BackgroundReorganizer>(store_.get(), table_);
+  reorganizer_ =
+      std::make_unique<BackgroundReorganizer>(store_.get(), &live_.base());
+  // Mutations can precede AttachPhysical; surface them to the scan path.
+  RefreshLiveView();
   return Status::OK();
 }
 
 Result<PhysicalStore::BatchExec> Oreo::ExecuteBatchPhysical(
     const std::vector<Query>& queries) {
   OREO_CHECK(store_ != nullptr) << "call AttachPhysical first";
-  return store_->ExecuteQueryBatchOnSnapshot(snapshot_, queries);
+  return store_->ExecuteQueryBatchOnSnapshot(snapshot_, queries,
+                                             live_scan_view());
 }
 
 size_t Oreo::SyncPhysical() {
@@ -184,6 +322,9 @@ size_t Oreo::SyncPhysical() {
     pending_target_.reset();
     snapshot_ = store_->GetSnapshot();
     store_->Vacuum();
+    // The snapshot moved to a new partitioning; tombstone masks are indexed
+    // by partition, so rebuild the live view against it.
+    RefreshLiveView();
   }
   const int desired = physical_state_;
   if (desired != materialized_state_ &&
@@ -213,7 +354,9 @@ Result<PhysicalReplayResult> Oreo::ReplayTrace(const EngineSimResult& sim,
                                                size_t batch_size) const {
   OREO_CHECK_EQ(sim.shards.size(), 1u) << "sim does not match this engine";
   OREO_CHECK_EQ(sim.shard_streams.size(), 1u);
-  return ReplayPhysical(*table_, registry_, sim.shards.front(),
+  // live_.base(): after a fold the registry's partitionings cover the folded
+  // table, so the replay must read it (identical to table_ before any fold).
+  return ReplayPhysical(live_.base(), registry_, sim.shards.front(),
                         sim.shard_streams.front(), stride, dir, num_threads,
                         batch_size,
                         WrapWithSharedCache(options_.shared_cache,

@@ -31,6 +31,8 @@
 #include "core/simulator.h"
 #include "core/state_registry.h"
 #include "core/strategy.h"
+#include "ingest/live_table.h"
+#include "ingest/mutation_log.h"
 #include "storage/backend.h"
 #include "storage/shard_router.h"
 
@@ -89,6 +91,13 @@ struct OreoOptions {
   /// zone-map-surviving partitions of a batch's later queries. Serving
   /// results stay bit-identical with the cache on or off.
   std::shared_ptr<SharedBlockCache> shared_cache;
+  /// Compaction trigger for live ingest: fold delta chunks and tombstones
+  /// into a fresh base (and rematerialize the physical layout) when the
+  /// mutation debt — (delta rows + tombstoned base rows) / physical rows —
+  /// reaches this fraction at an Ingest boundary. Bounds both the delta-scan
+  /// overhead and the memory held by dead rows; <= 0 folds after every
+  /// mutating batch, > 1 never folds automatically.
+  double fold_threshold = 0.25;
   /// Scan-kernel dispatch (common/simd.h): kAuto runs the vectorized
   /// predicate/decode/lookup kernels, kScalar pins the scalar reference
   /// implementations. Results are bit-identical either way (the OREO_FORCE_
@@ -142,6 +151,53 @@ class Oreo : public OreoEngine {
   EngineSimResult RunTrace(const std::vector<Query>& queries,
                            bool record_trace = false) override;
 
+  // --- live ingest (see OreoEngine::Ingest) --------------------------------
+
+  /// Applies one mutation batch. Deletes tombstone the visible rows their
+  /// predicates match (same-batch appends exempt); appended rows become a
+  /// zone-mapped delta chunk, visible to every subsequent query. While
+  /// mutations are pending, D-UMTS decides on — and the engine charges — the
+  /// live cost
+  ///   c_live(s, q) = (c_base(s, q) * B + D(q)) / (B + Delta)
+  /// (B = physical base rows, Delta = physical delta rows, D(q) = zone-map-
+  /// surviving delta rows): the true scanned-fraction of the mutated store.
+  /// Theorem IV.1 holds verbatim on this matrix — D-UMTS is 2·H(|S_max|)-
+  /// competitive for any cost matrix in [0, 1] — and with no pending
+  /// mutations c_live is exactly c_base, so pre-ingest runs are bit-identical
+  /// to builds without this subsystem. Crossing fold_threshold triggers the
+  /// compaction fold (tombstones drop, deltas merge into a fresh base, every
+  /// registry state rematerializes, the physical layout rebuilds, the
+  /// manager's dataset sample redraws). Single-caller contract applies, like
+  /// Step/RunBatch.
+  Result<IngestResult> Ingest(IngestBatch batch) override;
+
+  /// The mutable logical table (base + deltas + tombstone masks).
+  const ingest::LiveTable& live() const { return live_; }
+  /// Rows currently visible to queries.
+  uint64_t visible_rows() const { return live_.visible_rows(); }
+  /// Version of the last committed ingest batch (0 before any ingest).
+  uint64_t data_version() const { return mutation_log_.version(); }
+  /// The current physical base table: the engine's original table until the
+  /// first fold, the owned fold result afterwards. Background rewrites and
+  /// replays must read this, never the construction-time table.
+  const Table& base_table() const { return live_.base(); }
+  /// Number of compaction folds performed so far.
+  uint64_t folds() const { return folds_; }
+  /// The tombstone/delta overlay for snapshot scans, or nullptr when no
+  /// mutation is pending (ShardedOreo threads this into its per-shard
+  /// ExecuteQueryBatchOnSnapshot calls). Rebuilt at ingest and
+  /// snapshot-refresh boundaries, never mid-batch.
+  const PhysicalStore::LiveScanView* live_scan_view() const {
+    return live_view_active_ ? &live_view_ : nullptr;
+  }
+  /// Rebuilds the overlay against `instance`'s partitioning — the layout the
+  /// caller's snapshot serves. For engines whose physical store lives
+  /// *outside* the Oreo (sharded mode: ShardEngine owns the store and pinned
+  /// snapshot), the facade calls this after every ingest and snapshot
+  /// refresh; an Oreo with its own store refreshes itself and never needs
+  /// it. Passing nullptr deactivates the view.
+  void RebuildLiveView(const LayoutInstance* instance);
+
   // --- physical execution (see OreoEngine) --------------------------------
 
   /// Creates the store under `base_dir`, materializes the current layout and
@@ -193,8 +249,21 @@ class Oreo : public OreoEngine {
   int64_t num_switches() const override { return num_switches_; }
 
  private:
+  /// The live cost c_live(s, q) D-UMTS decides on and Step charges; equals
+  /// the registry's base cost exactly when no mutations are pending.
+  double LiveCost(int state, const Query& query) const;
+  /// The compaction fold (see Ingest). Quiesces background rewrites first.
+  Status Fold();
+  /// Rebuilds live_view_ against the own-store snapshot (or the instance the
+  /// facade last supplied via RebuildLiveView); inactive when no mutation is
+  /// pending.
+  void RefreshLiveView();
+
   OreoOptions options_;
   const Table* table_;  // not owned
+  ingest::LiveTable live_;
+  ingest::MutationLog mutation_log_;
+  uint64_t folds_ = 0;
   mutable internal::SingleCallerGuard caller_guard_;
   StateRegistry registry_;
   std::unique_ptr<LayoutManager> manager_;
@@ -212,6 +281,9 @@ class Oreo : public OreoEngine {
   // destroyed (joined) first.
   std::unique_ptr<PhysicalStore> store_;
   PhysicalStore::Snapshot snapshot_;
+  PhysicalStore::LiveScanView live_view_;
+  bool live_view_active_ = false;
+  const LayoutInstance* live_view_instance_ = nullptr;  // masks' partitioning
   int materialized_state_ = -1;
   std::optional<int> pending_target_;
   std::optional<int> failed_target_;

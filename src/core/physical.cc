@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "query/kernels.h"
 #include "storage/block.h"
 
 namespace oreo {
@@ -139,20 +140,27 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatch(
 }
 
 Result<PhysicalStore::QueryExec> PhysicalStore::ExecuteQueryOnSnapshot(
-    const Snapshot& snapshot, const Query& query) const {
+    const Snapshot& snapshot, const Query& query,
+    const LiveScanView* live) const {
   OREO_ASSIGN_OR_RETURN(BatchExec batch,
-                        ExecuteQueryBatchOnSnapshot(snapshot, {query}));
+                        ExecuteQueryBatchOnSnapshot(snapshot, {query}, live));
   QueryExec exec = batch.per_query.front();
   exec.seconds = batch.seconds;
   return exec;
 }
 
 Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
-    const Snapshot& snapshot, const std::vector<Query>& queries) const {
+    const Snapshot& snapshot, const std::vector<Query>& queries,
+    const LiveScanView* live) const {
   OREO_CHECK(snapshot.instance != nullptr) << "no layout materialized";
   BatchExec batch;
   Stopwatch sw;
   const Partitioning& parts = snapshot.instance->partitioning();
+  const bool masked = live != nullptr && !live->partition_masks.empty();
+  if (masked) {
+    OREO_CHECK_EQ(live->partition_masks.size(), parts.num_partitions())
+        << "live view does not match the snapshot's partitioning";
+  }
 
   // Serial per-query preparation, in stream order: column projection and
   // zone-map pruning are metadata-only, so the work list of (query,
@@ -235,7 +243,12 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
       statuses[i] = part.status();
       return;
     }
-    if (prep.projected.conjuncts.empty()) {
+    if (masked) {
+      // Tombstone-respecting count: the partition's live mask word-ANDs the
+      // query bitmap (conjunct-free queries count the mask directly).
+      matches[i] = KernelCountMatchesMasked(
+          *part, prep.projected, live->partition_masks[items[i].pid]);
+    } else if (prep.projected.conjuncts.empty()) {
       matches[i] = part->num_rows();
     } else {
       // Vectorized predicate kernels (query/kernels.h): each projected
@@ -259,6 +272,18 @@ Result<PhysicalStore::BatchExec> PhysicalStore::ExecuteQueryBatchOnSnapshot(
       exec.bytes_read += snapshot.file_bytes[pid];
       exec.rows_scanned += parts.zones[pid].num_rows;
       exec.matches += matches[item++];
+    }
+    if (live != nullptr) {
+      // Delta chunks after the base partitions, serially in chunk order:
+      // in-memory scans bounded by the engine's fold threshold, so the
+      // serial pass stays cheap and trivially thread-count-invariant. The
+      // un-projected query applies — chunks carry the full schema.
+      for (const LiveScanView::Delta& delta : live->deltas) {
+        if (queries[qi].CanSkipPartition(*delta.zones)) continue;
+        exec.rows_scanned += delta.rows->num_rows();
+        exec.matches +=
+            KernelCountMatchesMasked(*delta.rows, queries[qi], *delta.live);
+      }
     }
   }
   batch.seconds = sw.ElapsedSeconds();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitvector.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/simulator.h"
@@ -112,18 +113,51 @@ class PhysicalStore {
   /// Current layout as a snapshot (thread-safe).
   Snapshot GetSnapshot() const;
 
+  /// Live-ingest overlay for snapshot scans: per-partition tombstone masks
+  /// over the materialized base plus the un-folded delta chunks (see
+  /// src/ingest/live_table.h). The engine rebuilds the view at every ingest
+  /// and snapshot-refresh boundary, never mid-batch, so a batch executes
+  /// against one frozen (snapshot, view) pair.
+  struct LiveScanView {
+    /// Live-row mask per partition, indexed like the snapshot instance's
+    /// partitioning: bit j of partition_masks[pid] covers the row stored at
+    /// parts.partitions[pid][j] — exactly the row order of the partition's
+    /// block file. Empty means no base row is tombstoned (every partition
+    /// fully live); otherwise the size must equal the partition count.
+    std::vector<BitVector> partition_masks;
+    /// One un-folded append chunk: rows + zone map (pruned like a
+    /// partition) + live-row bitmap. Pointers are borrowed from the
+    /// engine's LiveTable and stay valid for the batch.
+    struct Delta {
+      const Table* rows = nullptr;
+      const ZoneMap* zones = nullptr;
+      const BitVector* live = nullptr;
+    };
+    std::vector<Delta> deltas;
+  };
+
   /// Executes `query` against a snapshot (thread-safe, read-only).
   /// Implemented as a single-element batch, so the per-query and batched
-  /// paths cannot diverge.
-  Result<QueryExec> ExecuteQueryOnSnapshot(const Snapshot& snapshot,
-                                           const Query& query) const;
+  /// paths cannot diverge. `live` follows the batched contract below.
+  Result<QueryExec> ExecuteQueryOnSnapshot(
+      const Snapshot& snapshot, const Query& query,
+      const LiveScanView* live = nullptr) const;
 
   /// Batch execution against an explicit snapshot (thread-safe, read-only);
   /// see ExecuteQueryBatch for the determinism contract. When the backend
   /// implements BlockPrefetcher, partitions later queries of the batch need
   /// are prefetched asynchronously while the earlier ones scan.
+  ///
+  /// With a non-null `live` view, every partition's match count is masked by
+  /// its tombstone bitmap (one word-AND per 64 rows) and the view's delta
+  /// chunks are counted after the base partitions, serially in chunk order —
+  /// trivially thread-count-invariant, and bounded because the engine folds
+  /// deltas at its mutation threshold. Delta scans contribute to `matches`
+  /// and `rows_scanned` only; `partitions_read`/`bytes_read` stay file-level
+  /// counters (delta chunks live in memory, not in partition files).
   Result<BatchExec> ExecuteQueryBatchOnSnapshot(
-      const Snapshot& snapshot, const std::vector<Query>& queries) const;
+      const Snapshot& snapshot, const std::vector<Query>& queries,
+      const LiveScanView* live = nullptr) const;
 
   /// Asynchronously warms the zone-map-surviving partitions of
   /// `queries[skip..]` into the backend's cache tier, excluding partitions

@@ -25,8 +25,9 @@ Status ShardEngine::AttachPhysical(const std::string& dir,
       WrapWithSharedCache(oreo_->options().shared_cache,
                           oreo_->options().storage_backend, shard_id_));
   const int current = oreo_->physical_state();
-  Result<PhysicalStore::Timing> timing =
-      store_->MaterializeLayout(table_, oreo_->registry().Get(current));
+  // base_table(), not table_: mutations (and folds) can precede the attach.
+  Result<PhysicalStore::Timing> timing = store_->MaterializeLayout(
+      oreo_->base_table(), oreo_->registry().Get(current));
   if (!timing.ok()) {
     store_.reset();
     return timing.status();
@@ -34,6 +35,7 @@ Status ShardEngine::AttachPhysical(const std::string& dir,
   materialized_state_ = current;
   pending_target_.reset();
   snapshot_ = store_->GetSnapshot();
+  oreo_->RebuildLiveView(snapshot_.instance);
   return Status::OK();
 }
 

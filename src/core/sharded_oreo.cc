@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "ingest/coordinator.h"
 #include "storage/shared_cache.h"
 
 namespace oreo {
@@ -179,6 +180,94 @@ ShardedSimResult ShardedOreo::Run(const std::vector<Query>& queries,
   return result;
 }
 
+Result<IngestResult> ShardedOreo::Ingest(IngestBatch batch) {
+  internal::SingleCallerGuard::Scope single_caller(&caller_guard_);
+  // Validate the whole batch up front: every shard's Oreo::Ingest
+  // re-validates, but by the time shard s rejected the batch, shards < s
+  // would already have committed their slices.
+  const Schema& schema = engines_.front()->oreo().base_table().schema();
+  if (batch.rows.num_rows() > 0 && !batch.rows.schema().Equals(schema)) {
+    return Status::InvalidArgument(
+        "ingest rows do not match the table schema: expected " +
+        schema.ToString() + ", got " + batch.rows.schema().ToString());
+  }
+  for (const Query& q : batch.deletes) {
+    for (const Predicate& p : q.conjuncts) {
+      if (p.column < 0 ||
+          static_cast<size_t>(p.column) >= schema.num_fields()) {
+        return Status::InvalidArgument(
+            "delete predicate references column " + std::to_string(p.column) +
+            " of a " + std::to_string(schema.num_fields()) + "-column table");
+      }
+    }
+  }
+  // A fold rematerializes registry layout instances in place; quiesce
+  // rewrites that may still be reading them before any shard can fold.
+  if (reorg_pool_ != nullptr) WaitForReorgs();
+
+  std::vector<ingest::ShardIngest> split =
+      ingest::SplitIngest(router_, batch.rows, batch.deletes);
+  IngestResult out;
+  out.version = ++ingest_version_;
+  // Serial application in ascending shard order: each shard's mutation
+  // sequence is a deterministic function of the batch stream alone.
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    ingest::ShardIngest& slice = split[s];
+    if (slice.rows.num_rows() == 0 && slice.deletes.empty()) continue;
+    ShardEngine& engine = *engines_[s];
+    IngestBatch shard_batch;
+    shard_batch.rows = std::move(slice.rows);
+    shard_batch.deletes = std::move(slice.deletes);
+    OREO_ASSIGN_OR_RETURN(IngestResult shard_result,
+                          engine.oreo().Ingest(std::move(shard_batch)));
+    out.rows_appended += shard_result.rows_appended;
+    out.rows_deleted += shard_result.rows_deleted;
+    if (shard_result.folded) {
+      out.folded = true;
+      // The shard's Oreo has no store of its own; compact its files here.
+      if (engine.has_physical()) {
+        OREO_RETURN_NOT_OK(RematerializeShard(engine));
+      }
+    }
+    if (engine.has_physical()) {
+      engine.oreo().RebuildLiveView(engine.snapshot().instance);
+    }
+  }
+  // Row weights track the shards' physical scan sizes — LiveCost normalizes
+  // a shard's cost by its base + delta rows, so weighting by the same
+  // denominator keeps the merged accounting row-weighted (pre-ingest this
+  // reproduces the construction-time weights exactly).
+  std::vector<double> scan_rows(engines_.size());
+  double total_rows = 0.0;
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    const ingest::LiveTable& live = engines_[s]->oreo().live();
+    scan_rows[s] = static_cast<double>(live.base().num_rows()) +
+                   static_cast<double>(live.delta_rows());
+    total_rows += scan_rows[s];
+    out.visible_rows += engines_[s]->oreo().visible_rows();
+  }
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    weights_[s] = total_rows > 0 ? scan_rows[s] / total_rows : 0.0;
+  }
+  return out;
+}
+
+Status ShardedOreo::RematerializeShard(ShardEngine& engine) {
+  // A fold is compaction, not a switch: the shard's current physical layout
+  // is rebuilt over its folded base (registry instances were already
+  // rematerialized by Oreo::Fold), so no alpha is charged anywhere.
+  const int current = engine.oreo().physical_state();
+  Result<PhysicalStore::Timing> timing = engine.store()->MaterializeLayout(
+      engine.oreo().base_table(), engine.oreo().registry().Get(current));
+  if (!timing.ok()) return timing.status();
+  engine.set_materialized_state(current);
+  engine.set_pending_target(std::nullopt);
+  engine.set_failed_target(std::nullopt);
+  engine.RefreshSnapshot();
+  engine.store()->Vacuum();
+  return Status::OK();
+}
+
 Status ShardedOreo::AttachPhysical(const std::string& base_dir,
                                    size_t store_threads,
                                    size_t reorg_workers) {
@@ -231,8 +320,9 @@ Result<PhysicalStore::BatchExec> ShardedOreo::ExecuteBatchPhysical(
   pool_->ParallelFor(items.size(), [&](size_t i) {
     ShardEngine& engine = *engines_[items[i].shard];
     Result<PhysicalStore::QueryExec> exec =
-        engine.store()->ExecuteQueryOnSnapshot(engine.snapshot(),
-                                               queries[items[i].qi]);
+        engine.store()->ExecuteQueryOnSnapshot(
+            engine.snapshot(), queries[items[i].qi],
+            engine.oreo().live_scan_view());
     if (!exec.ok()) {
       statuses[i] = exec.status();
       return;
@@ -280,6 +370,9 @@ size_t ShardedOreo::SyncPhysical() {
       engine.set_pending_target(std::nullopt);
       engine.RefreshSnapshot();
       engine.store()->Vacuum();
+      // The snapshot moved to a new partitioning; tombstone masks are
+      // indexed by partition, so rebuild the shard's overlay against it.
+      engine.oreo().RebuildLiveView(engine.snapshot().instance);
     }
     const int desired = engine.oreo().physical_state();
     if (desired != engine.materialized_state() &&
@@ -287,7 +380,9 @@ size_t ShardedOreo::SyncPhysical() {
       ReorgPool::Job job;
       job.shard = shard;
       job.store = engine.store();
-      job.table = &engine.table();
+      // base_table(), not the construction-time table: after a fold the
+      // registry's partitionings cover the folded row set.
+      job.table = &engine.oreo().base_table();
       job.target = &engine.oreo().registry().Get(desired);
       if (reorg_pool_->Submit(std::move(job))) {
         engine.set_pending_target(desired);
@@ -356,7 +451,7 @@ Result<PhysicalReplayResult> ShardedReplayPhysical(
     // shard's replay store reads through its own shard-charged view of it.
     OREO_ASSIGN_OR_RETURN(
         PhysicalReplayResult shard,
-        ReplayPhysical(engine.table(), engine.oreo().registry(),
+        ReplayPhysical(engine.oreo().base_table(), engine.oreo().registry(),
                        sim.shards[s], sim.shard_streams[s], stride,
                        ShardDirName(dir, static_cast<uint32_t>(s)),
                        num_threads, batch_size,

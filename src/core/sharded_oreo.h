@@ -114,6 +114,31 @@ class ShardedOreo : public OreoEngine {
     return Run(queries, record_trace);
   }
 
+  // --- live ingest ---------------------------------------------------------
+
+  /// Applies one mutation batch across the shards: appended rows are routed
+  /// by the routing column (ShardRouter::SplitRows), every delete query goes
+  /// to each shard it can touch (ShardsForQuery, conservative-complete), and
+  /// the per-shard sub-batches are applied serially in ascending shard order
+  /// — so the sequence of mutations a shard sees is a deterministic function
+  /// of the batch stream, independent of threads. The whole batch is
+  /// validated up front (schema + delete columns) so a rejected batch leaves
+  /// no shard partially applied. A 1-shard facade forwards the batch
+  /// untouched and stays bit-identical to a bare Oreo.
+  ///
+  /// Row weights are recomputed from the shards' post-ingest physical scan
+  /// sizes (base + delta rows), keeping the merged cost accounting
+  /// consistent with what each shard's LiveCost normalizes by. With a
+  /// physical layer attached, in-flight rewrites are quiesced first (a fold
+  /// rematerializes registry layouts a running rewrite may read), folded
+  /// shards are re-materialized from their folded base, and every mutated
+  /// shard's scan overlay is rebuilt against its pinned snapshot.
+  ///
+  /// The returned version is a facade-level batch counter; per-shard
+  /// versions advance only on shards the batch touched (idle shards see no
+  /// batch boundary).
+  Result<IngestResult> Ingest(IngestBatch batch) override;
+
   // --- physical execution -------------------------------------------------
 
   /// Creates one PhysicalStore per shard under `base_dir/shard_NNN` (through
@@ -174,10 +199,15 @@ class ShardedOreo : public OreoEngine {
   int64_t num_switches() const override;
 
  private:
+  /// Re-materializes a folded shard's store from its folded base and adopts
+  /// the fresh snapshot (fold = compaction: same layout, fewer rows).
+  Status RematerializeShard(ShardEngine& engine);
+
   ShardRouter router_;
   mutable internal::SingleCallerGuard caller_guard_;
   std::vector<std::unique_ptr<ShardEngine>> engines_;
   std::vector<double> weights_;
+  uint64_t ingest_version_ = 0;  ///< facade-level ingest batch counter
   std::unique_ptr<ThreadPool> pool_;  // batch fan-out across shards
   // Declared after the engines so it is destroyed first: in-flight rewrite
   // callbacks touch engines/stores and must never outlive them.

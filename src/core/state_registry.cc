@@ -23,6 +23,12 @@ const LayoutInstance& StateRegistry::Get(int id) const {
   return *instances_[static_cast<size_t>(id)];
 }
 
+void StateRegistry::RematerializeAll(const Table& table) {
+  for (std::shared_ptr<LayoutInstance>& inst : instances_) {
+    *inst = Materialize(inst->name(), inst->shared_layout(), table);
+  }
+}
+
 double StateRegistry::MeanCost(int id, const std::vector<Query>& queries) const {
   if (queries.empty()) return 0.0;
   double total = 0.0;

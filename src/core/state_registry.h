@@ -38,6 +38,16 @@ class StateRegistry {
   /// Mean cost of state `id` over a query set.
   double MeanCost(int id, const std::vector<Query>& queries) const;
 
+  /// Re-materializes every state (live AND removed) over `table`, in place:
+  /// each instance keeps its id, name and layout but rebuilds its
+  /// partitioning for the new row set. The live-ingest fold calls this after
+  /// compacting the logical table — removed states must follow too, because
+  /// recorded decision traces can reference them (ReplayPhysical checks that
+  /// a replayed layout's partitions cover the table exactly). Callers must
+  /// quiesce background rewrites first: instance addresses are stable
+  /// (shared_ptr) but their contents mutate.
+  void RematerializeAll(const Table& table);
+
  private:
   std::vector<std::shared_ptr<LayoutInstance>> instances_;
   std::set<int> live_;

@@ -40,7 +40,7 @@ int OreoStrategy::ApplyEvents(const std::vector<ManagerEvent>& events) {
         // of the current phase so far.
         double counter = 0.0;
         for (const Query& q : phase_queries_) {
-          counter += registry_->Cost(e.state, q);
+          counter += StateCost(e.state, q);
         }
         dumts_.AddStateWithCounter(e.state, counter);
       } else {
@@ -56,7 +56,7 @@ int OreoStrategy::ApplyEvents(const std::vector<ManagerEvent>& events) {
 
 int OreoStrategy::OnQuery(const Query& query, bool* switched) {
   mts::DumtsDecision d = dumts_.OnQuery(
-      [this, &query](mts::StateId s) { return registry_->Cost(s, query); });
+      [this, &query](mts::StateId s) { return StateCost(s, query); });
   *switched = d.switched;
   if (mid_phase_ == MidPhasePolicy::kReplay) {
     if (d.phase_reset) {

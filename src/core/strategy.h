@@ -5,6 +5,7 @@
 #ifndef OREO_CORE_STRATEGY_H_
 #define OREO_CORE_STRATEGY_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,15 +64,31 @@ class OreoStrategy : public Strategy {
   int OnQuery(const Query& query, bool* switched) override;
   int current_state() const override { return dumts_.current_state(); }
 
+  /// Overrides the c(s, q) matrix D-UMTS decides on. The live-ingest path
+  /// injects the engine's live cost (base cost adjusted for un-folded delta
+  /// chunks), so decisions and the charged costs come from one matrix and
+  /// Theorem IV.1 applies to it verbatim — D-UMTS is 2·H(|S_max|)-competitive
+  /// for *any* cost matrix in [0, 1]. Null (the default) means the pure
+  /// registry cost; with no pending mutations the live cost equals it
+  /// exactly, so pre-ingest runs stay bit-identical.
+  void set_cost_fn(std::function<double(int, const Query&)> cost_fn) {
+    cost_fn_ = std::move(cost_fn);
+  }
+
   const mts::DynamicUmts& dumts() const { return dumts_; }
   /// Queries processed so far in the current phase (replay history).
   size_t phase_history_size() const { return phase_queries_.size(); }
 
  private:
+  double StateCost(int state, const Query& query) const {
+    return cost_fn_ ? cost_fn_(state, query) : registry_->Cost(state, query);
+  }
+
   const StateRegistry* registry_;
   MidPhasePolicy mid_phase_;
   mts::DynamicUmts dumts_;
   std::vector<Query> phase_queries_;
+  std::function<double(int, const Query&)> cost_fn_;
 };
 
 /// Greedy baseline: whenever a new candidate is admitted, switch to it if it

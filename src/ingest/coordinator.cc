@@ -1,0 +1,28 @@
+#include "ingest/coordinator.h"
+
+namespace oreo {
+namespace ingest {
+
+std::vector<ShardIngest> SplitIngest(const ShardRouter& router,
+                                     const Table& rows,
+                                     const std::vector<Query>& deletes) {
+  std::vector<ShardIngest> out(router.num_shards());
+  if (rows.num_rows() > 0) {
+    std::vector<std::vector<uint32_t>> split = router.SplitRows(rows);
+    for (size_t s = 0; s < out.size(); ++s) {
+      out[s].rows = split[s].empty() ? Table(rows.schema())
+                                     : rows.Take(split[s]);
+    }
+  } else {
+    for (ShardIngest& si : out) si.rows = Table(rows.schema());
+  }
+  for (const Query& q : deletes) {
+    for (uint32_t s : router.ShardsForQuery(q)) {
+      out[s].deletes.push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace ingest
+}  // namespace oreo

@@ -1,0 +1,114 @@
+#include "ingest/live_table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "query/kernels.h"
+
+namespace oreo {
+namespace ingest {
+
+namespace {
+
+/// Clears the live bits matched by `query`; returns how many were cleared.
+/// One EvalQueryBitmap (vectorized kernel path) + one word-AND-NOT pass.
+uint64_t ApplyDelete(const Table& rows, const Query& query, BitVector* live) {
+  if (rows.num_rows() == 0) return 0;
+  BitVector match = EvalQueryBitmap(rows, query);
+  const size_t before = live->Count();
+  live->AndNotInto(match, live);
+  return before - live->Count();
+}
+
+}  // namespace
+
+LiveTable::LiveTable(const Table* base)
+    : original_(base), base_live_(base->num_rows()) {
+  base_live_.SetAll();
+}
+
+LiveTable::ApplyStats LiveTable::Apply(Table rows,
+                                       const std::vector<Query>& deletes,
+                                       uint64_t version) {
+  ApplyStats stats;
+  // Deletes first: they target the rows visible before this batch, so the
+  // chunk appended below is exempt by construction.
+  for (const Query& q : deletes) {
+    stats.rows_deleted += ApplyDelete(base(), q, &base_live_);
+    for (DeltaChunk& chunk : deltas_) {
+      stats.rows_deleted += ApplyDelete(chunk.rows, q, &chunk.live);
+    }
+  }
+  base_tombstones_ = base().num_rows() - base_live_.Count();
+  delta_tombstones_ = 0;
+  for (const DeltaChunk& chunk : deltas_) {
+    delta_tombstones_ += chunk.rows.num_rows() - chunk.live.Count();
+  }
+  if (rows.num_rows() > 0) {
+    OREO_CHECK_EQ(rows.num_columns(), base().num_columns());
+    stats.rows_appended = rows.num_rows();
+    delta_rows_ += rows.num_rows();
+    BitVector live(rows.num_rows());
+    live.SetAll();
+    ZoneMap zones = BuildZoneMap(rows);  // before the move below
+    deltas_.push_back(DeltaChunk{std::move(rows), std::move(zones),
+                                 std::move(live), version});
+  }
+  return stats;
+}
+
+double LiveTable::MutationFraction() const {
+  const uint64_t physical = base().num_rows() + delta_rows_;
+  if (physical == 0) return 0.0;
+  const uint64_t debt = delta_rows_ + base_tombstones_;
+  return static_cast<double>(debt) / static_cast<double>(physical);
+}
+
+uint64_t LiveTable::DeltaScanRows(const Query& query) const {
+  uint64_t rows = 0;
+  for (const DeltaChunk& chunk : deltas_) {
+    if (!query.CanSkipPartition(chunk.zones)) rows += chunk.rows.num_rows();
+  }
+  return rows;
+}
+
+uint64_t LiveTable::CountDeltaMatches(const Query& query) const {
+  uint64_t matches = 0;
+  for (const DeltaChunk& chunk : deltas_) {
+    if (query.CanSkipPartition(chunk.zones)) continue;
+    if (query.conjuncts.empty()) {
+      matches += chunk.live.Count();
+      continue;
+    }
+    BitVector match = EvalQueryBitmap(chunk.rows, query);
+    match.AndAssign(chunk.live);
+    matches += match.Count();
+  }
+  return matches;
+}
+
+Table LiveTable::BuildLogicalTable() const {
+  Table out = base().Take(base_live_.ToIndices());
+  for (const DeltaChunk& chunk : deltas_) {
+    if (chunk.live.Count() == chunk.rows.num_rows()) {
+      out.Append(chunk.rows);
+    } else {
+      out.Append(chunk.rows.Take(chunk.live.ToIndices()));
+    }
+  }
+  return out;
+}
+
+void LiveTable::Fold() {
+  auto next = std::make_unique<Table>(BuildLogicalTable());
+  folded_ = std::move(next);
+  deltas_.clear();
+  base_live_ = BitVector(folded_->num_rows());
+  base_live_.SetAll();
+  base_tombstones_ = 0;
+  delta_rows_ = 0;
+  delta_tombstones_ = 0;
+}
+
+}  // namespace ingest
+}  // namespace oreo

@@ -1,0 +1,134 @@
+// Mutable view over an immutable base table: delta chunks + tombstone masks.
+//
+// The storage layer's Table stays write-once; mutability is layered on top.
+// A LiveTable is
+//
+//   logical table = (base rows where base_live bit is set, in row order)
+//                ++ (delta-chunk rows where the chunk's live bit is set,
+//                    in chunk order)
+//
+// Appends become immutable delta chunks (each with its own ZoneMap, so query
+// pruning works on deltas exactly like on partitions). Deletes are predicate
+// queries evaluated through the same vectorized kernel path as scans —
+// EvalQueryBitmap produces the match bitmap and the live mask is updated with
+// one word-AND-NOT per 64 rows, no per-row branches. Rows are never moved or
+// erased in place, so every row keeps its id and pinned snapshots stay valid
+// until the next fold.
+//
+// Batch semantics: deletes apply to the data visible *before* the batch;
+// rows appended by the same batch are exempt (apply order inside
+// Apply(): deletes first, then the append chunk is published).
+//
+// Fold() compacts everything into a fresh owned base table (live base rows in
+// row order, then live delta rows in chunk order — the BuildLogicalTable()
+// order, so folding never changes the logical table) and clears the deltas
+// and tombstones. The engine folds when MutationFraction() crosses
+// OreoOptions::fold_threshold, which bounds both the scan overhead of the
+// delta path and the memory held by dead rows.
+#ifndef OREO_INGEST_LIVE_TABLE_H_
+#define OREO_INGEST_LIVE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "query/query.h"
+#include "storage/table.h"
+#include "storage/zone_map.h"
+
+namespace oreo {
+namespace ingest {
+
+/// Base table + delta chunks + tombstone bitmaps = one mutable logical table.
+class LiveTable {
+ public:
+  /// `base` must outlive this object (it is the engine's original table).
+  explicit LiveTable(const Table* base);
+
+  /// One published append batch: an immutable row chunk with its zone map
+  /// (for pruning) and a live-row bitmap (1 = visible; deletes clear bits).
+  struct DeltaChunk {
+    Table rows;
+    ZoneMap zones;
+    BitVector live;
+    uint64_t version = 0;  ///< MutationLog version that published the chunk
+  };
+
+  struct ApplyStats {
+    uint64_t rows_appended = 0;
+    uint64_t rows_deleted = 0;
+  };
+
+  /// Applies one batch: deletes first (over the currently visible rows),
+  /// then publishes `rows` as a new delta chunk (empty `rows` publishes no
+  /// chunk). `rows` must match the base schema.
+  ApplyStats Apply(Table rows, const std::vector<Query>& deletes,
+                   uint64_t version);
+
+  /// The current physical base: the fold result if Fold() has run, else the
+  /// original table.
+  const Table& base() const { return folded_ ? *folded_ : *original_; }
+  /// Live-row mask over base() (all ones until a delete lands).
+  const BitVector& base_live() const { return base_live_; }
+  /// True if any base row is tombstoned — when false the scan path can skip
+  /// masking entirely.
+  bool has_base_tombstones() const { return base_tombstones_ > 0; }
+
+  const std::vector<DeltaChunk>& deltas() const { return deltas_; }
+
+  /// Rows currently visible to queries.
+  uint64_t visible_rows() const {
+    return base().num_rows() - base_tombstones_ + delta_rows_ -
+           delta_tombstones_;
+  }
+  /// Total physical delta rows (live + dead).
+  uint64_t delta_rows() const { return delta_rows_; }
+  /// Tombstoned base rows.
+  uint64_t base_tombstones() const { return base_tombstones_; }
+  /// Tombstoned delta rows.
+  uint64_t delta_tombstones() const { return delta_tombstones_; }
+  /// True once any mutation (append or delete) is pending un-folded.
+  bool has_mutations() const {
+    return !deltas_.empty() || base_tombstones_ > 0;
+  }
+
+  /// Fraction of physical rows that are mutation debt — delta rows plus
+  /// tombstones over total physical rows. The engine folds when this
+  /// crosses its threshold.
+  double MutationFraction() const;
+
+  /// Physical delta rows the query must scan: rows of chunks whose zone map
+  /// cannot prove emptiness (the delta analogue of FractionAccessed's
+  /// numerator; dead rows still count — they are scanned, just masked).
+  uint64_t DeltaScanRows(const Query& query) const;
+
+  /// Live delta rows matching `query` (kernel bitmap AND live mask).
+  uint64_t CountDeltaMatches(const Query& query) const;
+
+  /// Materializes the logical table: live base rows in row order, then live
+  /// delta rows in chunk order. This is the canonical logical content — a
+  /// rebuild-from-scratch engine over this table must answer every query
+  /// identically (pinned by tests/ingest_equivalence_test.cc).
+  Table BuildLogicalTable() const;
+
+  /// Compacts into a fresh owned base (BuildLogicalTable order), clearing
+  /// deltas and tombstones. visible_rows() is unchanged.
+  void Fold();
+  /// True once Fold() has replaced the original base.
+  bool folded() const { return folded_ != nullptr; }
+
+ private:
+  const Table* original_;          // engine-owned, never mutated
+  std::unique_ptr<Table> folded_;  // owned replacement base after Fold()
+  BitVector base_live_;
+  std::vector<DeltaChunk> deltas_;
+  uint64_t base_tombstones_ = 0;
+  uint64_t delta_rows_ = 0;
+  uint64_t delta_tombstones_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace oreo
+
+#endif  // OREO_INGEST_LIVE_TABLE_H_

@@ -338,6 +338,17 @@ uint64_t KernelCountMatches(const Table& table, const Query& query) {
   return EvalQueryBitmap(table, query).Count();
 }
 
+uint64_t KernelCountMatchesMasked(const Table& table, const Query& query,
+                                  const BitVector& mask) {
+  OREO_DCHECK(mask.size() == table.num_rows());
+  if (query.conjuncts.empty()) return mask.Count();
+  // EvalQueryBitmap already honors the scalar/vectorized dispatch, so both
+  // modes produce the same bitmap and the masked count is mode-invariant.
+  BitVector bits = EvalQueryBitmap(table, query);
+  bits.AndAssign(mask);
+  return bits.Count();
+}
+
 uint64_t KernelCountMatches(const Table& table,
                             const std::vector<uint32_t>& row_ids,
                             const Query& query) {

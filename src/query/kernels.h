@@ -48,6 +48,16 @@ uint64_t KernelCountMatches(const Table& table,
                             const std::vector<uint32_t>& row_ids,
                             const Query& query);
 
+/// Number of matches among rows whose `mask` bit is set — one word-AND of
+/// the query bitmap with the mask, never a per-row branch. This is the
+/// tombstone-respecting count of the live-ingest scan path (the mask is a
+/// partition's live-row bitmap; see src/ingest/live_table.h). `mask` must
+/// have exactly table.num_rows() bits. Note the mask applies through the
+/// bitmap in every dispatch mode, so scalar and vectorized results stay
+/// bit-identical.
+uint64_t KernelCountMatchesMasked(const Table& table, const Query& query,
+                                  const BitVector& mask);
+
 /// Ids of matching rows, ascending (branchless compaction of the bitmap).
 std::vector<uint32_t> KernelMatchingRowIds(const Table& table,
                                            const Query& query);

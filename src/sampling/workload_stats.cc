@@ -40,7 +40,7 @@ void WorkloadStatistics::Observe(const Query& query) {
 
   if (slots_.size() < options_.sample_capacity) {
     const size_t slot = slots_.size();
-    slots_.push_back(Slot{priority, query});
+    slots_.push_back(Slot{priority, query, data_version_});
     ++chunk_versions_[slot / options_.chunk_size];
     ++mutations_;
     return;
@@ -53,7 +53,7 @@ void WorkloadStatistics::Observe(const Query& query) {
     if (slots_[i].priority < slots_[victim].priority) victim = i;
   }
   if (priority > slots_[victim].priority) {
-    slots_[victim] = Slot{priority, query};
+    slots_[victim] = Slot{priority, query, data_version_};
     ++chunk_versions_[victim / options_.chunk_size];
     ++mutations_;
   }
@@ -81,6 +81,12 @@ std::vector<WorkloadStatistics::ChunkView> WorkloadStatistics::SampleChunks()
     out.push_back(std::move(chunk));
   }
   return out;
+}
+
+std::map<uint64_t, size_t> WorkloadStatistics::DataVersionHistogram() const {
+  std::map<uint64_t, size_t> hist;
+  for (const Slot& s : slots_) ++hist[s.data_version];
+  return hist;
 }
 
 double WorkloadStatistics::mean_conjuncts() const {

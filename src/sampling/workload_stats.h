@@ -75,6 +75,22 @@ class WorkloadStatistics {
   /// Total slot mutations so far; unchanged value proves an unchanged sample.
   uint64_t sample_version() const { return mutations_; }
 
+  // ---------------------------------------------------- data versioning ----
+
+  /// Records the current data version (the MutationLog batch version the
+  /// engine publishes after each ingest). Every query sampled afterwards is
+  /// stamped with it, so the sample's drift exposure is observable: a sample
+  /// that still decides layouts from pre-ingest queries shows up as a
+  /// histogram concentrated on old versions.
+  void NoteDataVersion(uint64_t version) { data_version_ = version; }
+  uint64_t data_version() const { return data_version_; }
+
+  /// Slot counts keyed by the data version each retained query arrived
+  /// under. Drift tests pin that ingesting a distribution shift actually
+  /// refreshes the admission sample (new-version mass grows as drifted
+  /// queries arrive).
+  std::map<uint64_t, size_t> DataVersionHistogram() const;
+
   // -------------------------------------------------------- aggregates ----
 
   uint64_t queries_seen() const { return seen_; }
@@ -94,12 +110,14 @@ class WorkloadStatistics {
   struct Slot {
     double priority;  ///< lambda * t - log(e), e ~ Exp(1)
     Query query;
+    uint64_t data_version;  ///< data_version_ when the query was sampled
   };
 
   Options options_;
   Rng rng_;
   uint64_t seen_ = 0;
   uint64_t mutations_ = 0;
+  uint64_t data_version_ = 0;
   std::vector<Slot> slots_;
   std::vector<uint64_t> chunk_versions_;  ///< indexed by slot / chunk_size
 

@@ -17,9 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "core/engine.h"
 #include "query/query.h"
 #include "server/wire.h"
 
@@ -31,6 +33,9 @@ namespace server {
 /// thread for executed (or drain-rejected) requests.
 using ReplyCallback = std::function<void(const QueryReply&)>;
 
+/// Delivers one ingest request's reply; same exactly-once contract.
+using IngestReplyCallback = std::function<void(const IngestReply&)>;
+
 /// Outcome of offering a request to a tenant's queue.
 enum class AdmissionOutcome : uint8_t {
   kAdmitted = 0,
@@ -40,11 +45,18 @@ enum class AdmissionOutcome : uint8_t {
 
 const char* AdmissionOutcomeName(AdmissionOutcome outcome);
 
-/// One admitted request waiting for a batch slot.
+/// One admitted request waiting for a batch slot: a query (the common
+/// case) or an ingest batch. Ingests ride the same queue, quota and DRR
+/// accounting as queries — mutation traffic cannot starve a peer tenant —
+/// and are told apart by a non-null `ingest`.
 struct PendingRequest {
   uint64_t request_id = 0;
   Query query;
   ReplyCallback on_reply;
+  /// Set for ingest requests (shared_ptr keeps PendingRequest movable and
+  /// cheap to shuffle during batch formation; the batch itself can be MBs).
+  std::shared_ptr<core::IngestBatch> ingest;
+  IngestReplyCallback on_ingest_reply;
   /// Absolute expiry on the scheduler's clock (microseconds), 0 = none.
   /// Computed at admission from the wire `deadline_us` budget; checked
   /// again at batch formation and at reply time.

@@ -57,6 +57,10 @@ Status LoopbackClient::ParseReceived() {
       QueryReply reply;
       OREO_RETURN_NOT_OK(DecodeReplyPayload(payload, &reply));
       ready_[header.request_id] = std::move(reply);
+    } else if (header.type == static_cast<uint16_t>(MsgType::kIngestReply)) {
+      IngestReply reply;
+      OREO_RETURN_NOT_OK(DecodeIngestReplyPayload(payload, &reply));
+      ingest_ready_[header.request_id] = std::move(reply);
     } else if (header.type == static_cast<uint16_t>(MsgType::kStatsReply)) {
       StatsSnapshot snap;
       OREO_RETURN_NOT_OK(DecodeStatsPayload(payload, &snap));
@@ -72,6 +76,53 @@ Status LoopbackClient::ParseReceived() {
 Result<QueryReply> LoopbackClient::Call(uint32_t tenant_id, const Query& query,
                                         uint64_t deadline_us) {
   return Wait(Send(tenant_id, query, deadline_us));
+}
+
+uint64_t LoopbackClient::SendIngest(uint32_t tenant_id,
+                                    const WireIngest& ingest,
+                                    uint64_t deadline_us) {
+  OREO_CHECK(session_ != nullptr) << "SendIngest on a disconnected client";
+  const uint64_t request_id = next_request_id_++;
+  session_->Feed(
+      EncodeIngestFrame(request_id, tenant_id, ingest, deadline_us));
+  return request_id;
+}
+
+Result<IngestReply> LoopbackClient::WaitIngest(uint64_t request_id) {
+  while (true) {
+    auto it = ingest_ready_.find(request_id);
+    if (it != ingest_ready_.end()) {
+      IngestReply reply = std::move(it->second);
+      ingest_ready_.erase(it);
+      return reply;
+    }
+    // A session whose framing broke answers with a generic kReply (it
+    // cannot know what the unparseable frame asked for); convert it so the
+    // caller is not left waiting for a kIngestReply that never comes.
+    auto fallback = ready_.find(request_id);
+    if (fallback != ready_.end()) {
+      IngestReply reply;
+      reply.status = fallback->second.status;
+      reply.message = std::move(fallback->second.message);
+      ready_.erase(fallback);
+      return reply;
+    }
+    if (session_ == nullptr) {
+      return Status::Unavailable("connection dropped before the reply");
+    }
+    std::string bytes = session_->WaitResponses();
+    if (bytes.empty()) {
+      return Status::Unavailable("connection closed before the reply");
+    }
+    recvbuf_.append(bytes);
+    OREO_RETURN_NOT_OK(ParseReceived());
+  }
+}
+
+Result<IngestReply> LoopbackClient::CallIngest(uint32_t tenant_id,
+                                               const WireIngest& ingest,
+                                               uint64_t deadline_us) {
+  return WaitIngest(SendIngest(tenant_id, ingest, deadline_us));
 }
 
 Result<StatsSnapshot> LoopbackClient::FetchStats() {

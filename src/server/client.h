@@ -52,6 +52,22 @@ class LoopbackClient {
   Result<QueryReply> Call(uint32_t tenant_id, const Query& query,
                           uint64_t deadline_us = 0);
 
+  /// Sends one mutation batch to a tenant; returns the request id to
+  /// WaitIngest on. Same deadline contract as Send.
+  uint64_t SendIngest(uint32_t tenant_id, const WireIngest& ingest,
+                      uint64_t deadline_us = 0);
+
+  /// Blocks until the ingest reply for `request_id` arrives. Wire-status
+  /// errors (kBadRequest, kBackpressure, ...) come back as values in
+  /// `reply.status`; only transport-level failures error. A broken-framing
+  /// error the server answered with a generic kReply under the same request
+  /// id is converted rather than hanging forever.
+  Result<IngestReply> WaitIngest(uint64_t request_id);
+
+  /// SendIngest + WaitIngest in one round trip.
+  Result<IngestReply> CallIngest(uint32_t tenant_id, const WireIngest& ingest,
+                                 uint64_t deadline_us = 0);
+
   /// Round-trips a kStats frame: server totals + per-tenant scheduler
   /// counters, through the same wire path as queries.
   Result<StatsSnapshot> FetchStats();
@@ -73,6 +89,7 @@ class LoopbackClient {
   std::unique_ptr<ServerSession> session_;
   std::string recvbuf_;
   std::map<uint64_t, QueryReply> ready_;
+  std::map<uint64_t, IngestReply> ingest_ready_;
   std::map<uint64_t, StatsSnapshot> stats_ready_;
   uint64_t next_request_id_ = 1;
   uint32_t max_payload_;

@@ -18,6 +18,21 @@ QueryReply MakeErrorReply(ReplyStatus status, const char* message) {
   return reply;
 }
 
+// Answers whichever reply callback the request carries (query or ingest) —
+// every rejection site must go through this, or an ingest rejected at
+// admission/formation/drain would never resolve its client-side wait.
+void AnswerError(PendingRequest* request, ReplyStatus status,
+                 const char* message) {
+  if (request->on_ingest_reply) {
+    IngestReply reply;
+    reply.status = status;
+    reply.message = message;
+    request->on_ingest_reply(reply);
+  } else if (request->on_reply) {
+    request->on_reply(MakeErrorReply(status, message));
+  }
+}
+
 }  // namespace
 
 FairScheduler::FairScheduler(const Options& options,
@@ -82,10 +97,8 @@ AdmissionOutcome FairScheduler::Submit(uint32_t tenant_id,
       std::lock_guard<std::mutex> lock(tenant->cmu);
       ++tenant->expired_admission;
     }
-    if (request.on_reply) {
-      request.on_reply(MakeErrorReply(ReplyStatus::kDeadlineExceeded,
-                                      "deadline expired at admission"));
-    }
+    AnswerError(&request, ReplyStatus::kDeadlineExceeded,
+                "deadline expired at admission");
     // The request never entered the queue; report it like a shutdown-class
     // inline rejection so callers know nothing was enqueued.
     return AdmissionOutcome::kShutdown;
@@ -102,15 +115,16 @@ AdmissionOutcome FairScheduler::Submit(uint32_t tenant_id,
       case AdmissionOutcome::kShutdown: ++tenant->rejected_shutdown; break;
     }
   }
-  if (outcome != AdmissionOutcome::kAdmitted && request.on_reply) {
+  if (outcome != AdmissionOutcome::kAdmitted) {
     // Rejected requests are answered inline so the connection reader gets
     // immediate pushback instead of silence.
-    request.on_reply(
-        outcome == AdmissionOutcome::kBackpressure
-            ? MakeErrorReply(ReplyStatus::kBackpressure,
-                             "tenant queue full: retry later")
-            : MakeErrorReply(ReplyStatus::kShutdown,
-                             "server draining: request not accepted"));
+    if (outcome == AdmissionOutcome::kBackpressure) {
+      AnswerError(&request, ReplyStatus::kBackpressure,
+                  "tenant queue full: retry later");
+    } else {
+      AnswerError(&request, ReplyStatus::kShutdown,
+                  "server draining: request not accepted");
+    }
   }
   return outcome;
 }
@@ -207,10 +221,8 @@ void FairScheduler::ServeTenant(TenantState* tenant) {
       tenant->expired_formation += expired.size();
     }
     for (PendingRequest& r : expired) {
-      if (r.on_reply) {
-        r.on_reply(MakeErrorReply(ReplyStatus::kDeadlineExceeded,
-                                  "deadline expired before the batch formed"));
-      }
+      AnswerError(&r, ReplyStatus::kDeadlineExceeded,
+                  "deadline expired before the batch formed");
     }
   }
   if (batch.empty()) {
@@ -222,22 +234,55 @@ void FairScheduler::ServeTenant(TenantState* tenant) {
     hooks_->on_batch_start(tenant->id, batch.size());
   }
 
-  QueryBatch queries;
-  queries.queries.reserve(batch.size());
-  for (const PendingRequest& r : batch) queries.queries.push_back(r.query);
-
-  // Record the executed stream *before* running it: once handed to the
-  // engine the batch always runs to completion, and the audit log must
-  // match what the engine saw even if reply delivery fails downstream.
   {
     std::lock_guard<std::mutex> lock(tenant->cmu);
-    for (const PendingRequest& r : batch) {
-      tenant->executed_ids.push_back(r.query.id);
-    }
-    tenant->executed += batch.size();
     ++tenant->batches;
     tenant->max_batch_observed =
         std::max<uint64_t>(tenant->max_batch_observed, batch.size());
+  }
+
+  // Arrival-order serving: contiguous query runs flush as one engine batch
+  // (keeping the cross-query scan parallelism of the pure-query path), and
+  // each ingest applies between the run before and the run after it — so
+  // what data a query sees is fixed by the request stream alone, never by
+  // scheduling.
+  size_t expired_in_run = 0;
+  std::vector<PendingRequest*> run;
+  run.reserve(batch.size());
+  for (PendingRequest& r : batch) {
+    if (r.ingest != nullptr) {
+      FlushQueryRun(tenant, &run, &expired_in_run);
+      ServeIngest(tenant, &r, &expired_in_run);
+    } else {
+      run.push_back(&r);
+    }
+  }
+  FlushQueryRun(tenant, &run, &expired_in_run);
+  if (expired_in_run > 0) {
+    std::lock_guard<std::mutex> lock(tenant->cmu);
+    tenant->expired_reply += expired_in_run;
+  }
+
+  FinishServing(tenant, batch.size());
+}
+
+void FairScheduler::FlushQueryRun(TenantState* tenant,
+                                  std::vector<PendingRequest*>* run,
+                                  size_t* expired_in_run) {
+  if (run->empty()) return;
+  QueryBatch queries;
+  queries.queries.reserve(run->size());
+  for (const PendingRequest* r : *run) queries.queries.push_back(r->query);
+
+  // Record the executed stream *before* running it: once handed to the
+  // engine the run always completes, and the audit log must match what the
+  // engine saw even if reply delivery fails downstream.
+  {
+    std::lock_guard<std::mutex> lock(tenant->cmu);
+    for (const PendingRequest* r : *run) {
+      tenant->executed_ids.push_back(r->query.id);
+    }
+    tenant->executed += run->size();
   }
 
   core::OreoEngine::BatchResult logical;
@@ -260,8 +305,8 @@ void FairScheduler::ServeTenant(TenantState* tenant) {
   // the status but never the work — the query ran, stays in the audit log,
   // and its real outcome rides along (`executed = true`).
   const uint64_t replied_at = NowMicros();
-  size_t expired_in_run = 0;
-  for (size_t i = 0; i < batch.size(); ++i) {
+  for (size_t i = 0; i < run->size(); ++i) {
+    PendingRequest& request = *(*run)[i];
     QueryReply reply;
     if (i < logical.steps.size()) {
       const core::OreoEngine::StepResult& step = logical.steps[i];
@@ -281,24 +326,53 @@ void FairScheduler::ServeTenant(TenantState* tenant) {
           reply.message = exec_status.ToString();
         }
       }
-      if (reply.status == ReplyStatus::kOk && batch[i].expiry_us != 0 &&
-          batch[i].expiry_us <= replied_at) {
+      if (reply.status == ReplyStatus::kOk && request.expiry_us != 0 &&
+          request.expiry_us <= replied_at) {
         reply.status = ReplyStatus::kDeadlineExceeded;
         reply.message = "deadline expired during execution";
-        ++expired_in_run;
+        ++*expired_in_run;
       }
     } else {
       reply.status = ReplyStatus::kInternal;
       reply.message = "engine returned fewer steps than queries";
     }
-    if (batch[i].on_reply) batch[i].on_reply(reply);
+    if (request.on_reply) request.on_reply(reply);
   }
-  if (expired_in_run > 0) {
-    std::lock_guard<std::mutex> lock(tenant->cmu);
-    tenant->expired_reply += expired_in_run;
-  }
+  run->clear();
+}
 
-  FinishServing(tenant, batch.size());
+void FairScheduler::ServeIngest(TenantState* tenant, PendingRequest* request,
+                                size_t* expired_in_run) {
+  Result<core::IngestResult> result =
+      tenant->submitter.RunIngest(std::move(*request->ingest));
+  IngestReply reply;
+  if (result.ok()) {
+    reply.version = result->version;
+    reply.rows_appended = result->rows_appended;
+    reply.rows_deleted = result->rows_deleted;
+    reply.visible_rows = result->visible_rows;
+    reply.folded = result->folded;
+    std::lock_guard<std::mutex> lock(tenant->cmu);
+    ++tenant->ingest_batches;
+    tenant->ingest_rows += result->rows_appended;
+  } else {
+    // Pre-validated at the server, so surviving InvalidArgument is rare —
+    // but it is still the client's fault, not an engine failure.
+    reply.status = result.status().code() == StatusCode::kInvalidArgument
+                       ? ReplyStatus::kBadRequest
+                       : ReplyStatus::kInternal;
+    reply.message = result.status().ToString();
+  }
+  // Reply checkpoint, mirroring the query contract: a deadline that passed
+  // while the engine was applying the batch downgrades the status but never
+  // the commit — the non-zero version tells the client it landed.
+  if (reply.status == ReplyStatus::kOk && request->expiry_us != 0 &&
+      request->expiry_us <= NowMicros()) {
+    reply.status = ReplyStatus::kDeadlineExceeded;
+    reply.message = "deadline expired during ingest";
+    ++*expired_in_run;
+  }
+  if (request->on_ingest_reply) request->on_ingest_reply(reply);
 }
 
 void FairScheduler::Drain() {
@@ -323,11 +397,8 @@ void FairScheduler::Drain() {
   for (auto& [id, tenant] : tenants_) {
     std::vector<PendingRequest> leftovers = tenant->queue.DrainRemaining();
     for (PendingRequest& r : leftovers) {
-      if (r.on_reply) {
-        r.on_reply(MakeErrorReply(
-            ReplyStatus::kShutdown,
-            "server draining: request was queued but never ran"));
-      }
+      AnswerError(&r, ReplyStatus::kShutdown,
+                  "server draining: request was queued but never ran");
     }
     std::lock_guard<std::mutex> lock(tenant->cmu);
     tenant->rejected_shutdown += leftovers.size();
@@ -363,6 +434,8 @@ std::vector<TenantStats> FairScheduler::tenant_stats() const {
     s.expired_admission = tenant->expired_admission;
     s.expired_formation = tenant->expired_formation;
     s.expired_reply = tenant->expired_reply;
+    s.ingest_batches = tenant->ingest_batches;
+    s.ingest_rows = tenant->ingest_rows;
     out.push_back(s);
   }
   return out;

@@ -168,6 +168,8 @@ class FairScheduler {
     uint64_t expired_admission = 0;
     uint64_t expired_formation = 0;
     uint64_t expired_reply = 0;
+    uint64_t ingest_batches = 0;
+    uint64_t ingest_rows = 0;
   };
 
   void WorkerLoop();
@@ -177,8 +179,18 @@ class FairScheduler {
   /// Releases the tenant (busy -> false) and charges `executed` queries
   /// against its deficit.
   void FinishServing(TenantState* tenant, size_t executed);
-  /// Serves one picked tenant: pop, filter expired, run, reply.
+  /// Serves one picked tenant: pop, filter expired, run, reply. A mixed
+  /// batch is served in arrival order — contiguous query runs flush as one
+  /// engine batch, ingests apply between them — so the data each query sees
+  /// is a deterministic function of the tenant's request stream.
   void ServeTenant(TenantState* tenant);
+  /// Flushes one contiguous query run through the tenant's engine (no-op on
+  /// an empty run). `expired_in_run` accumulates reply-time deadline misses.
+  void FlushQueryRun(TenantState* tenant, std::vector<PendingRequest*>* run,
+                     size_t* expired_in_run);
+  /// Applies one ingest request through the tenant's BatchSubmitter.
+  void ServeIngest(TenantState* tenant, PendingRequest* request,
+                   size_t* expired_in_run);
 
   const Options options_;
   const ServerTestHooks* hooks_;  // not owned, may be null

@@ -97,6 +97,79 @@ void OreoServer::Submit(uint32_t tenant_id, Query query, uint64_t request_id,
   scheduler_->Submit(tenant_id, std::move(request));
 }
 
+void OreoServer::SubmitIngest(uint32_t tenant_id, WireIngest ingest,
+                              uint64_t request_id, uint64_t deadline_us,
+                              IngestReplyCallback on_reply) {
+  auto answer = [&on_reply](ReplyStatus status, std::string message) {
+    if (!on_reply) return;
+    IngestReply reply;
+    reply.status = status;
+    reply.message = std::move(message);
+    on_reply(reply);
+  };
+  Tenant* tenant = registry_.Find(tenant_id);
+  if (tenant == nullptr) {
+    unknown_tenant_.fetch_add(1, std::memory_order_relaxed);
+    answer(ReplyStatus::kUnknownTenant,
+           "no tenant registered under id " + std::to_string(tenant_id));
+    return;
+  }
+  // The wire codec is schema-neutral; arity, value types and delete-column
+  // ranges are per-tenant questions answered here, before the engine (whose
+  // Table::AppendRow CHECK-fails on mismatch) ever sees the batch.
+  const Schema& schema = tenant->config().table->schema();
+  const size_t columns = schema.num_fields();
+  for (size_t i = 0; i < ingest.rows.size(); ++i) {
+    const std::vector<Value>& row = ingest.rows[i];
+    if (row.size() != columns) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      answer(ReplyStatus::kBadRequest,
+             "ingest row " + std::to_string(i) + " has " +
+                 std::to_string(row.size()) + " values, tenant " +
+                 std::to_string(tenant_id) + " expects " +
+                 std::to_string(columns));
+      return;
+    }
+    for (size_t c = 0; c < columns; ++c) {
+      if (row[c].type() != schema.field(c).type) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        answer(ReplyStatus::kBadRequest,
+               "ingest row " + std::to_string(i) + " column " +
+                   std::to_string(c) + " is " + DataTypeName(row[c].type()) +
+                   ", tenant schema expects " +
+                   DataTypeName(schema.field(c).type));
+        return;
+      }
+    }
+  }
+  for (const Query& del : ingest.deletes) {
+    for (const Predicate& p : del.conjuncts) {
+      if (p.column < 0 || static_cast<size_t>(p.column) >= columns) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        answer(ReplyStatus::kBadRequest,
+               "delete predicate column " + std::to_string(p.column) +
+                   " out of range for tenant " + std::to_string(tenant_id));
+        return;
+      }
+    }
+  }
+
+  auto batch = std::make_shared<core::IngestBatch>();
+  batch->rows = Table(schema);
+  batch->rows.Reserve(ingest.rows.size());
+  for (const std::vector<Value>& row : ingest.rows) {
+    batch->rows.AppendRow(row);
+  }
+  batch->deletes = std::move(ingest.deletes);
+
+  PendingRequest request;
+  request.request_id = request_id;
+  request.ingest = std::move(batch);
+  request.on_ingest_reply = std::move(on_reply);
+  request.expiry_us = scheduler_->ComputeExpiry(deadline_us);
+  scheduler_->Submit(tenant_id, std::move(request));
+}
+
 ServerStats OreoServer::stats() const {
   ServerStats out;
   out.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
@@ -115,6 +188,8 @@ ServerStats OreoServer::stats() const {
     out.expired_admission += c.expired_admission;
     out.expired_formation += c.expired_formation;
     out.expired_reply += c.expired_reply;
+    out.ingest_batches += c.ingest_batches;
+    out.ingest_rows += c.ingest_rows;
   }
   return out;
 }

@@ -92,6 +92,15 @@ class OreoServer {
            std::move(on_reply));
   }
 
+  /// Ingest entry point used by sessions (and in-process transports).
+  /// Validates the wire batch against the tenant's schema here — the codec
+  /// is schema-neutral, so arity/type errors and out-of-range delete columns
+  /// become inline kBadRequest replies, never engine CHECK failures — then
+  /// submits it through the same admission queue and fair scheduler as
+  /// queries. Same exactly-once callback contract as Submit.
+  void SubmitIngest(uint32_t tenant_id, WireIngest ingest, uint64_t request_id,
+                    uint64_t deadline_us, IngestReplyCallback on_reply);
+
   ServerStats stats() const;
 
   /// Server totals plus per-tenant scheduler counters — the kStats payload.

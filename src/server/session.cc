@@ -83,12 +83,13 @@ void ServerSession::Feed(std::string_view bytes) {
 
 void ServerSession::DispatchFrame(const FrameHeader& header,
                                   std::string_view payload) {
-  if (header.version == kLegacyWireVersion) {
-    // Reject-old gracefully: a v1 frame is framed correctly (identical
-    // header layout), so it poisons only itself — the client gets a
-    // request-level upgrade hint and the stream survives.
+  if (header.version < kWireVersion) {
+    // Reject-old gracefully: every retired version frames correctly
+    // (identical header layout), so it poisons only itself — the client
+    // gets a request-level upgrade hint and the stream survives.
     EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
-              "protocol version 1 retired: upgrade to version " +
+              "protocol version " + std::to_string(header.version) +
+                  " retired: upgrade to version " +
                   std::to_string(kWireVersion));
     server_->CountMalformed();
     return;
@@ -106,11 +107,34 @@ void ServerSession::DispatchFrame(const FrameHeader& header,
         EncodeStatsReplyFrame(header.request_id, server_->stats_snapshot()));
     return;
   }
+  if (header.type == static_cast<uint16_t>(MsgType::kIngest)) {
+    WireIngest ingest;
+    uint64_t deadline_us = 0;
+    Status decoded = DecodeIngestPayload(payload, &ingest, &deadline_us);
+    if (!decoded.ok()) {
+      // Ingest errors answer in kind (an kIngestReply frame), so a client
+      // pipelining mixed traffic never has to guess which request a
+      // kBadRequest belongs to by frame type.
+      EmitIngestError(header.request_id, header.tenant_id,
+                      ReplyStatus::kBadRequest, decoded.message());
+      server_->CountMalformed();
+      return;
+    }
+    std::shared_ptr<ResponseOutbox> outbox = outbox_;
+    const uint64_t request_id = header.request_id;
+    const uint32_t tenant_id = header.tenant_id;
+    server_->SubmitIngest(
+        tenant_id, std::move(ingest), request_id, deadline_us,
+        [outbox, request_id, tenant_id](const IngestReply& reply) {
+          outbox->Push(EncodeIngestReplyFrame(request_id, tenant_id, reply));
+        });
+    return;
+  }
   if (header.type != static_cast<uint16_t>(MsgType::kQuery)) {
     // Known-but-unexpected type on the server side (a stray kReply):
     // request-level error, stream survives.
     EmitError(header.request_id, header.tenant_id, ReplyStatus::kBadRequest,
-              "server expects query or stats frames");
+              "server expects query, ingest or stats frames");
     server_->CountMalformed();
     return;
   }
@@ -141,6 +165,14 @@ void ServerSession::EmitError(uint64_t request_id, uint32_t tenant_id,
   reply.status = status;
   reply.message = std::move(message);
   outbox_->Push(EncodeReplyFrame(request_id, tenant_id, reply));
+}
+
+void ServerSession::EmitIngestError(uint64_t request_id, uint32_t tenant_id,
+                                    ReplyStatus status, std::string message) {
+  IngestReply reply;
+  reply.status = status;
+  reply.message = std::move(message);
+  outbox_->Push(EncodeIngestReplyFrame(request_id, tenant_id, reply));
 }
 
 std::string ServerSession::TakeResponses() {

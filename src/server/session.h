@@ -101,6 +101,10 @@ class ServerSession {
   void DispatchFrame(const FrameHeader& header, std::string_view payload);
   void EmitError(uint64_t request_id, uint32_t tenant_id, ReplyStatus status,
                  std::string message);
+  /// Like EmitError but framed as a kIngestReply, so ingest requests are
+  /// always answered in kind.
+  void EmitIngestError(uint64_t request_id, uint32_t tenant_id,
+                       ReplyStatus status, std::string message);
 
   OreoServer* server_;  // not owned
   std::shared_ptr<ResponseOutbox> outbox_;

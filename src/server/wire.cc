@@ -181,6 +181,69 @@ Status Malformed(const char* what) {
   return Status::InvalidArgument(std::string("malformed payload: ") + what);
 }
 
+// --- predicate-list codec (shared by query frames and ingest deletes) ------
+
+void PutConjuncts(const std::vector<Predicate>& conjuncts, std::string* out) {
+  PutU16(static_cast<uint16_t>(conjuncts.size()), out);
+  for (const Predicate& p : conjuncts) {
+    PutI32(p.column, out);
+    PutU8(static_cast<uint8_t>(p.op), out);
+    switch (p.op) {
+      case CompareOp::kBetween:
+        PutValue(p.value, out);
+        PutValue(p.value2, out);
+        break;
+      case CompareOp::kIn:
+        PutU16(static_cast<uint16_t>(p.in_list.size()), out);
+        for (const Value& v : p.in_list) PutValue(v, out);
+        break;
+      default:
+        PutValue(p.value, out);
+        break;
+    }
+  }
+}
+
+Status ReadConjuncts(ByteReader* r, std::vector<Predicate>* out) {
+  uint16_t num_conjuncts;
+  if (!r->U16(&num_conjuncts)) return Malformed("conjunct count");
+  if (num_conjuncts > kMaxConjuncts) return Malformed("too many conjuncts");
+  out->clear();
+  out->reserve(num_conjuncts);
+  for (uint16_t i = 0; i < num_conjuncts; ++i) {
+    Predicate p;
+    uint8_t op;
+    if (!r->I32(&p.column)) return Malformed("predicate column");
+    if (!r->U8(&op) || op > static_cast<uint8_t>(CompareOp::kIn)) {
+      return Malformed("predicate operator");
+    }
+    p.op = static_cast<CompareOp>(op);
+    switch (p.op) {
+      case CompareOp::kBetween:
+        if (!ReadValue(r, &p.value) || !ReadValue(r, &p.value2)) {
+          return Malformed("BETWEEN operands");
+        }
+        break;
+      case CompareOp::kIn: {
+        uint16_t count;
+        if (!r->U16(&count) || count > kMaxInListValues) {
+          return Malformed("IN-list size");
+        }
+        p.in_list.resize(count);
+        for (uint16_t v = 0; v < count; ++v) {
+          if (!ReadValue(r, &p.in_list[v])) return Malformed("IN-list value");
+        }
+        break;
+      }
+      default:
+        if (!ReadValue(r, &p.value)) return Malformed("predicate operand");
+        break;
+    }
+    out->push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
 std::string FinishFrame(MsgType type, uint64_t request_id, uint32_t tenant_id,
                         const std::string& payload) {
   FrameHeader header;
@@ -244,25 +307,25 @@ std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
   PutI64(query.id, &payload);
   PutI32(query.template_id, &payload);
   PutU64(deadline_us, &payload);
-  PutU16(static_cast<uint16_t>(query.conjuncts.size()), &payload);
-  for (const Predicate& p : query.conjuncts) {
-    PutI32(p.column, &payload);
-    PutU8(static_cast<uint8_t>(p.op), &payload);
-    switch (p.op) {
-      case CompareOp::kBetween:
-        PutValue(p.value, &payload);
-        PutValue(p.value2, &payload);
-        break;
-      case CompareOp::kIn:
-        PutU16(static_cast<uint16_t>(p.in_list.size()), &payload);
-        for (const Value& v : p.in_list) PutValue(v, &payload);
-        break;
-      default:
-        PutValue(p.value, &payload);
-        break;
-    }
-  }
+  PutConjuncts(query.conjuncts, &payload);
   return FinishFrame(MsgType::kQuery, request_id, tenant_id, payload);
+}
+
+std::string EncodeIngestFrame(uint64_t request_id, uint32_t tenant_id,
+                              const WireIngest& ingest, uint64_t deadline_us) {
+  std::string payload;
+  PutU64(deadline_us, &payload);
+  PutU32(static_cast<uint32_t>(ingest.rows.size()), &payload);
+  const uint16_t num_cols =
+      ingest.rows.empty() ? 0
+                          : static_cast<uint16_t>(ingest.rows.front().size());
+  PutU16(num_cols, &payload);
+  for (const std::vector<Value>& row : ingest.rows) {
+    for (const Value& v : row) PutValue(v, &payload);
+  }
+  PutU16(static_cast<uint16_t>(ingest.deletes.size()), &payload);
+  for (const Query& q : ingest.deletes) PutConjuncts(q.conjuncts, &payload);
+  return FinishFrame(MsgType::kIngest, request_id, tenant_id, payload);
 }
 
 std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
@@ -278,6 +341,20 @@ std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
   PutDoubleBits(reply.query_cost, &payload);
   PutU64(reply.match_count, &payload);
   return FinishFrame(MsgType::kReply, request_id, tenant_id, payload);
+}
+
+std::string EncodeIngestReplyFrame(uint64_t request_id, uint32_t tenant_id,
+                                   const IngestReply& reply) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(reply.status), &payload);
+  PutU32(static_cast<uint32_t>(reply.message.size()), &payload);
+  payload.append(reply.message);
+  PutU64(reply.version, &payload);
+  PutU64(reply.rows_appended, &payload);
+  PutU64(reply.rows_deleted, &payload);
+  PutU64(reply.visible_rows, &payload);
+  PutU8(reply.folded ? 1 : 0, &payload);
+  return FinishFrame(MsgType::kIngestReply, request_id, tenant_id, payload);
 }
 
 std::string EncodeStatsRequestFrame(uint64_t request_id) {
@@ -302,6 +379,8 @@ std::string EncodeStatsReplyFrame(uint64_t request_id,
   PutU64(s.expired_admission, &payload);
   PutU64(s.expired_formation, &payload);
   PutU64(s.expired_reply, &payload);
+  PutU64(s.ingest_batches, &payload);
+  PutU64(s.ingest_rows, &payload);
   PutU32(static_cast<uint32_t>(snapshot.tenants.size()), &payload);
   for (const TenantStats& t : snapshot.tenants) {
     PutU32(t.tenant_id, &payload);
@@ -316,6 +395,8 @@ std::string EncodeStatsReplyFrame(uint64_t request_id,
     PutU64(t.expired_admission, &payload);
     PutU64(t.expired_formation, &payload);
     PutU64(t.expired_reply, &payload);
+    PutU64(t.ingest_batches, &payload);
+    PutU64(t.ingest_rows, &payload);
   }
   return FinishFrame(MsgType::kStatsReply, request_id, /*tenant_id=*/0,
                      payload);
@@ -335,17 +416,19 @@ Status DecodeHeader(std::string_view data, uint32_t max_payload,
   if (h.magic != kWireMagic) {
     return Status::InvalidArgument("bad frame magic");
   }
-  // Legacy (v1) frames share this exact header layout, so framing stays
-  // intact; the session answers them per-request instead of dropping the
-  // stream. Anything else is unframeable.
-  if (h.version != kWireVersion && h.version != kLegacyWireVersion) {
+  // Retired versions (v1, v2) share this exact header layout, so framing
+  // stays intact; the session answers them per-request instead of dropping
+  // the stream. Anything else is unframeable.
+  if (h.version < kLegacyWireVersion || h.version > kWireVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(h.version));
   }
   if (h.type != static_cast<uint16_t>(MsgType::kQuery) &&
       h.type != static_cast<uint16_t>(MsgType::kStats) &&
+      h.type != static_cast<uint16_t>(MsgType::kIngest) &&
       h.type != static_cast<uint16_t>(MsgType::kReply) &&
-      h.type != static_cast<uint16_t>(MsgType::kStatsReply)) {
+      h.type != static_cast<uint16_t>(MsgType::kStatsReply) &&
+      h.type != static_cast<uint16_t>(MsgType::kIngestReply)) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(h.type));
   }
@@ -361,49 +444,53 @@ Status DecodeQueryPayload(std::string_view payload, Query* out,
                           uint64_t* deadline_us) {
   ByteReader r(payload);
   Query q;
-  uint16_t num_conjuncts;
   if (!r.I64(&q.id)) return Malformed("query id");
   int32_t template_id;
   if (!r.I32(&template_id)) return Malformed("template id");
   q.template_id = template_id;
   uint64_t deadline = 0;
   if (!r.U64(&deadline)) return Malformed("deadline");
-  if (!r.U16(&num_conjuncts)) return Malformed("conjunct count");
-  if (num_conjuncts > kMaxConjuncts) return Malformed("too many conjuncts");
-  q.conjuncts.reserve(num_conjuncts);
-  for (uint16_t i = 0; i < num_conjuncts; ++i) {
-    Predicate p;
-    uint8_t op;
-    if (!r.I32(&p.column)) return Malformed("predicate column");
-    if (!r.U8(&op) || op > static_cast<uint8_t>(CompareOp::kIn)) {
-      return Malformed("predicate operator");
-    }
-    p.op = static_cast<CompareOp>(op);
-    switch (p.op) {
-      case CompareOp::kBetween:
-        if (!ReadValue(&r, &p.value) || !ReadValue(&r, &p.value2)) {
-          return Malformed("BETWEEN operands");
-        }
-        break;
-      case CompareOp::kIn: {
-        uint16_t count;
-        if (!r.U16(&count) || count > kMaxInListValues) {
-          return Malformed("IN-list size");
-        }
-        p.in_list.resize(count);
-        for (uint16_t v = 0; v < count; ++v) {
-          if (!ReadValue(&r, &p.in_list[v])) return Malformed("IN-list value");
-        }
-        break;
-      }
-      default:
-        if (!ReadValue(&r, &p.value)) return Malformed("predicate operand");
-        break;
-    }
-    q.conjuncts.push_back(std::move(p));
-  }
+  OREO_RETURN_NOT_OK(ReadConjuncts(&r, &q.conjuncts));
   if (!r.exhausted()) return Malformed("trailing bytes");
   *out = std::move(q);
+  if (deadline_us != nullptr) *deadline_us = deadline;
+  return Status::OK();
+}
+
+Status DecodeIngestPayload(std::string_view payload, WireIngest* out,
+                           uint64_t* deadline_us) {
+  ByteReader r(payload);
+  WireIngest ingest;
+  uint64_t deadline = 0;
+  if (!r.U64(&deadline)) return Malformed("deadline");
+  uint32_t num_rows;
+  uint16_t num_cols;
+  if (!r.U32(&num_rows)) return Malformed("ingest row count");
+  if (!r.U16(&num_cols)) return Malformed("ingest column count");
+  if (num_rows > 0 && num_cols == 0) return Malformed("rows without columns");
+  // No reserve with attacker-controlled counts: a declared count larger than
+  // the payload can back fails on the first short value (one byte minimum
+  // per value, so the payload ceiling bounds the loop).
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    std::vector<Value> row;
+    row.reserve(num_cols);
+    for (uint16_t c = 0; c < num_cols; ++c) {
+      Value v;
+      if (!ReadValue(&r, &v)) return Malformed("ingest cell value");
+      row.push_back(std::move(v));
+    }
+    ingest.rows.push_back(std::move(row));
+  }
+  uint16_t num_deletes;
+  if (!r.U16(&num_deletes)) return Malformed("delete count");
+  if (num_deletes > kMaxIngestDeletes) return Malformed("too many deletes");
+  for (uint16_t i = 0; i < num_deletes; ++i) {
+    Query q;
+    OREO_RETURN_NOT_OK(ReadConjuncts(&r, &q.conjuncts));
+    ingest.deletes.push_back(std::move(q));
+  }
+  if (!r.exhausted()) return Malformed("trailing bytes");
+  *out = std::move(ingest);
   if (deadline_us != nullptr) *deadline_us = deadline;
   return Status::OK();
 }
@@ -437,6 +524,32 @@ Status DecodeReplyPayload(std::string_view payload, QueryReply* out) {
   return Status::OK();
 }
 
+Status DecodeIngestReplyPayload(std::string_view payload, IngestReply* out) {
+  ByteReader r(payload);
+  IngestReply reply;
+  uint8_t status;
+  if (!r.U8(&status) ||
+      status > static_cast<uint8_t>(ReplyStatus::kDeadlineExceeded)) {
+    return Malformed("reply status");
+  }
+  reply.status = static_cast<ReplyStatus>(status);
+  uint32_t msg_len;
+  if (!r.U32(&msg_len) || msg_len > kMaxStringBytes) {
+    return Malformed("reply message length");
+  }
+  if (!r.Bytes(msg_len, &reply.message)) return Malformed("reply message");
+  if (!r.U64(&reply.version)) return Malformed("ingest version");
+  if (!r.U64(&reply.rows_appended)) return Malformed("rows appended");
+  if (!r.U64(&reply.rows_deleted)) return Malformed("rows deleted");
+  if (!r.U64(&reply.visible_rows)) return Malformed("visible rows");
+  uint8_t folded;
+  if (!r.U8(&folded)) return Malformed("folded flag");
+  reply.folded = folded != 0;
+  if (!r.exhausted()) return Malformed("trailing bytes");
+  *out = std::move(reply);
+  return Status::OK();
+}
+
 Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out) {
   ByteReader r(payload);
   StatsSnapshot snap;
@@ -451,7 +564,8 @@ Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out) {
       !r.U64(&s.max_batch_observed) || !r.U64(&s.rejected_backpressure) ||
       !r.U64(&s.rejected_shutdown) || !r.U64(&s.rejected_unknown_tenant) ||
       !r.U64(&s.rejected_malformed) || !r.U64(&s.expired_admission) ||
-      !r.U64(&s.expired_formation) || !r.U64(&s.expired_reply)) {
+      !r.U64(&s.expired_formation) || !r.U64(&s.expired_reply) ||
+      !r.U64(&s.ingest_batches) || !r.U64(&s.ingest_rows)) {
     return Malformed("server totals");
   }
   uint32_t tenant_count;
@@ -464,7 +578,8 @@ Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out) {
         !r.U64(&t.admitted) || !r.U64(&t.executed) || !r.U64(&t.batches) ||
         !r.U64(&t.max_batch_observed) || !r.U64(&t.rejected_backpressure) ||
         !r.U64(&t.rejected_shutdown) || !r.U64(&t.expired_admission) ||
-        !r.U64(&t.expired_formation) || !r.U64(&t.expired_reply)) {
+        !r.U64(&t.expired_formation) || !r.U64(&t.expired_reply) ||
+        !r.U64(&t.ingest_batches) || !r.U64(&t.ingest_rows)) {
       return Malformed("tenant stats record");
     }
     snap.tenants.push_back(t);

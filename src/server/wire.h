@@ -15,12 +15,16 @@
 //       20     4  payload len  bytes following the header (<= max payload)
 //       24     n  payload      MsgType-specific body
 //
-// Protocol version 2 (this one) extends version 1 with a per-request
-// `deadline_us` budget in the kQuery payload and the kStats/kStatsReply
-// frame pair. The header layout is unchanged across both versions, so a
-// version-1 frame is still *framed* correctly — the server answers it with
-// a request-level kBadRequest ("upgrade to version 2") and the stream
-// survives; only an unknown version poisons the stream.
+// Protocol version 3 (this one) extends version 2 with the kIngest /
+// kIngestReply frame pair: a client ships appended rows (tagged values,
+// row-major) plus delete predicate queries as one mutation batch, and the
+// server answers with the committed mutation-log version and row counters.
+// Version 2 had added the per-request `deadline_us` budget and the
+// kStats/kStatsReply pair on top of version 1. The header layout is
+// unchanged across all three versions, so any retired-version frame is
+// still *framed* correctly — the server answers it with a request-level
+// kBadRequest ("upgrade to version 3") and the stream survives; only an
+// unknown version poisons the stream.
 //
 // A kQuery payload is a serialized Query (id, template, deadline budget,
 // conjuncts); a kReply payload is a ReplyStatus plus the step outcome
@@ -51,9 +55,11 @@ namespace oreo {
 namespace server {
 
 constexpr uint32_t kWireMagic = 0x4F45524Fu;  // "OREO" in little-endian
-constexpr uint16_t kWireVersion = 2;
-/// The retired version-1 protocol: recognized (its header frames
-/// identically) but answered with a request-level kBadRequest.
+constexpr uint16_t kWireVersion = 3;
+/// Oldest retired protocol version. Every version in
+/// [kLegacyWireVersion, kWireVersion) frames identically and is answered
+/// with a request-level kBadRequest upgrade hint instead of poisoning the
+/// stream.
 constexpr uint16_t kLegacyWireVersion = 1;
 constexpr size_t kHeaderBytes = 24;
 
@@ -65,16 +71,22 @@ constexpr uint32_t kDefaultMaxPayload = 1u << 20;
 constexpr size_t kMaxConjuncts = 64;
 constexpr size_t kMaxInListValues = 1024;
 constexpr size_t kMaxStringBytes = 1u << 16;
+/// Delete queries allowed in one ingest frame (appended rows are bounded by
+/// the payload ceiling itself).
+constexpr size_t kMaxIngestDeletes = 256;
 
 /// Version tag of the kStatsReply payload (independent of the frame
 /// version: the stats schema can evolve without a protocol bump).
-constexpr uint16_t kStatsPayloadVersion = 1;
+/// Version 2 appends the per-tenant ingest counters.
+constexpr uint16_t kStatsPayloadVersion = 2;
 
 enum class MsgType : uint16_t {
-  kQuery = 1,        ///< client -> server: run one query on a tenant's engine
-  kStats = 2,        ///< client -> server: snapshot serving counters
-  kReply = 129,      ///< server -> client: status + step outcome
-  kStatsReply = 130  ///< server -> client: versioned StatsSnapshot payload
+  kQuery = 1,         ///< client -> server: run one query on a tenant's engine
+  kStats = 2,         ///< client -> server: snapshot serving counters
+  kIngest = 3,        ///< client -> server: apply one mutation batch
+  kReply = 129,       ///< server -> client: status + step outcome
+  kStatsReply = 130,  ///< server -> client: versioned StatsSnapshot payload
+  kIngestReply = 131  ///< server -> client: committed version + row counters
 };
 
 /// Request disposition carried in every reply.
@@ -123,6 +135,29 @@ struct QueryReply {
   uint64_t match_count = 0;  ///< physical rows matched (0 without a store)
 };
 
+/// One ingest batch as carried on the wire: appended rows as row-major
+/// tagged values (every row must supply one value per tenant column, type-
+/// checked server-side against the tenant schema) plus delete predicate
+/// queries evaluated over the rows visible before the batch.
+struct WireIngest {
+  std::vector<std::vector<Value>> rows;  ///< row-major: rows[i][column]
+  std::vector<Query> deletes;            ///< only the conjuncts matter
+};
+
+/// One ingest batch's outcome as carried on the wire. A non-zero `version`
+/// means the batch committed — even under kDeadlineExceeded, whose deadline
+/// passed while the engine was already applying it (mutations are never
+/// rolled back, mirroring the query path's executed-but-late contract).
+struct IngestReply {
+  ReplyStatus status = ReplyStatus::kOk;
+  std::string message;        ///< human-readable error detail; empty on kOk
+  uint64_t version = 0;       ///< mutation-log version of the commit
+  uint64_t rows_appended = 0;
+  uint64_t rows_deleted = 0;  ///< rows the delete predicates tombstoned
+  uint64_t visible_rows = 0;  ///< tenant-wide visible rows after the batch
+  bool folded = false;        ///< the batch triggered a compaction fold
+};
+
 /// One tenant's scheduler counters as carried in a kStatsReply.
 struct TenantStats {
   uint32_t tenant_id = 0;
@@ -137,6 +172,8 @@ struct TenantStats {
   uint64_t expired_admission = 0;  ///< deadline already passed at admission
   uint64_t expired_formation = 0;  ///< expired waiting in queue (never ran)
   uint64_t expired_reply = 0;      ///< expired during execution (still ran)
+  uint64_t ingest_batches = 0;     ///< mutation batches applied
+  uint64_t ingest_rows = 0;        ///< rows appended through ingest
 };
 
 /// Aggregated serving counters (monotonic; snapshot via OreoServer::stats).
@@ -153,6 +190,8 @@ struct ServerStats {
   uint64_t expired_admission = 0;
   uint64_t expired_formation = 0;
   uint64_t expired_reply = 0;
+  uint64_t ingest_batches = 0;
+  uint64_t ingest_rows = 0;
 };
 
 /// The kStatsReply payload: server totals plus per-tenant scheduler state.
@@ -175,6 +214,16 @@ std::string EncodeQueryFrame(uint64_t request_id, uint32_t tenant_id,
 /// Serializes one reply frame (header + payload).
 std::string EncodeReplyFrame(uint64_t request_id, uint32_t tenant_id,
                              const QueryReply& reply);
+
+/// Serializes one ingest request frame. `deadline_us` follows the query
+/// frame's contract (latency budget from server receipt; 0 = none).
+std::string EncodeIngestFrame(uint64_t request_id, uint32_t tenant_id,
+                              const WireIngest& ingest,
+                              uint64_t deadline_us = 0);
+
+/// Serializes one ingest reply frame.
+std::string EncodeIngestReplyFrame(uint64_t request_id, uint32_t tenant_id,
+                                   const IngestReply& reply);
 
 /// Serializes a stats request frame (empty payload; tenant id 0).
 std::string EncodeStatsRequestFrame(uint64_t request_id);
@@ -200,8 +249,18 @@ Status DecodeHeader(std::string_view data, uint32_t max_payload,
 Status DecodeQueryPayload(std::string_view payload, Query* out,
                           uint64_t* deadline_us = nullptr);
 
+/// Parses a kIngest payload. Strict like DecodeQueryPayload: every count
+/// bounds-checked (rows are additionally bounded by the frame's payload
+/// ceiling), ragged rows rejected, no trailing bytes. Value *types* are
+/// checked later against the tenant schema — the codec is schema-neutral.
+Status DecodeIngestPayload(std::string_view payload, WireIngest* out,
+                           uint64_t* deadline_us = nullptr);
+
 /// Parses a kReply payload (the client side of the round trip).
 Status DecodeReplyPayload(std::string_view payload, QueryReply* out);
+
+/// Parses a kIngestReply payload.
+Status DecodeIngestReplyPayload(std::string_view payload, IngestReply* out);
 
 /// Parses a kStatsReply payload. Rejects unknown stats-payload versions.
 Status DecodeStatsPayload(std::string_view payload, StatsSnapshot* out);

@@ -119,6 +119,125 @@ TEST_P(CompetitiveRatioPropertyTest, RunCostWithinPaperBoundOfOffline) {
 INSTANTIATE_TEST_SUITE_P(RandomStreams, CompetitiveRatioPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// ----------------------- the bound under live ingest -----------------------
+
+// Theorem IV.1 while the data mutates: D-UMTS is 2*H(|S_max|)-competitive
+// for ANY cost matrix in [0, 1], and under pending mutations the engine
+// decides on — and charges — the live cost
+//   c_live(s, q) = (c_base(s, q) * B + D(q)) / (B + Delta).
+// The adversary must therefore be judged on the SAME time-varying matrix:
+// cost rows are recorded at step time from the public accessors (base costs
+// change at every compaction fold, when the registry rematerializes over the
+// folded table, so a post-hoc reconstruction would judge the adversary on
+// the wrong matrix). The schedule crosses fold_threshold at least once, so
+// the bound is exercised across a fold, not just across delta growth.
+TEST(CompetitiveRatioIngestTest, BoundHoldsWhileDataMutates) {
+  const uint64_t seed = 17;
+  const double alpha = 25.0;
+  const size_t kRows = 3000;
+  const size_t kQueries = 600;
+  const size_t kIngestEvery = 60;
+  const size_t kRowsPerBatch = 200;
+
+  Table t = testutil::MakeEventTable(kRows, seed);
+  std::vector<Query> stream = DriftingStream(kRows, kQueries, seed * 31 + 1);
+  QdTreeGenerator gen;
+
+  // The drifting feed: fresh ts values past the base domain.
+  Table feed(testutil::EventSchema());
+  {
+    Rng rng(seed * 977 + 5);
+    const char* cats[] = {"a", "b", "c", "d"};
+    for (size_t i = 0; i < kQueries / kIngestEvery * kRowsPerBatch; ++i) {
+      feed.AppendRow({Value(static_cast<int64_t>(4000 + i)),
+                      Value(rng.UniformInt(0, 1000)),
+                      Value(cats[rng.Uniform(4)])});
+    }
+  }
+
+  Oreo recorder(&t, &gen, /*time_column=*/0, PropOpts(seed, alpha));
+  std::vector<std::vector<int>> live_at;
+  std::vector<std::vector<double>> live_costs;  // parallel to live_at
+  size_t max_live = 1;
+  size_t batches = 0;
+  uint64_t rows_deleted = 0;
+  for (size_t qi = 0; qi < stream.size(); ++qi) {
+    if (qi > 0 && qi % kIngestEvery == 0) {
+      ++batches;
+      IngestBatch batch;
+      std::vector<uint32_t> ids;
+      for (size_t r = (batches - 1) * kRowsPerBatch;
+           r < batches * kRowsPerBatch; ++r) {
+        ids.push_back(static_cast<uint32_t>(r));
+      }
+      batch.rows = feed.Take(ids);
+      if (batches % 3 == 0) {
+        const int64_t lo = static_cast<int64_t>(batches) * 37 % 900;
+        Query purge;
+        purge.conjuncts = {Predicate::Between(1, Value(lo), Value(lo + 30))};
+        batch.deletes.push_back(std::move(purge));
+      }
+      Result<IngestResult> applied = recorder.Ingest(std::move(batch));
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      rows_deleted += applied->rows_deleted;
+    }
+    // Record this step's cost row for every live state, at step time, from
+    // the public pieces of the live-cost formula (delta == 0 reproduces the
+    // base cost exactly, including pre-ingest steps).
+    const std::vector<int> live = recorder.registry().live();
+    const double b = static_cast<double>(recorder.live().base().num_rows());
+    const double delta = static_cast<double>(recorder.live().delta_rows());
+    const double d =
+        delta > 0
+            ? static_cast<double>(recorder.live().DeltaScanRows(stream[qi]))
+            : 0.0;
+    std::vector<double> row;
+    row.reserve(live.size());
+    for (int s : live) {
+      const double base_cost = recorder.registry().Cost(s, stream[qi]);
+      row.push_back(delta > 0 ? (base_cost * b + d) / (b + delta)
+                              : base_cost);
+    }
+    live_at.push_back(live);
+    live_costs.push_back(std::move(row));
+    max_live = std::max(max_live, live_at.back().size());
+    recorder.Step(stream[qi]);
+  }
+  const double alg_cost =
+      recorder.total_query_cost() + recorder.total_reorg_cost();
+
+  // The fixture must actually exercise mutation: a compaction fold happened,
+  // rows were tombstoned, the state space grew, and D-UMTS switched.
+  ASSERT_GE(recorder.folds(), 1u) << "schedule never crossed fold_threshold";
+  EXPECT_GT(rows_deleted, 0u) << "the purge batches never matched a row";
+  EXPECT_GT(max_live, 1u);
+  EXPECT_GE(recorder.num_switches(), 1);
+
+  // Offline optimum over the recorded time-varying live-cost matrix.
+  const size_t num_states = recorder.registry().num_total();
+  std::vector<std::vector<double>> costs(
+      stream.size(), std::vector<double>(num_states, 1.0));
+  std::vector<std::vector<bool>> avail(
+      stream.size(), std::vector<bool>(num_states, false));
+  for (size_t qi = 0; qi < stream.size(); ++qi) {
+    for (size_t li = 0; li < live_at[qi].size(); ++li) {
+      const size_t s = static_cast<size_t>(live_at[qi][li]);
+      costs[qi][s] = live_costs[qi][li];
+      avail[qi][s] = true;
+      ASSERT_GE(costs[qi][s], 0.0);
+      ASSERT_LE(costs[qi][s], 1.0) << "live cost left [0, 1] at query " << qi;
+    }
+  }
+  mts::OfflineResult opt = mts::SolveOfflineUniformDynamic(costs, avail, alpha);
+
+  EXPECT_GE(alg_cost, opt.total_cost - 1e-9);
+  const double bound = 2.0 * Harmonic(max_live) * (opt.total_cost + alpha);
+  EXPECT_LE(alg_cost, bound)
+      << "ingest-interleaved bound broken: ALG=" << alg_cost
+      << " OPT=" << opt.total_cost << " |S_max|=" << max_live
+      << " folds=" << recorder.folds();
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace oreo

@@ -375,6 +375,7 @@ TEST(ServerWireFuzzTest, RandomizedStatsFramesRoundTrip) {
         &snap.server.rejected_shutdown,     &snap.server.rejected_unknown_tenant,
         &snap.server.rejected_malformed,    &snap.server.expired_admission,
         &snap.server.expired_formation,     &snap.server.expired_reply,
+        &snap.server.ingest_batches,        &snap.server.ingest_rows,
     };
     for (uint64_t* f : server_fields) *f = rng();
     const size_t tenants = rng() % 6;  // 0 tenants is legal (pre-Start)
@@ -392,6 +393,8 @@ TEST(ServerWireFuzzTest, RandomizedStatsFramesRoundTrip) {
       ts.expired_admission = rng();
       ts.expired_formation = rng();
       ts.expired_reply = rng();
+      ts.ingest_batches = rng();
+      ts.ingest_rows = rng();
       snap.tenants.push_back(ts);
     }
     const std::string frame = EncodeStatsReplyFrame(rng(), snap);
@@ -419,6 +422,8 @@ TEST(ServerWireFuzzTest, RandomizedStatsFramesRoundTrip) {
       EXPECT_EQ(out.tenants[t].admitted, snap.tenants[t].admitted);
       EXPECT_EQ(out.tenants[t].executed, snap.tenants[t].executed);
       EXPECT_EQ(out.tenants[t].expired_reply, snap.tenants[t].expired_reply);
+      EXPECT_EQ(out.tenants[t].ingest_batches, snap.tenants[t].ingest_batches);
+      EXPECT_EQ(out.tenants[t].ingest_rows, snap.tenants[t].ingest_rows);
     }
   }
 }

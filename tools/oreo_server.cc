@@ -19,7 +19,14 @@
 //
 // --weights sets per-tenant fair-share weights (comma-separated),
 // --dispatchers sizes the shared scheduler pool, and --stats dumps the
-// kStats wire snapshot before shutdown.
+// kStats wire snapshot before shutdown. --ingest-every N interleaves one
+// kIngest mutation batch (--ingest-rows rows, every fourth batch also
+// carrying a delete predicate) after every N queries of each client's
+// stream, exercising the live-ingest wire path under fair scheduling.
+//
+// Every numeric flag is validated strictly: a malformed value (empty,
+// non-numeric, trailing garbage, out of range) prints the usage message and
+// exits 2 instead of silently running with a half-parsed configuration.
 #include <algorithm>
 #include <csignal>
 #include <cstdint>
@@ -74,7 +81,69 @@ struct Args {
   size_t dispatchers = 2;
   std::vector<uint32_t> weights;  // per-tenant fair-share weights
   bool print_stats = false;       // dump the kStats snapshot at exit
+  size_t ingest_every = 0;        // 0 = no ingest traffic
+  size_t ingest_rows = 64;        // appended rows per ingest batch
 };
+
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+               "usage: oreo_server [--tenants N] [--rows R] [--queries Q]"
+               " [--clients C] [--port P (0 = ephemeral)] [--max-batch N]"
+               " [--max-delay-us T] [--max-queue N] [--dispatchers K]"
+               " [--weights W1,W2,...] [--ingest-every N] [--ingest-rows R]"
+               " [--stats]\n");
+}
+
+[[noreturn]] void UsageError(const std::string& flag, const std::string& value,
+                             const char* why) {
+  std::fprintf(stderr, "oreo_server: bad value \"%s\" for %s: %s\n",
+               value.c_str(), flag.c_str(), why);
+  PrintUsage(stderr);
+  std::exit(2);
+}
+
+// Strict decimal parse: the whole token must be digits and the result must
+// land in [min, max]. Anything else (empty token, sign, trailing garbage,
+// overflow) is a usage error — never a silently half-parsed config.
+uint64_t ParseUint(const std::string& flag, const std::string& value,
+                   uint64_t min, uint64_t max) {
+  if (value.empty()) UsageError(flag, value, "expected a number");
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      UsageError(flag, value, "expected an unsigned decimal number");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > (UINT64_MAX - digit) / 10) {
+      UsageError(flag, value, "value out of range");
+    }
+    parsed = parsed * 10 + digit;
+  }
+  if (parsed < min || parsed > max) {
+    UsageError(flag, value, "value out of range");
+  }
+  return parsed;
+}
+
+// Comma-separated list of positive weights, e.g. "3,1". Strict: empty
+// tokens ("3,,1", a trailing comma) and non-numeric tokens are usage
+// errors, because a silently dropped weight shifts every later tenant's
+// share one slot over.
+std::vector<uint32_t> ParseWeights(const std::string& spec) {
+  std::vector<uint32_t> weights;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = spec.find(',', start);
+    const std::string tok =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    weights.push_back(static_cast<uint32_t>(
+        ParseUint("--weights", tok, 1, UINT32_MAX)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return weights;
+}
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
@@ -87,48 +156,49 @@ Args ParseArgs(int argc, char** argv) {
       inline_value = flag.substr(eq + 1);
       flag = flag.substr(0, eq);
     }
-    auto next = [&]() -> const char* {
-      if (eq != std::string::npos) return inline_value.c_str();
+    auto next = [&]() -> std::string {
+      if (eq != std::string::npos) return inline_value;
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::fprintf(stderr, "oreo_server: missing value for %s\n",
+                     flag.c_str());
+        PrintUsage(stderr);
         std::exit(2);
       }
       return argv[++i];
     };
-    if (flag == "--tenants") args.tenants = std::atoi(next());
-    else if (flag == "--rows") args.rows = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--queries") args.queries = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--clients") args.clients = std::atoi(next());
-    else if (flag == "--port") args.port = std::atoi(next());
-    else if (flag == "--max-batch") args.max_batch = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--max-delay-us") args.max_delay_us = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--max-queue") args.max_queue = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--dispatchers") args.dispatchers = std::strtoull(next(), nullptr, 10);
-    else if (flag == "--weights") {
-      // Comma-separated per-tenant weights, e.g. --weights 3,1.
-      std::string spec = next();
-      size_t start = 0;
-      while (start <= spec.size()) {
-        const size_t comma = spec.find(',', start);
-        const std::string tok =
-            spec.substr(start, comma == std::string::npos ? std::string::npos
-                                                          : comma - start);
-        if (!tok.empty()) {
-          args.weights.push_back(
-              static_cast<uint32_t>(std::strtoul(tok.c_str(), nullptr, 10)));
-        }
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-    }
-    else if (flag == "--stats") args.print_stats = true;
-    else {
-      std::fprintf(stderr,
-                   "usage: oreo_server [--tenants N] [--rows R] [--queries Q]"
-                   " [--clients C] [--port P (0 = ephemeral)] [--max-batch N]"
-                   " [--max-delay-us T] [--max-queue N] [--dispatchers K]"
-                   " [--weights W1,W2,...] [--stats]\n");
-      std::exit(flag == "--help" ? 0 : 2);
+    if (flag == "--tenants") {
+      args.tenants = static_cast<int>(ParseUint(flag, next(), 1, 1024));
+    } else if (flag == "--rows") {
+      args.rows = ParseUint(flag, next(), 1, UINT64_MAX);
+    } else if (flag == "--queries") {
+      args.queries = ParseUint(flag, next(), 0, UINT64_MAX);
+    } else if (flag == "--clients") {
+      args.clients = static_cast<int>(ParseUint(flag, next(), 0, 4096));
+    } else if (flag == "--port") {
+      args.port = static_cast<int>(ParseUint(flag, next(), 0, 65535));
+    } else if (flag == "--max-batch") {
+      args.max_batch = ParseUint(flag, next(), 1, UINT64_MAX);
+    } else if (flag == "--max-delay-us") {
+      args.max_delay_us = ParseUint(flag, next(), 0, UINT64_MAX);
+    } else if (flag == "--max-queue") {
+      args.max_queue = ParseUint(flag, next(), 1, UINT64_MAX);
+    } else if (flag == "--dispatchers") {
+      args.dispatchers = ParseUint(flag, next(), 1, 1024);
+    } else if (flag == "--weights") {
+      args.weights = ParseWeights(next());
+    } else if (flag == "--ingest-every") {
+      args.ingest_every = ParseUint(flag, next(), 0, UINT64_MAX);
+    } else if (flag == "--ingest-rows") {
+      args.ingest_rows = ParseUint(flag, next(), 1, 100000);
+    } else if (flag == "--stats") {
+      args.print_stats = true;
+    } else if (flag == "--help") {
+      PrintUsage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "oreo_server: unknown flag %s\n", flag.c_str());
+      PrintUsage(stderr);
+      std::exit(2);
     }
   }
   return args;
@@ -210,6 +280,39 @@ void RunTcpListener(server::OreoServer* srv, int port) {
   for (std::thread& t : conns) t.join();
 }
 
+// One synthetic telemetry-schema ingest batch (fresh rows, arrival times
+// past the seeded table's 180-day span so the drift is visible to zone
+// maps). Every fourth batch also deletes the highest-severity rows —
+// exercising the tombstone path alongside appends.
+server::WireIngest MakeIngestBatch(size_t rows, uint64_t batch_index,
+                                   Rng* rng) {
+  server::WireIngest ingest;
+  ingest.rows.reserve(rows);
+  constexpr int64_t kBaseArrival = 181LL * 24 * 3600;
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(10);
+    row.push_back(Value(kBaseArrival +
+                        static_cast<int64_t>(batch_index * rows + r)));
+    row.push_back(Value("collector_live"));
+    row.push_back(Value(rng->UniformInt(1, 5000)));                // job_id
+    row.push_back(Value(rng->UniformInt(0, 1) ? "SUCCESS" : "FAILED"));
+    row.push_back(Value(static_cast<double>(rng->UniformInt(1, 5000))));
+    row.push_back(Value(static_cast<double>(rng->UniformInt(1, 1 << 20))));
+    row.push_back(Value("host_live"));
+    row.push_back(Value(rng->UniformInt(0, 5)));                   // severity
+    row.push_back(Value("team_live"));
+    row.push_back(Value(rng->UniformInt(1, 100)));                 // records
+    ingest.rows.push_back(std::move(row));
+  }
+  if (batch_index % 4 == 3) {
+    Query del;
+    del.conjuncts.push_back(Predicate::Ge(/*severity=*/7, Value(int64_t{5})));
+    ingest.deletes.push_back(std::move(del));
+  }
+  return ingest;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -267,15 +370,37 @@ int main(int argc, char** argv) {
       workloads::Workload workload = workloads::GenerateWorkload(
           datasets[tenant - 1].templates, wopts);
       server::LoopbackClient client(&srv);
+      Rng ingest_rng(9000 + static_cast<uint64_t>(c));
       size_t ok = 0, rejected = 0;
-      for (const Query& q : workload.queries) {
-        Result<server::QueryReply> reply = client.Call(tenant, q);
+      size_t ingested_batches = 0, ingested_rows = 0;
+      for (size_t qi = 0; qi < workload.queries.size(); ++qi) {
+        Result<server::QueryReply> reply =
+            client.Call(tenant, workload.queries[qi]);
         if (!reply.ok()) break;
         if (reply->status == server::ReplyStatus::kOk) ++ok;
         else ++rejected;
+        if (args.ingest_every > 0 && (qi + 1) % args.ingest_every == 0) {
+          server::WireIngest batch = MakeIngestBatch(
+              args.ingest_rows, ingested_batches, &ingest_rng);
+          Result<server::IngestReply> ack = client.CallIngest(tenant, batch);
+          if (!ack.ok()) break;
+          if (ack->status == server::ReplyStatus::kOk) {
+            ++ingested_batches;
+            ingested_rows += ack->rows_appended;
+          } else {
+            ++rejected;
+          }
+        }
       }
-      std::printf("client %d (tenant %u): %zu ok, %zu rejected\n", c, tenant,
-                  ok, rejected);
+      if (args.ingest_every > 0) {
+        std::printf(
+            "client %d (tenant %u): %zu ok, %zu rejected, "
+            "%zu ingest batches (%zu rows)\n",
+            c, tenant, ok, rejected, ingested_batches, ingested_rows);
+      } else {
+        std::printf("client %d (tenant %u): %zu ok, %zu rejected\n", c,
+                    tenant, ok, rejected);
+      }
     });
   }
   for (std::thread& t : clients) t.join();
@@ -326,6 +451,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.expired_admission),
               static_cast<unsigned long long>(stats.expired_formation),
               static_cast<unsigned long long>(stats.expired_reply));
+  std::printf("  ingest: %llu batches, %llu rows appended\n",
+              static_cast<unsigned long long>(stats.ingest_batches),
+              static_cast<unsigned long long>(stats.ingest_rows));
   for (int t = 0; t < args.tenants; ++t) {
     core::OreoEngine* engine = srv.engine(static_cast<uint32_t>(t + 1));
     std::printf("  tenant %d: query cost %.1f, reorg cost %.1f, %lld "

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """CI smoke test for oreo_server's TCP path.
 
-Launches the server tool on an ephemeral port, speaks the v2 wire protocol
-over a real socket — a query round trip, a kStats round trip, and a
-graceful v1 rejection — then SIGINTs the process and checks it drains
-cleanly. This is the only coverage the TCP listener gets (unit and wall
-tests drive loopback sessions), so it deliberately exercises the socket
-reader/writer threads and the signal-driven shutdown.
+Launches the server tool on an ephemeral port, speaks the v3 wire protocol
+over a real socket — a query round trip, an ingest round trip that mutates
+the tenant, a kStats round trip, and graceful retired-version (v1/v2)
+rejections — then SIGINTs the process and checks it drains cleanly. This
+is the only coverage the TCP listener gets (unit and wall tests drive
+loopback sessions), so it deliberately exercises the socket reader/writer
+threads and the signal-driven shutdown.
 
 Usage: python3 tools/tcp_smoke.py ./build/tools/oreo_server
 """
@@ -21,18 +22,21 @@ import threading
 import time
 
 MAGIC = 0x4F45524F  # "OREO"
-VERSION = 2
-LEGACY_VERSION = 1
+VERSION = 3
+RETIRED_VERSIONS = (1, 2)
 HEADER = struct.Struct("<IHHQII")  # magic, version, type, req id, tenant, len
 MSG_QUERY = 1
 MSG_STATS = 2
+MSG_INGEST = 3
 MSG_REPLY = 129
 MSG_STATS_REPLY = 130
+MSG_INGEST_REPLY = 131
 STATUS_OK = 0
 STATUS_BAD_REQUEST = 3
 
-SERVER_STAT_FIELDS = 12  # u64 counters in the stats payload, in wire order
-TENANT_STAT_U64S = 9  # per-tenant u64 counters after id/weight/deficit
+STATS_PAYLOAD_VERSION = 2
+SERVER_STAT_FIELDS = 14  # u64 counters in the stats payload, in wire order
+TENANT_STAT_U64S = 11  # per-tenant u64 counters after id/weight/deficit
 
 
 def frame(msg_type, request_id, tenant_id, payload=b"", version=VERSION):
@@ -46,6 +50,56 @@ def frame(msg_type, request_id, tenant_id, payload=b"", version=VERSION):
 def query_payload(query_id, deadline_us=0):
     # i64 id, i32 template, u64 deadline, u16 conjuncts (0 = full scan).
     return struct.pack("<qiQH", query_id, -1, deadline_us, 0)
+
+
+def value_i64(v):
+    return struct.pack("<bq", 0, v)
+
+
+def value_f64(v):
+    return struct.pack("<bd", 1, v)
+
+
+def value_str(s):
+    raw = s.encode()
+    return struct.pack("<bI", 2, len(raw)) + raw
+
+
+def telemetry_row(i):
+    # The tool's tenants use the 10-column telemetry schema; arrival times
+    # land past the seeded 180-day span, like the loopback demo's batches.
+    return b"".join([
+        value_i64(181 * 24 * 3600 + i),  # arrival
+        value_str("collector_tcp"),      # collector
+        value_i64(1 + i),                # job_id
+        value_str("SUCCESS"),            # status
+        value_f64(12.5),                 # duration_ms
+        value_f64(4096.0),               # bytes_ingested
+        value_str("host_tcp"),           # host
+        value_i64(2),                    # severity
+        value_str("team_tcp"),           # team
+        value_i64(42),                   # record_count
+    ])
+
+
+def ingest_payload(rows, deadline_us=0):
+    # u64 deadline, u32 num_rows, u16 num_cols, rows, u16 num_deletes.
+    body = struct.pack("<QIH", deadline_us, len(rows), 10)
+    body += b"".join(rows)
+    body += struct.pack("<H", 0)
+    return body
+
+
+def parse_ingest_reply(payload):
+    status, msg_len = struct.unpack_from("<BI", payload, 0)
+    off = 5
+    message = payload[off : off + msg_len].decode()
+    off += msg_len
+    version, appended, deleted, visible = struct.unpack_from("<4Q", payload,
+                                                             off)
+    off += 32
+    (folded,) = struct.unpack_from("<B", payload, off)
+    return status, message, version, appended, deleted, visible, bool(folded)
 
 
 def recv_exact(sock, n):
@@ -80,7 +134,9 @@ def parse_query_reply(payload):
 
 def parse_stats_reply(payload):
     (stats_version,) = struct.unpack_from("<H", payload, 0)
-    assert stats_version == 1, f"unknown stats payload version {stats_version}"
+    assert stats_version == STATS_PAYLOAD_VERSION, (
+        f"unknown stats payload version {stats_version}"
+    )
     off = 2
     server = struct.unpack_from(f"<{SERVER_STAT_FIELDS}Q", payload, off)
     off += 8 * SERVER_STAT_FIELDS
@@ -159,7 +215,24 @@ def main():
         assert (msg_type, request_id) == (MSG_REPLY, 8)
         assert status == STATUS_OK, f"deadline query failed: {message!r}"
 
-        # 3. kStats round trip: counters include the loopback demo's work.
+        # 3. An ingest round trip: two telemetry rows appended to tenant 1
+        # over the socket, acknowledged with the post-batch version stamp.
+        rows = [telemetry_row(0), telemetry_row(1)]
+        sock.sendall(frame(MSG_INGEST, 12, 1, ingest_payload(rows)))
+        msg_type, request_id, _, payload = read_reply(sock)
+        assert msg_type == MSG_INGEST_REPLY, f"expected kIngestReply: {msg_type}"
+        assert request_id == 12
+        status, message, version, appended, deleted, visible, _ = (
+            parse_ingest_reply(payload)
+        )
+        assert status == STATUS_OK, f"ingest failed: {message!r}"
+        assert version >= 1, f"ingest version not stamped: {version}"
+        assert appended == len(rows), f"rows_appended={appended}"
+        assert deleted == 0, f"unexpected deletes: {deleted}"
+        assert visible >= 2000 + len(rows), f"visible={visible}"
+
+        # 4. kStats round trip: counters include the loopback demo's work
+        # and the socket ingest we just did.
         sock.sendall(frame(MSG_STATS, 9, 0))
         msg_type, request_id, _, payload = read_reply(sock)
         assert msg_type == MSG_STATS_REPLY, f"expected kStatsReply: {msg_type}"
@@ -169,31 +242,40 @@ def main():
         # queries each before the listener came up, plus our two socket ones.
         executed_total = server[2]
         assert executed_total >= 122, f"executed={executed_total}, expected >=122"
+        # Last two u64s: ingest batches / rows. The demo ran without
+        # --ingest-every, so the socket batch is the only mutation traffic.
+        assert server[-2] == 1, f"ingest_batches={server[-2]}, expected 1"
+        assert server[-1] == len(rows), f"ingest_rows={server[-1]}"
         assert len(tenants) == 2, f"tenant count {len(tenants)}"
         weights = {t[0]: t[1] for t in tenants}
         assert weights == {1: 3, 2: 1}, f"weights on the wire: {weights}"
+        by_id = {t[0]: t[3] for t in tenants}
+        assert by_id[1][-2] == 1, f"tenant 1 ingest_batches={by_id[1][-2]}"
+        assert by_id[1][-1] == len(rows), f"tenant 1 ingest_rows={by_id[1][-1]}"
+        assert by_id[2][-2] == 0, f"tenant 2 ingest_batches={by_id[2][-2]}"
 
-        # 4. A v1 frame gets a request-level upgrade hint, not a poisoned
-        # stream: the same connection keeps serving afterwards.
-        sock.sendall(
-            frame(MSG_QUERY, 10, 1, query_payload(1003),
-                  version=LEGACY_VERSION)
-        )
-        msg_type, request_id, _, payload = read_reply(sock)
-        status, message, _, _ = parse_query_reply(payload)
-        assert (msg_type, request_id) == (MSG_REPLY, 10)
-        assert status == STATUS_BAD_REQUEST, f"v1 status {status}"
-        assert "upgrade" in message, f"v1 hint missing: {message!r}"
-        sock.sendall(frame(MSG_QUERY, 11, 1, query_payload(1004)))
+        # 5. Retired-version frames get a request-level upgrade hint, not a
+        # poisoned stream: the same connection keeps serving afterwards.
+        for i, retired in enumerate(RETIRED_VERSIONS):
+            sock.sendall(
+                frame(MSG_QUERY, 20 + i, 1, query_payload(1003 + i),
+                      version=retired)
+            )
+            msg_type, request_id, _, payload = read_reply(sock)
+            status, message, _, _ = parse_query_reply(payload)
+            assert (msg_type, request_id) == (MSG_REPLY, 20 + i)
+            assert status == STATUS_BAD_REQUEST, f"v{retired} status {status}"
+            assert "upgrade" in message, f"v{retired} hint missing: {message!r}"
+        sock.sendall(frame(MSG_QUERY, 11, 1, query_payload(1010)))
         msg_type, request_id, _, payload = read_reply(sock)
         status, message, _, _ = parse_query_reply(payload)
         assert (msg_type, request_id, status) == (MSG_REPLY, 11, STATUS_OK), (
-            f"stream did not survive the v1 frame: {status} {message!r}"
+            f"stream did not survive the retired frames: {status} {message!r}"
         )
 
         sock.close()
 
-        # 5. SIGINT drains: the process exits 0 and prints its final stats.
+        # 6. SIGINT drains: the process exits 0 and prints its final stats.
         proc.send_signal(signal.SIGINT)
         rc = proc.wait(timeout=120)
         reader.join(timeout=30)
